@@ -1,0 +1,24 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so
+they can be imported explicitly without conftest-name collisions)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: App size multiplier (see conftest docstring).
+BENCH_SCALE = float(os.environ.get("CALIBRO_BENCH_SCALE", "0.25"))
+#: UI-script repetitions for memory/runtime tables (paper: 20).
+BENCH_REPS = int(os.environ.get("CALIBRO_BENCH_REPS", "3"))
+#: PlOpti partition count (paper: 8 trees).
+PLOPTI_GROUPS = 8
+
+_ARTIFACTS = Path(__file__).parent / "_artifacts"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it under
+    ``benchmarks/_artifacts/`` (pytest captures stdout by default)."""
+    _ARTIFACTS.mkdir(exist_ok=True)
+    (_ARTIFACTS / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

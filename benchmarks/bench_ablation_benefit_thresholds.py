@@ -1,0 +1,63 @@
+"""Ablation — benefit-model thresholds (min sequence length / min saved).
+
+DESIGN.md calls out the outliner's two guard thresholds as design
+choices; this ablation shows the defaults (min_length=2, min_saved=1)
+dominate: raising either only discards profitable repeats.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import dex2oat
+from repro.core import select_candidates
+from repro.core.outline import outline_group
+from repro.reporting import format_table, pct
+
+from _bench_util import emit
+
+
+def test_ablation_benefit_thresholds(benchmark, suite):
+    app = suite.app("Toutiao")
+    compiled = dex2oat(app.dexfile, cto=True)
+    candidates = select_candidates(compiled.methods).candidates
+    bytes_before = sum(m.size for _, m in candidates)
+
+    sweeps = [
+        ("min_length", [(2, 1), (3, 1), (4, 1), (6, 1), (8, 1)]),
+        ("min_saved", [(2, 1), (2, 4), (2, 8), (2, 16)]),
+    ]
+
+    def run_all():
+        out = {}
+        for label, params in sweeps:
+            for min_length, min_saved in params:
+                result = outline_group(
+                    candidates, min_length=min_length, min_saved=min_saved
+                )
+                saved = result.stats.instructions_saved * 4
+                out[(label, min_length, min_saved)] = (
+                    saved / bytes_before,
+                    result.stats.repeats_outlined,
+                )
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [label, f"L>={ml}", f"save>={ms}", pct(red), funcs]
+        for (label, ml, ms), (red, funcs) in results.items()
+    ]
+    emit(
+        "ablation_benefit_thresholds",
+        format_table(
+            ["sweep", "min length", "min saved", "reduction", "outlined fns"],
+            rows,
+            title="Ablation: benefit-model thresholds (Toutiao)",
+        ),
+    )
+
+    # Shape: tightening either threshold monotonically loses reduction.
+    length_curve = [results[("min_length", ml, 1)][0] for ml in (2, 3, 4, 6, 8)]
+    assert all(a >= b for a, b in zip(length_curve, length_curve[1:]))
+    saved_curve = [results[("min_saved", 2, ms)][0] for ms in (1, 4, 8, 16)]
+    assert all(a >= b for a, b in zip(saved_curve, saved_curve[1:]))
+    assert length_curve[0] > 0

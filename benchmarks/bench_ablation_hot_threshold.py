@@ -1,0 +1,73 @@
+"""Ablation (§3.4.2) — hot-coverage threshold sweep.
+
+The paper fixes the HfOpti threshold at 80% of execution time.  This
+ablation sweeps the coverage and regenerates the size/performance
+frontier: higher coverage protects more code (less degradation, less
+reduction).
+"""
+
+from __future__ import annotations
+
+from repro.core import CalibroConfig, build_app
+from repro.reporting import format_table, pct
+from repro.runtime import Emulator
+
+from _bench_util import BENCH_REPS, emit
+
+_COVERAGES = (0.0, 0.5, 0.8, 0.95)
+
+
+def _cycles(suite, app, build) -> int:
+    from repro.runtime import CycleModel
+
+    emulator = Emulator(
+        build.oat, app.dexfile, native_handlers=app.native_handlers,
+        cycle_model=CycleModel(pipeline="predictive"),
+    )
+    total = 0
+    for _ in range(BENCH_REPS):
+        for method, args in app.ui_script.iterate():
+            result = emulator.call(method, list(args))
+            assert result.trap is None
+            total += result.cycles
+    return total
+
+
+def test_ablation_hot_coverage(benchmark, suite):
+    name = "Meituan"
+    app = suite.app(name)
+    profile = suite.profile(name)
+    base_build = suite.build(name, "baseline")
+    base_cycles = _cycles(suite, app, base_build)
+
+    def sweep():
+        out = {}
+        for coverage in _COVERAGES:
+            cfg = CalibroConfig.full(profile, groups=4, coverage=coverage)
+            build = build_app(app.dexfile, cfg)
+            out[coverage] = (
+                1 - build.text_size / base_build.text_size,
+                _cycles(suite, app, build) / base_cycles - 1,
+            )
+        return out
+
+    frontier = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [pct(c, 0), pct(red), pct(deg)] for c, (red, deg) in frontier.items()
+    ]
+    emit(
+        "ablation_hot_coverage",
+        format_table(
+            ["Hot coverage", "Size reduction", "Cycle degradation"],
+            rows,
+            title="Ablation: HfOpti coverage threshold (Meituan; paper fixes 80%)",
+        ),
+    )
+
+    # Shape: protecting more code trades reduction for performance.
+    reductions = [frontier[c][0] for c in _COVERAGES]
+    degradations = [frontier[c][1] for c in _COVERAGES]
+    assert reductions[0] >= reductions[-1]
+    assert degradations[-1] <= degradations[0]
+    assert all(r > 0 for r in reductions)

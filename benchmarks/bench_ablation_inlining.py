@@ -1,0 +1,65 @@
+"""Ablation — inlining × outlining interaction (related work [10]).
+
+The paper's related work observes that careful inlining can *reduce*
+size; outlining interacts with it in both directions: inlining removes
+the per-call overhead CTO targets, while the duplicated bodies it
+creates are exactly what LTBO re-shares.  This ablation measures the
+2×2 grid {inlining off/on} × {CTO only / CTO+LTBO}.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import CalibroConfig, build_app
+from repro.reporting import format_table, pct
+
+from _bench_util import emit
+
+
+def test_ablation_inlining(benchmark, suite):
+    app = suite.app("Toutiao")
+
+    def measure():
+        out = {}
+        for inlining in (False, True):
+            for base_cfg in (CalibroConfig.cto(), CalibroConfig.cto_ltbo()):
+                cfg = dataclasses.replace(base_cfg, inlining=inlining)
+                build = build_app(app.dexfile, cfg)
+                out[(inlining, base_cfg.name)] = (
+                    build.text_size,
+                    build.dex2oat.inlined_sites,
+                )
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    baseline = results[(False, "CTO")][0]
+    rows = [
+        [
+            "on" if inl else "off",
+            cfg,
+            size,
+            pct(1 - size / baseline),
+            sites,
+        ]
+        for (inl, cfg), (size, sites) in results.items()
+    ]
+    emit(
+        "ablation_inlining",
+        format_table(
+            ["inlining", "config", "text bytes", "vs CTO-only", "sites inlined"],
+            rows,
+            title="Ablation: inlining x outlining interaction (Toutiao)",
+        ),
+    )
+
+    # Shapes: inlining fires; LTBO absorbs most of what inlining
+    # duplicates (the LTBO rows sit close together), and LTBO beats
+    # CTO-only in both worlds.
+    assert results[(True, "CTO")][1] > 0
+    for inl in (False, True):
+        assert results[(inl, "CTO+LTBO")][0] < results[(inl, "CTO")][0]
+    with_l = results[(True, "CTO+LTBO")][0]
+    without_l = results[(False, "CTO+LTBO")][0]
+    assert abs(with_l - without_l) / without_l < 0.10

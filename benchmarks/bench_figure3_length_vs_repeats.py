@@ -1,0 +1,40 @@
+"""Figure 3 — sequence length vs number of repeats.
+
+Paper (Observation 2): "most repetitive code sequences are short, and
+the shorter the length of the sequence, the higher the frequency of
+repetition."  Expected shape: a monotone-decaying census over length
+buckets, with the mass concentrated below ~8 instructions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import estimate_redundancy, length_census
+from repro.compiler import dex2oat
+from repro.reporting import ascii_bars
+
+from _bench_util import emit
+
+
+def test_figure3_length_vs_repeats(benchmark, suite):
+    app = suite.app("Wechat")
+
+    def census():
+        compiled = dex2oat(app.dexfile, cto=False)
+        return estimate_redundancy(compiled.methods, app.name)
+
+    report = benchmark.pedantic(census, rounds=1, iterations=1)
+    buckets = length_census(report)
+    emit(
+        "figure3",
+        ascii_bars(
+            {k: v for k, v in buckets.items() if k != "<2"},
+            title="Figure 3: sequence length vs number of repeats (Wechat)",
+        ),
+    )
+
+    # Shape: monotone decay across the bucketed census.
+    ordered = [buckets[k] for k in ("2-3", "4-7", "8-15", "16-31", "32-63")]
+    assert ordered[0] > 0
+    # Strictly more short repeats than long ones, and a decaying tail.
+    assert ordered[0] + ordered[1] > ordered[2] + ordered[3] + ordered[4]
+    assert ordered[2] >= ordered[3] >= ordered[4]

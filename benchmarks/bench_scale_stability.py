@@ -1,0 +1,50 @@
+"""Scale stability — the justification for running the paper's tables
+on scaled-down apps.
+
+DESIGN.md claims the measured *ratios* (reduction %, overhead shape) are
+stable in app size; this bench sweeps the workload scale for one app and
+checks that the CTO+LTBO reduction ratio moves slowly while absolute
+sizes grow linearly.
+"""
+
+from __future__ import annotations
+
+from repro.core import CalibroConfig, build_app
+from repro.reporting import format_table, pct
+from repro.workloads import app_spec, generate_app
+
+from _bench_util import emit
+
+_SCALES = (0.1, 0.2, 0.4)
+
+
+def test_scale_stability(benchmark, suite):
+    def sweep():
+        out = {}
+        for scale in _SCALES:
+            app = generate_app(app_spec("Taobao", scale))
+            base = build_app(app.dexfile, CalibroConfig.baseline())
+            ltbo = build_app(app.dexfile, CalibroConfig.cto_ltbo())
+            out[scale] = (base.text_size, 1 - ltbo.text_size / base.text_size)
+        return out
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [f"x{s}", f"{size}B", pct(red)] for s, (size, red) in curve.items()
+    ]
+    emit(
+        "scale_stability",
+        format_table(
+            ["Scale", "Baseline text", "CTO+LTBO reduction"],
+            rows,
+            title="Scale stability of the reduction ratio (Taobao)",
+        ),
+    )
+
+    sizes = [curve[s][0] for s in _SCALES]
+    reductions = [curve[s][1] for s in _SCALES]
+    # Sizes grow with scale; ratios stay within a narrow band.
+    assert sizes[0] < sizes[1] < sizes[2]
+    assert max(reductions) - min(reductions) < 0.10
+    assert all(r > 0.10 for r in reductions)

@@ -1,0 +1,75 @@
+"""Table 2 — the paper's worked outlining + patching example, replayed
+as a micro-benchmark of the outline→patch path.
+
+The functional assertions (cbz +0xc → +0x8, the outlined function's
+``br x30``) live in tests/core/test_paper_table2.py; this bench times
+the operation and prints the four code listings.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.compiled import CompiledMethod
+from repro.core.metadata import MethodMetadata, PcRelativeRef
+from repro.core.outline import outline_group
+from repro.isa import asm, disassemble, encode_all, instructions as ins
+
+from _bench_util import emit
+
+
+def _methods():
+    body = [
+        ins.Cbz(rt=0, offset=0xC, sf=False),
+        ins.LoadStoreImm(op="ldr", rt=2, rn=0, offset=0, size=4),
+        ins.AddSubReg(op="sub", rd=31, rn=2, rm=1, set_flags=True, sf=False),
+        asm.mov(3, 4),
+        ins.LoadStoreImm(op="ldr", rt=3, rn=0, offset=0, size=8),
+        ins.Ret(),
+    ]
+    code = encode_all(body)
+    table2 = CompiledMethod(
+        name="table2",
+        code=code,
+        metadata=MethodMetadata(
+            method_name="table2",
+            code_size=len(code),
+            pc_relative=[PcRelativeRef(offset=0, target=0xC)],
+            terminators=[0, len(code) - 4],
+        ),
+    )
+    pair = [
+        ins.LoadStoreImm(op="ldr", rt=2, rn=0, offset=0, size=4),
+        ins.AddSubReg(op="sub", rd=31, rn=2, rm=1, set_flags=True, sf=False),
+    ]
+    other_code = encode_all(pair * 3 + [ins.Ret()])
+    other = CompiledMethod(
+        name="other",
+        code=other_code,
+        metadata=MethodMetadata(
+            method_name="other", code_size=len(other_code),
+            terminators=[len(other_code) - 4],
+        ),
+    )
+    return table2, other
+
+
+def test_table2_outline_and_patch(benchmark):
+    table2, other = _methods()
+
+    result = benchmark(
+        lambda: outline_group([(0, table2), (1, other)], min_length=2, min_saved=1)
+    )
+
+    original = "\n".join(disassemble(table2.code, 0x138320))
+    outlined = "\n".join(disassemble(result.outlined[0].code, 0x145224))
+    patched = "\n".join(disassemble(result.rewritten[0].code, 0x138320))
+    emit(
+        "table2",
+        "Table 2: code outlining and patching example\n"
+        "// Code 1: original\n" + original +
+        "\n// Code 2: outlined function <" + result.outlined[0].name + ">\n" + outlined +
+        "\n// Code 4: patched caller\n" + patched,
+    )
+
+    assert result.stats.repeats_outlined == 1
+    first = disassemble(result.rewritten[0].code, 0x138320)[0]
+    assert first == "0x138320: cbz w0, #+0x8 (addr 0x138328)"

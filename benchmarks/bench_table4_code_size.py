@@ -1,0 +1,60 @@
+"""Table 4 — OAT text-segment size under the optimization stacks.
+
+Paper averages: CTO+LTBO 19.19%, +PlOpti 16.40%, +PlOpti+HfOpti 15.19%
+(and CTO alone 3.56%, quoted in §4.2 prose).  Expected shape: the same
+strict ordering — LTBO delivers the bulk, PlOpti gives back a little,
+HfOpti a little more, CTO alone is small.
+"""
+
+from __future__ import annotations
+
+from repro.reporting import format_bytes, format_table, pct, ratio_row
+
+from _bench_util import emit
+
+_CONFIGS = ("CTO", "CTO+LTBO", "CTO+LTBO+PlOpti", "CTO+LTBO+PlOpti+HfOpti")
+
+
+def test_table4_code_size(benchmark, suite, app_names):
+    def build_all():
+        sizes = {"baseline": {}}
+        for cfg in _CONFIGS:
+            sizes[cfg] = {}
+        for name in app_names:
+            sizes["baseline"][name] = float(suite.build(name, "baseline").text_size)
+            for cfg in _CONFIGS:
+                sizes[cfg][name] = float(suite.build(name, cfg).text_size)
+        return sizes
+
+    sizes = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    size_rows = [
+        [cfg] + [format_bytes(int(sizes[cfg][name])) for name in app_names] + ["/"]
+        for cfg in ("baseline",) + _CONFIGS
+    ]
+    ratio_rows = [ratio_row(cfg, sizes["baseline"], sizes[cfg]) for cfg in _CONFIGS]
+    emit(
+        "table4",
+        format_table(
+            ["", *app_names, "AVG"],
+            size_rows + ratio_rows,
+            title=(
+                "Table 4: OAT code size reduction "
+                "(paper avgs: CTO 3.56%, CTO+LTBO 19.19%, +PlOpti 16.40%, +HfOpti 15.19%)"
+            ),
+        ),
+    )
+
+    def avg(cfg: str) -> float:
+        return sum(
+            1 - sizes[cfg][n] / sizes["baseline"][n] for n in app_names
+        ) / len(app_names)
+
+    cto, ltbo, plopti, full = (avg(c) for c in _CONFIGS)
+    # Shape: strict ordering of the stacks.
+    assert 0.0 < cto < ltbo
+    assert full <= plopti <= ltbo
+    # Bands: CTO small (paper 3.56%), LTBO the bulk (paper 19.19%).
+    assert cto < 0.10
+    assert 0.10 < ltbo < 0.45
+    assert plopti > 0.05

@@ -1,0 +1,69 @@
+"""Technique shoot-out: ICF vs inlining vs Calibro outlining.
+
+    python examples/baseline_comparison.py [app-name] [scale]
+
+Runs one workload through the size-reduction techniques this repository
+implements — whole-function Identical Code Folding (the gold linker's
+Safe ICF, related work [34]), conservative small-method inlining
+(related work [10]) and Calibro's CTO+LTBO — alone and stacked, and
+prints the resulting text sizes.  The punchline is Observation 2: OAT
+redundancy is sub-method-sized, so the outliner dominates.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import fold_identical
+from repro.core import compile_stage, outline_stage
+from repro.reporting import format_table, pct
+from repro.workloads import app_spec, generate_app
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Kuaishou"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    app = generate_app(app_spec(name, scale))
+    print(f"app {name} @ scale {scale}: {len(app.dexfile.all_methods())} methods\n")
+
+    plain = compile_stage(app.dexfile, cto=False)
+    base = plain.text_size
+
+    variants: list[tuple[str, int]] = [("none (baseline)", base)]
+
+    icf, icf_stats = fold_identical(plain)
+    variants.append((f"ICF ({icf_stats.methods_removed} methods folded)", icf.text_size))
+
+    inlined = compile_stage(app.dexfile, cto=False, inline=True)
+    variants.append(
+        (f"inlining ({inlined.annotations['inlined_sites']} sites)", inlined.text_size)
+    )
+
+    cto = compile_stage(app.dexfile, cto=True)
+    variants.append(("CTO", cto.text_size))
+
+    ltbo = outline_stage(cto)
+    variants.append(("CTO + LTBO", ltbo.text_size))
+
+    stacked = outline_stage(fold_identical(cto)[0])
+    variants.append(("ICF + CTO + LTBO", stacked.text_size))
+
+    rows = [
+        [label, size, pct(1 - size / base)] for label, size in variants
+    ]
+    print(
+        format_table(
+            ["technique", "text bytes", "reduction"],
+            rows,
+            title="size-reduction techniques compared:",
+        )
+    )
+    print(
+        "\nWhole-function techniques barely move the needle because OAT\n"
+        "redundancy lives below method granularity (paper Observation 2);\n"
+        "the link-time outliner is where the savings are."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""OAT tooling tour: serialise, reload, disassemble, inspect side tables.
+
+    python examples/inspect_oat.py
+
+Shows the container-level machinery a Calibro adopter interacts with:
+the on-disk OAT form, per-method records, StackMaps surviving the
+outliner, the LTBO metadata a build collects, and a Table-2-style
+disassembly listing with resolved targets.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.compiler import dex2oat
+from repro.core import CalibroConfig, build_app, select_candidates
+from repro.isa import disassemble
+from repro.oat import OatFile
+from repro.workloads import app_spec, generate_app
+
+
+def main() -> None:
+    app = generate_app(app_spec("Toutiao", 0.12))
+    build = build_app(app.dexfile, CalibroConfig.cto_ltbo())
+
+    # -- serialise to disk and back -----------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "toutiao.oat"
+        path.write_bytes(build.oat.to_bytes())
+        print(f"wrote {path.name}: {path.stat().st_size} bytes on disk")
+        oat = OatFile.from_bytes(path.read_bytes())
+    print(
+        f"reloaded: text={oat.text_size}B data={oat.data_size}B "
+        f"methods={len(oat.methods)}\n"
+    )
+
+    # -- per-method records -----------------------------------------------
+    some = [r for r in oat.methods.values() if r.stackmaps and r.stackmaps.entries][:1]
+    record = some[0]
+    print(f"method {record.name}: offset={record.offset:#x} size={record.size} "
+          f"frame={record.frame_size}")
+    print(f"  stackmaps: {[(e.native_pc, e.kind) for e in record.stackmaps.entries]}")
+
+    # -- LTBO.1 metadata (from the pre-link build) ---------------------------
+    compiled = dex2oat(app.dexfile, cto=True)
+    selection = select_candidates(compiled.methods)
+    meta = selection.candidates[0][1].metadata
+    print(f"\nLTBO metadata for {meta.method_name}:")
+    print(f"  terminators at {[hex(t) for t in meta.terminators[:8]]}...")
+    print(f"  pc-relative refs: {len(meta.pc_relative)}")
+    print(f"  embedded data: {[(e.start, e.size) for e in meta.embedded_data]}")
+    print(f"  slowpaths: {[(s.start, s.end) for s in meta.slowpaths]}")
+    print(
+        f"  excluded populations: {len(selection.excluded_indirect)} indirect-jump, "
+        f"{len(selection.excluded_native)} native"
+    )
+
+    # -- disassembly with resolved addresses --------------------------------
+    name = next(n for n in oat.methods if n.startswith("MethodOutliner"))
+    base = oat.entry_address(name)
+    print(f"\n{name} @ {base:#x}:")
+    for line in disassemble(oat.method_code(name), base):
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

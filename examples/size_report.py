@@ -1,0 +1,96 @@
+"""Size report for a paper-style app: Tables 1 and 4 on one workload.
+
+    python examples/size_report.py [app-name] [scale]
+
+Generates one of the six evaluation apps (default: Wechat at scale 0.3),
+runs the Section 2.2 redundancy analysis and all four Calibro build
+configurations, and prints the redundancy estimate, the per-config text
+sizes, and the top outlined sequences with their benefit-model numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import estimate_redundancy, length_census
+from repro.compiler import dex2oat
+from repro.core import CalibroConfig, build_app
+from repro.core.benefit import BenefitModel
+from repro.profiling import profile_app
+from repro.reporting import ascii_bars, format_table, pct
+from repro.workloads import app_spec, generate_app
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Wechat"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    app = generate_app(app_spec(name, scale))
+    print(f"app {name} @ scale {scale}: {len(app.dexfile.all_methods())} methods\n")
+
+    # -- Table 1 / Figure 3: the §2.2 analysis -----------------------------
+    compiled = dex2oat(app.dexfile, cto=False)
+    report = estimate_redundancy(compiled.methods, name)
+    print(
+        f"estimated redundancy (Table 1 analysis): "
+        f"{pct(report.estimated_ratio)} of {report.total_instructions} instructions"
+    )
+    print(ascii_bars(length_census(report), width=40,
+                     title="\nlength vs repeats (Figure 3):"))
+
+    # -- Table 4: the build configurations -----------------------------------
+    baseline = build_app(app.dexfile, CalibroConfig.baseline())
+    profile = profile_app(
+        baseline.oat, app.dexfile, app.ui_script,
+        native_handlers=app.native_handlers,
+    ).cycles
+    rows = []
+    for config in (
+        CalibroConfig.baseline(),
+        CalibroConfig.cto(),
+        CalibroConfig.cto_ltbo(),
+        CalibroConfig.cto_ltbo_plopti(8),
+        CalibroConfig.full(profile, groups=8),
+    ):
+        build = build_app(app.dexfile, config)
+        reduction = 1 - build.text_size / baseline.text_size
+        rows.append(
+            [
+                config.name,
+                build.text_size,
+                pct(reduction),
+                build.ltbo.total_outlined_functions if build.ltbo else 0,
+                f"{build.build_seconds:.2f}s",
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["config", "text bytes", "reduction", "outlined fns", "build time"],
+            rows,
+            title="build configurations (Table 4 shape):",
+        )
+    )
+
+    # -- Top outlined sequences with their Figure 2 numbers ----------------
+    from repro.core import select_candidates
+    from repro.core.outline import outline_group
+
+    candidates = select_candidates(dex2oat(app.dexfile, cto=True).methods).candidates
+    result = outline_group(candidates)
+    top = sorted(result.decisions, key=lambda d: -(d.length * len(d.occurrences)))[:5]
+    rows = []
+    for d in top:
+        model = BenefitModel(length=d.length, repeats=len(d.occurrences))
+        rows.append([d.name, d.length, len(d.occurrences), model.saved_bytes])
+    print(
+        "\n"
+        + format_table(
+            ["outlined fn", "length", "repeats", "bytes saved"],
+            rows,
+            title="top outlined sequences (Figure 2 benefit model):",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

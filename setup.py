@@ -1,0 +1,9 @@
+"""Legacy installer shim for offline environments without the `wheel`
+package (where `pip install -e .` cannot build the PEP 660 editable
+wheel).  Configuration lives in pyproject.toml; this mirrors just the
+entry point so `python setup.py develop` installs the `calibro` script.
+"""
+
+from setuptools import setup
+
+setup(entry_points={"console_scripts": ["calibro = repro.cli:main"]})

@@ -1,0 +1,17 @@
+"""Calibro reproduction: compilation-assisted linking-time binary code
+outlining for code size reduction in Android applications (CGO 2025).
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the paper's contribution: CTO, LTBO metadata,
+  detection, outlining, patching, PlOpti, HfOpti and the end-to-end
+  pipeline.
+* :mod:`repro.isa`, :mod:`repro.dex`, :mod:`repro.hgraph`,
+  :mod:`repro.compiler`, :mod:`repro.oat`, :mod:`repro.runtime`,
+  :mod:`repro.suffixtree` — the substrates Calibro depends on, built
+  from scratch.
+* :mod:`repro.workloads`, :mod:`repro.analysis`, :mod:`repro.profiling`,
+  :mod:`repro.reporting` — the evaluation harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""Section 2.2 redundancy analysis (Table 1 / Figure 3) and the
+Observation-3 top-sequence ranking."""
+
+from repro.analysis.redundancy import RedundancyReport, estimate_redundancy, length_census
+from repro.analysis.top_sequences import SequenceReport, TopSequence, top_repeated_sequences
+
+__all__ = [
+    "RedundancyReport",
+    "SequenceReport",
+    "TopSequence",
+    "estimate_redundancy",
+    "length_census",
+    "top_repeated_sequences",
+]

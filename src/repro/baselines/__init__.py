@@ -1,0 +1,5 @@
+"""Baseline size-reduction techniques for comparison benches."""
+
+from repro.baselines.icf import IcfStats, fold_identical
+
+__all__ = ["IcfStats", "fold_identical"]

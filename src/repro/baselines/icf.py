@@ -1,0 +1,125 @@
+"""Identical Code Folding — the classic linker-level size baseline.
+
+Safe ICF (Tallam et al., the gold linker — the paper's related-work
+citation [34]) merges *whole functions* whose code is bit-identical.
+Calibro's pitch is that most OAT redundancy lives *below* method
+granularity (Observation 2: short repeated sequences), where ICF is
+blind; this module implements ICF so the benchmark harness can measure
+that gap directly.
+
+Folding rule (strict, safe): two methods fold when their code bytes
+*and* their relocation lists are identical — identical bytes with
+different relocation targets are different functions.  Callers of a
+folded method are redirected symbol-by-symbol (both direct calls and
+``artmethod:`` references), so behaviour is preserved exactly; the
+system oracle tests verify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.compiler.compiled import CompiledMethod
+from repro.compiler.package import CompilationPackage
+
+__all__ = ["IcfStats", "fold_identical"]
+
+
+@dataclass
+class IcfStats:
+    """Outcome of one ICF pass."""
+
+    groups_folded: int = 0
+    methods_removed: int = 0
+    bytes_saved: int = 0
+    #: removed-method name → surviving representative.
+    fold_map: dict[str, str] = field(default_factory=dict)
+
+
+def _fold_key(method: CompiledMethod) -> tuple:
+    return (
+        method.code,
+        tuple(method.relocations),
+        method.metadata.is_native if method.metadata else False,
+    )
+
+
+def _redirect_symbol(symbol: str, fold_map: dict[str, str]) -> str:
+    if symbol in fold_map:
+        return fold_map[symbol]
+    if symbol.startswith("artmethod:"):
+        target = symbol[len("artmethod:"):]
+        if target in fold_map:
+            return f"artmethod:{fold_map[target]}"
+    return symbol
+
+
+def fold_identical(package: CompilationPackage) -> tuple[CompilationPackage, IcfStats]:
+    """Fold bit-identical methods; returns the folded package and stats.
+
+    Iterates to a fixed point: folding can make *callers* identical
+    (they now reference the same representative), enabling further
+    folds — the transitive closure real ICF computes.
+    """
+    methods = list(package.methods)
+    stats = IcfStats()
+    while True:
+        groups: dict[tuple, list[CompiledMethod]] = {}
+        for method in methods:
+            groups.setdefault(_fold_key(method), []).append(method)
+        round_map: dict[str, str] = {}
+        for group in groups.values():
+            if len(group) < 2:
+                continue
+            representative = group[0]
+            for clone in group[1:]:
+                round_map[clone.name] = representative.name
+        if not round_map:
+            break
+        stats.groups_folded += sum(
+            1 for g in groups.values() if len(g) >= 2
+        )
+        stats.methods_removed += len(round_map)
+        stats.bytes_saved += sum(
+            m.size for m in methods if m.name in round_map
+        )
+        # Resolve chains (a->b where b also folded this round).
+        def resolve(name: str) -> str:
+            while name in round_map:
+                name = round_map[name]
+            return name
+
+        for clone, rep in list(round_map.items()):
+            stats.fold_map[clone] = resolve(rep)
+        survivors = []
+        for method in methods:
+            if method.name in round_map:
+                continue
+            new_relocs = [
+                replace(r, symbol=_redirect_symbol(r.symbol, stats.fold_map))
+                for r in method.relocations
+            ]
+            new_callees = tuple(
+                dict.fromkeys(
+                    stats.fold_map.get(c, c) for c in method.callees
+                )
+            )
+            survivors.append(
+                replace(method, relocations=new_relocs, callees=new_callees)
+            )
+        methods = survivors
+
+    annotations = dict(package.annotations)
+    annotations["icf"] = {
+        "methods_removed": stats.methods_removed,
+        "bytes_saved": stats.bytes_saved,
+    }
+    return (
+        CompilationPackage(
+            methods=methods,
+            string_table=package.string_table,
+            cto_enabled=package.cto_enabled,
+            annotations=annotations,
+        ),
+        stats,
+    )

@@ -1,0 +1,377 @@
+"""The ``calibro`` command line interface.
+
+Staged workflow (artifacts between every stage, like the real pipeline)::
+
+    calibro gen Wechat --scale 0.3 -o wechat.dex.json
+    calibro compile wechat.dex.json -o wechat.pkg --cto
+    calibro analyze wechat.pkg
+    calibro outline wechat.pkg -o wechat.out.pkg --groups 8
+    calibro link wechat.out.pkg -o wechat.oat
+    calibro disasm wechat.oat --method 'MethodOutliner$g0$0'
+    calibro run wechat.oat --entry 'LWechat/Main;->entry0' --args 20,7 \\
+        --workload Wechat --scale 0.3
+    calibro profile wechat.oat --workload Wechat --scale 0.3 -o profile.json
+    calibro build wechat.dex.json -o full.oat --groups 8 \\
+        --hot-profile profile.json
+
+One-shot ``build`` fuses compile/outline/link; ``gen``'s workloads are
+deterministic, so ``run``/``profile`` can regenerate the matching native
+handlers from ``--workload``/``--scale``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable
+
+from repro.compiler.package import CompilationPackage
+from repro.core.hotfilter import HotFunctionFilter
+from repro.core.staged import compile_stage, link_stage, outline_stage
+from repro.dex.serialize import load_dexfile, save_dexfile
+from repro.oat.oatfile import OatFile
+
+__all__ = ["main"]
+
+
+def _load_oat(path: str) -> OatFile:
+    with open(path, "rb") as fh:
+        return OatFile.from_bytes(fh.read())
+
+
+def _native_handlers(args) -> dict[str, Callable[[list[int]], int]]:
+    """Regenerate the deterministic native handlers for a workload."""
+    if not getattr(args, "workload", None):
+        return {}
+    from repro.workloads import app_spec, generate_app
+
+    app = generate_app(app_spec(args.workload, args.scale))
+    return app.native_handlers
+
+
+# -- commands ------------------------------------------------------------------
+
+
+def _cmd_gen(args) -> int:
+    from repro.workloads import app_spec, generate_app
+
+    app = generate_app(app_spec(args.app, args.scale))
+    save_dexfile(app.dexfile, args.output)
+    print(
+        f"generated {args.app} @ scale {args.scale}: "
+        f"{len(app.dexfile.all_methods())} methods -> {args.output}"
+    )
+    print(f"entry points: {', '.join(app.entry_points)}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    dexfile = load_dexfile(args.input)
+    package = compile_stage(dexfile, cto=not args.no_cto, inline=args.inline)
+    package.save(args.output)
+    print(
+        f"compiled {len(package.methods)} methods "
+        f"({'CTO on' if package.cto_enabled else 'CTO off'}), "
+        f"text {package.text_size} bytes -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_outline(args) -> int:
+    package = CompilationPackage.load(args.input)
+    hot_filter = None
+    if args.hot_profile:
+        with open(args.hot_profile, encoding="utf-8") as fh:
+            profile = json.load(fh)
+        hot_filter = HotFunctionFilter.from_profile(profile, coverage=args.coverage)
+    before = package.text_size
+    package = outline_stage(
+        package,
+        groups=args.groups,
+        hot_filter=hot_filter,
+        min_length=args.min_length,
+        min_saved=args.min_saved,
+        seed=args.seed,
+        rounds=args.rounds,
+    )
+    package.save(args.output)
+    info = package.annotations["outline"]
+    print(
+        f"outlined: {info['outlined_functions']} functions, "
+        f"{info['occurrences_replaced']} occurrences, "
+        f"text {before} -> {package.text_size} bytes "
+        f"({1 - package.text_size / before:.2%}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_link(args) -> int:
+    package = CompilationPackage.load(args.input)
+    oat = link_stage(package)
+    with open(args.output, "wb") as fh:
+        fh.write(oat.to_bytes())
+    print(
+        f"linked {len(oat.methods)} methods: text {oat.text_size}B "
+        f"data {oat.data_size}B -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    dexfile = load_dexfile(args.input)
+    package = compile_stage(dexfile, cto=not args.no_cto)
+    if not args.no_ltbo:
+        hot_filter = None
+        if args.hot_profile:
+            with open(args.hot_profile, encoding="utf-8") as fh:
+                hot_filter = HotFunctionFilter.from_profile(
+                    json.load(fh), coverage=args.coverage
+                )
+        package = outline_stage(package, groups=args.groups, hot_filter=hot_filter)
+    oat = link_stage(package)
+    with open(args.output, "wb") as fh:
+        fh.write(oat.to_bytes())
+    print(f"built {args.output}: text {oat.text_size}B, {len(oat.methods)} methods")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import estimate_redundancy, length_census
+    from repro.reporting import ascii_bars, pct
+
+    package = CompilationPackage.load(args.input)
+    report = estimate_redundancy(package.methods, args.input)
+    print(
+        f"{report.total_instructions} instructions; estimated outlining "
+        f"potential {pct(report.estimated_ratio)} "
+        f"({report.instructions_saved} instructions)"
+    )
+    print(ascii_bars(length_census(report), width=40, title="length vs repeats:"))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.isa import disassemble
+
+    oat = _load_oat(args.input)
+    names = [args.method] if args.method else sorted(oat.methods)
+    for name in names:
+        if name not in oat.methods:
+            print(f"no method {name!r}", file=sys.stderr)
+            return 1
+        base = oat.entry_address(name)
+        print(f"{name} @ {base:#x}:")
+        for line in disassemble(oat.method_code(name), base):
+            print(f"  {line}")
+        print()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.runtime import Emulator
+
+    oat = _load_oat(args.input)
+    call_args = [int(x) for x in args.args.split(",")] if args.args else []
+    emulator = Emulator(oat, native_handlers=_native_handlers(args) or None)
+    # The emulator needs the dex arity table for JNI dispatch; natives
+    # without a workload fall back to returning zero.
+    if args.workload:
+        from repro.workloads import app_spec, generate_app
+
+        app = generate_app(app_spec(args.workload, args.scale))
+        emulator = Emulator(oat, app.dexfile, native_handlers=app.native_handlers)
+    if args.trace:
+        from repro.isa import format_instruction
+
+        remaining = [args.trace]
+
+        def tracer(pc, instr):
+            if remaining[0] > 0:
+                print(f"  {format_instruction(instr, pc)}")
+                remaining[0] -= 1
+
+        emulator.tracer = tracer
+    result = emulator.call(args.entry, call_args)
+    if result.trap:
+        print(f"trapped: {result.trap} (after {result.steps} steps)")
+        return 2
+    print(f"{args.entry}({args.args or ''}) = {result.value}")
+    print(f"steps={result.steps} cycles={result.cycles}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.workloads import app_spec, generate_app, verify_app
+
+    app = generate_app(app_spec(args.workload, args.scale))
+    results = verify_app(app, method_sample=args.samples)
+    failed = False
+    for result in results:
+        status = "PASS" if result.ok else "FAIL"
+        print(f"{status} {result.config_name}: {result.calls_checked} calls checked")
+        for mismatch in result.mismatches[:5]:
+            print(f"   {mismatch}")
+            failed = True
+    return 1 if failed else 0
+
+
+def _cmd_oatdump(args) -> int:
+    from repro.reporting import format_bytes, format_table
+
+    oat = _load_oat(args.input)
+    print(f"OAT image: text {format_bytes(oat.text_size)} @ {oat.text_base:#x}, "
+          f"data {format_bytes(oat.data_size)} @ {oat.data_base:#x}, "
+          f"{len(oat.methods)} methods")
+    rows = []
+    for record in sorted(oat.methods.values(), key=lambda r: r.offset):
+        maps = len(record.stackmaps.entries) if record.stackmaps else 0
+        rows.append([
+            f"{oat.text_base + record.offset:#x}",
+            record.size,
+            record.frame_size,
+            maps,
+            record.name,
+        ])
+        if args.stackmaps and record.stackmaps:
+            for e in record.stackmaps.entries:
+                rows.append([
+                    "", "", "",
+                    f"pc+{e.native_pc:#x}",
+                    f"  [{e.kind}] dex_pc={e.dex_pc} live={e.live_vregs:#x}",
+                ])
+    print(format_table(["address", "size", "frame", "maps", "method"], rows))
+    return 0
+
+
+def _cmd_dexdump(args) -> int:
+    from repro.dex.pprint import format_dexfile
+
+    print(format_dexfile(load_dexfile(args.input, verify=False)))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.profiling import profile_app
+    from repro.workloads import app_spec, generate_app
+
+    oat = _load_oat(args.input)
+    app = generate_app(app_spec(args.workload, args.scale))
+    report = profile_app(
+        oat, app.dexfile, app.ui_script,
+        native_handlers=app.native_handlers, repetitions=args.repetitions,
+    )
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report.cycles, fh, indent=1)
+    print(f"profiled {len(report.cycles)} functions over "
+          f"{report.total_run_cycles} cycles -> {args.output}")
+    for name, cycles in report.top(args.top):
+        print(f"  {cycles:>12,}  {name}")
+    return 0
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="calibro",
+        description="Calibro (CGO 2025) reproduction: compilation-assisted "
+        "linking-time binary code outlining.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen", help="generate a synthetic workload app")
+    p.add_argument("app", help="one of the six paper apps (e.g. Wechat)")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_gen)
+
+    p = sub.add_parser("compile", help="dex2oat: dex json -> package (CTO + LTBO.1)")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--no-cto", action="store_true", help="disable compilation-time outlining")
+    p.add_argument("--inline", action="store_true", help="inline small static callees")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("outline", help="LTBO.2: outline a package")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--groups", type=int, default=1, help="PlOpti partitions (1 = global tree)")
+    p.add_argument("--min-length", type=int, default=2)
+    p.add_argument("--min-saved", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--hot-profile", help="JSON cycle profile for HfOpti")
+    p.add_argument("--coverage", type=float, default=0.80)
+    p.add_argument("--rounds", type=int, default=1,
+                   help="re-run the outliner over its own output N times")
+    p.set_defaults(fn=_cmd_outline)
+
+    p = sub.add_parser("link", help="linking phase: package -> OAT")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_link)
+
+    p = sub.add_parser("build", help="one-shot compile + outline + link")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--no-cto", action="store_true")
+    p.add_argument("--no-ltbo", action="store_true")
+    p.add_argument("--groups", type=int, default=1)
+    p.add_argument("--hot-profile")
+    p.add_argument("--coverage", type=float, default=0.80)
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser("analyze", help="§2.2 redundancy analysis of a package")
+    p.add_argument("input")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("disasm", help="disassemble a linked OAT")
+    p.add_argument("input")
+    p.add_argument("--method", help="single method (default: all)")
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("run", help="emulate a method from a linked OAT")
+    p.add_argument("input")
+    p.add_argument("--entry", required=True)
+    p.add_argument("--args", default="", help="comma-separated integers")
+    p.add_argument("--workload", help="workload name, to wire JNI handlers")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--trace", type=int, default=0, metavar="N",
+                   help="print the first N executed instructions")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("verify", help="differential oracle: interpreter vs emulated OAT")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--samples", type=int, default=40, help="extra random method probes")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("oatdump", help="dump OAT sections, method table, stackmaps")
+    p.add_argument("input")
+    p.add_argument("--stackmaps", action="store_true", help="include stackmap entries")
+    p.set_defaults(fn=_cmd_oatdump)
+
+    p = sub.add_parser("dexdump", help="pretty-print a dex json file")
+    p.add_argument("input")
+    p.set_defaults(fn=_cmd_dexdump)
+
+    p = sub.add_parser("profile", help="simpleperf substitute: profile a workload run")
+    p.add_argument("input")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--repetitions", type=int, default=1)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_profile)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

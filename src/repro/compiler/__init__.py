@@ -1,0 +1,23 @@
+"""dex2oat substrate: template code generation (with the CTO and LTBO.1
+hooks), StackMaps, JNI stubs and the compilation driver."""
+
+from repro.compiler.codegen import CodegenError, MethodCodegen, compile_graph, compile_jni_stub
+from repro.compiler.compiled import CompiledMethod, Relocation, RelocKind
+from repro.compiler.driver import Dex2OatResult, dex2oat
+from repro.compiler.package import CompilationPackage
+from repro.compiler.stackmap import StackMapEntry, StackMapTable
+
+__all__ = [
+    "CodegenError",
+    "CompilationPackage",
+    "CompiledMethod",
+    "Dex2OatResult",
+    "MethodCodegen",
+    "Relocation",
+    "RelocKind",
+    "StackMapEntry",
+    "StackMapTable",
+    "compile_graph",
+    "compile_jni_stub",
+    "dex2oat",
+]

@@ -1,0 +1,785 @@
+"""HGraph → A64 code generation with CTO and LTBO.1 hooks.
+
+This is the template-driven back end of the dex2oat substrate (paper
+Fig. 5: the stage after "opt passes").  It is intentionally a *simple*
+code generator — virtual registers get fixed homes (nine callee-saved
+registers, then stack slots) and every IR operation expands from a fixed
+template — because that is precisely the compiler the paper describes:
+"the code-size-oriented optimizations of Android's compilers are
+relatively weak, resulting in binary code with a considerable amount of
+... redundant code".  The redundancy Calibro removes is generated here,
+honestly.
+
+Calibro hooks:
+
+* **CTO** (Section 3.1): when a :class:`~repro.core.patterns.ThunkCache`
+  is supplied, the three ART pattern templates emit ``bl <thunk>``
+  instead of their 2-instruction bodies.
+* **LTBO.1** (Section 3.2): the assembler records, as a by-product of
+  emission, the embedded-data extents, PC-relative instructions with
+  targets, terminator offsets, indirect-jump/native flags and slowpath
+  extents into :class:`~repro.core.metadata.MethodMetadata`.
+
+Register conventions (see :mod:`repro.isa.registers`): ``x0`` callee
+ArtMethod + return value, ``x1..x6`` arguments, ``x9..x12`` scratch,
+``x16`` pattern scratch (IP0), ``x19`` thread, ``x20..x28`` virtual
+register homes, ``x29/x30`` frame/link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.compiled import CompiledMethod, Relocation, RelocKind
+from repro.compiler.stackmap import StackMapTable
+from repro.core import patterns
+from repro.core.metadata import DataExtent, MethodMetadata, PcRelativeRef, SlowpathExtent
+from repro.dex.method import DexMethod
+from repro.hgraph.ir import HGraph, HInstruction
+from repro.isa import asm
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+from repro.oat import layout
+
+__all__ = ["CodegenError", "MethodCodegen", "compile_graph", "compile_jni_stub"]
+
+#: Callee-saved homes for the first nine virtual registers.
+_REG_HOMES = (
+    regs.X20, regs.X21, regs.X22, regs.X23, regs.X24,
+    regs.X25, regs.X26, regs.X27, regs.X28,
+)
+#: Caller-saved scratch registers used inside one template.
+_SCRATCH = (regs.X9, regs.X10, regs.X11, regs.X12)
+
+_COND_OF_CMP = {
+    "eq": ins.Cond.EQ, "ne": ins.Cond.NE, "lt": ins.Cond.LT,
+    "le": ins.Cond.LE, "gt": ins.Cond.GT, "ge": ins.Cond.GE,
+}
+
+
+class CodegenError(ValueError):
+    """The method cannot be compiled (frame too large, etc.)."""
+
+
+class _Label:
+    __slots__ = ("entry",)
+
+    def __init__(self) -> None:
+        self.entry: int | None = None
+
+
+@dataclass
+class _Entry:
+    """One 4-byte (or data-sized) unit in the output stream."""
+
+    instr: ins.Instruction | None = None
+    data: bytes | None = None
+    #: Local branch/adr/literal fixup: ('b'|'bcond'|'cbz'|'cbnz'|'tbz'|'tbnz'|'adr', label, payload)
+    fixup: tuple | None = None
+    #: Relocation attached to this entry.
+    reloc: tuple | None = None  # (kind, symbol, addend) — or for local_abs64: (kind, label)
+    is_data: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.data) if self.data is not None else 4
+
+
+class MethodCodegen:
+    """Generates code for a single optimized HGraph."""
+
+    def __init__(
+        self,
+        graph: HGraph,
+        dexfile_method: DexMethod,
+        cto: patterns.ThunkCache | None = None,
+    ):
+        self._graph = graph
+        self._method = dexfile_method
+        self._cto = cto
+        self._entries: list[_Entry] = []
+        self._pool: list[tuple[int | None, str | None]] = []  # (value, reloc symbol)
+        self._pool_index: dict[tuple[int | None, str | None], int] = {}
+        self._pool_loads: list[tuple[int, int, int]] = []  # (entry idx, rt, pool slot)
+        self._block_labels: dict[int, _Label] = {}
+        self._epilogue = _Label()
+        self._slowpath_labels: dict[str, _Label] = {}
+        self._pool_entry_index: dict[int, int] = {}
+        # (entry idx, dex_pc, kind, live vreg mask)
+        self._stackmap_marks: list[tuple[int, int, str, int]] = []
+        #: Live vreg mask after the IR instruction currently being
+        #: lowered — what a safepoint at this position must preserve.
+        self._current_live_mask = 0
+        self._slowpath_marks: list[tuple[int, int]] = []  # (start entry, end entry)
+        self._has_indirect_jump = False
+        self._callees: list[str] = []
+        self._dex_pc = 0
+
+        # Home assignment: only virtual registers the method actually
+        # references get a home (register or spill slot), so the
+        # prologue/epilogue save exactly the callee-saved registers in
+        # use — as a real allocator would.
+        used: set[int] = set(range(graph.num_inputs))
+        for block in graph.blocks.values():
+            for instr in block.instructions:
+                used.update(instr.uses)
+                if instr.dst is not None:
+                    used.add(instr.dst)
+        ordered = sorted(used)
+        self._home_map: dict[int, int] = {}
+        self._spill_map: dict[int, int] = {}
+        for rank, vreg in enumerate(ordered):
+            if rank < len(_REG_HOMES):
+                self._home_map[vreg] = _REG_HOMES[rank]
+            else:
+                self._spill_map[vreg] = len(self._spill_map)
+        self._used_homes = [_REG_HOMES[i] for i in range(min(len(ordered), len(_REG_HOMES)))]
+        save_bytes = 8 * len(self._used_homes)
+        self._spill_base = 16 + save_bytes
+        frame = 16 + save_bytes + 8 * len(self._spill_map)
+        self._frame = (frame + 15) & ~15
+        if self._frame > 504:
+            raise CodegenError(
+                f"{graph.method_name}: frame {self._frame} exceeds the stp pre-index range"
+            )
+
+    # -- emission primitives -------------------------------------------------
+
+    def _emit(self, instr: ins.Instruction) -> int:
+        self._entries.append(_Entry(instr=instr))
+        return len(self._entries) - 1
+
+    def _emit_many(self, instructions: list[ins.Instruction]) -> None:
+        for i in instructions:
+            self._emit(i)
+
+    def _emit_fixup(self, kind: str, label: _Label, payload: tuple = ()) -> int:
+        self._entries.append(_Entry(fixup=(kind, label, payload)))
+        return len(self._entries) - 1
+
+    def _emit_reloc(self, instr: ins.Instruction, kind: str, symbol: str, addend: int = 0) -> int:
+        self._entries.append(_Entry(instr=instr, reloc=(kind, symbol, addend)))
+        return len(self._entries) - 1
+
+    def _emit_data(self, data: bytes, reloc: tuple | None = None) -> int:
+        self._entries.append(_Entry(data=data, reloc=reloc, is_data=True))
+        return len(self._entries) - 1
+
+    def _bind(self, label: _Label) -> None:
+        if label.entry is not None:
+            raise CodegenError("label bound twice")
+        label.entry = len(self._entries)
+
+    def _pool_slot(self, value: int | None, symbol: str | None = None) -> int:
+        key = (value, symbol)
+        if key not in self._pool_index:
+            self._pool_index[key] = len(self._pool)
+            self._pool.append(key)
+        return self._pool_index[key]
+
+    def _load_literal(self, rt: int, value: int | None, symbol: str | None = None) -> None:
+        slot = self._pool_slot(value, symbol)
+        self._entries.append(_Entry(fixup=("lit", None, (rt, slot))))
+
+    # -- virtual register access ----------------------------------------------
+
+    def _home(self, vreg: int) -> int | None:
+        """Register home, or None when the vreg lives on the stack."""
+        return self._home_map.get(vreg)
+
+    def _spill_offset(self, vreg: int) -> int:
+        return self._spill_base + 8 * self._spill_map[vreg]
+
+    def _read(self, vreg: int, scratch: int) -> int:
+        """Make the vreg's value available in a register; returns it."""
+        home = self._home(vreg)
+        if home is not None:
+            return home
+        self._emit(asm.ldr(scratch, regs.SP, self._spill_offset(vreg)))
+        return scratch
+
+    def _read_into(self, vreg: int, target: int) -> None:
+        """Force the value into ``target``."""
+        home = self._home(vreg)
+        if home is not None:
+            self._emit(asm.mov(target, home))
+        else:
+            self._emit(asm.ldr(target, regs.SP, self._spill_offset(vreg)))
+
+    def _dst_reg(self, vreg: int, scratch: int) -> int:
+        home = self._home(vreg)
+        return home if home is not None else scratch
+
+    def _commit(self, vreg: int, src: int) -> None:
+        home = self._home(vreg)
+        if home is None:
+            self._emit(asm.str_(src, regs.SP, self._spill_offset(vreg)))
+        elif home != src:
+            self._emit(asm.mov(home, src))
+
+    # -- ART patterns (CTO hook) ------------------------------------------------
+
+    def _java_call_tail(self, dex_pc: int) -> None:
+        if self._cto is not None:
+            symbol = self._cto.java_call()
+            self._emit_reloc(ins.Bl(offset=0), RelocKind.CALL26, symbol)
+            self._callees.append(symbol)
+        else:
+            self._emit_many(patterns.java_call_pattern())
+        self._stackmap_marks.append(
+            (len(self._entries), dex_pc, "call", self._current_live_mask)
+        )
+
+    def _runtime_call(self, entrypoint: str, dex_pc: int, kind: str = "call") -> None:
+        if self._cto is not None:
+            symbol = self._cto.runtime_call(entrypoint)
+            self._emit_reloc(ins.Bl(offset=0), RelocKind.CALL26, symbol)
+            self._callees.append(symbol)
+        else:
+            self._emit_many(patterns.runtime_call_pattern(entrypoint))
+        self._stackmap_marks.append(
+            (len(self._entries), dex_pc, kind, self._current_live_mask if kind == "call" else 0)
+        )
+
+    def _stack_check(self) -> None:
+        if self._cto is not None:
+            symbol = self._cto.stack_check()
+            self._emit_reloc(ins.Bl(offset=0), RelocKind.CALL26, symbol)
+            self._callees.append(symbol)
+        else:
+            self._emit_many(patterns.stack_check_pattern())
+
+    # -- slowpaths ---------------------------------------------------------------
+
+    def _slowpath(self, kind: str) -> _Label:
+        """Label of the shared per-kind slowpath, created on first use."""
+        if kind not in self._slowpath_labels:
+            self._slowpath_labels[kind] = _Label()
+        return self._slowpath_labels[kind]
+
+    def _null_check(self, obj_reg: int) -> None:
+        self._emit_fixup("cbz", self._slowpath("pThrowNullPointerException"), (obj_reg, True))
+
+    # -- main ---------------------------------------------------------------------
+
+    def _live_masks(self) -> dict[int, list[int]]:
+        """Per block, the live-vreg bitmask *after* each body instruction
+        — the values a safepoint there must keep alive (real StackMaps
+        carry exactly this for GC root enumeration)."""
+        from repro.hgraph.passes.dce import liveness
+
+        live_out = liveness(self._graph)
+        masks: dict[int, list[int]] = {}
+        for bid, block in self._graph.blocks.items():
+            live = set(live_out[bid])
+            term = block.terminator
+            live |= set(term.uses)
+            after: list[int] = []
+            for instr in reversed(block.body):
+                after.append(sum(1 << v for v in live))
+                if instr.dst is not None:
+                    live.discard(instr.dst)
+                live |= set(instr.uses)
+            masks[bid] = list(reversed(after))
+        return masks
+
+    def generate(self) -> CompiledMethod:
+        graph = self._graph
+        order = graph.block_order()
+        for bid in order:
+            self._block_labels[bid] = _Label()
+        live_masks = self._live_masks()
+
+        self._prologue()
+
+        for position, bid in enumerate(order):
+            block = graph.blocks[bid]
+            self._bind(self._block_labels[bid])
+            for index, instr in enumerate(block.body):
+                self._current_live_mask = live_masks[bid][index]
+                self._lower(instr)
+                self._dex_pc += 1
+            self._current_live_mask = 0
+            next_bid = order[position + 1] if position + 1 < len(order) else None
+            self._terminate(block.terminator, block.successors, next_bid)
+            self._dex_pc += 1
+
+        self._emit_epilogue()
+        self._emit_slowpaths()
+        self._emit_pool()
+        return self._finalize()
+
+    def _prologue(self) -> None:
+        self._emit(asm.stp_pre(regs.FP, regs.LR, regs.SP, -self._frame))
+        # ``mov x29, sp`` must be the add-immediate alias: register 31 is
+        # only SP in add/sub-immediate operands, not in ORR.
+        self._emit(ins.AddSubImm(op="add", rd=regs.FP, rn=regs.SP, imm12=0))
+        if not self._method.is_leaf:
+            self._stack_check()
+        # Save the callee-saved registers used as vreg homes.
+        homes = self._used_homes
+        for k in range(0, len(homes) - 1, 2):
+            self._emit(
+                ins.LoadStorePair(
+                    op="stp", rt=homes[k], rt2=homes[k + 1], rn=regs.SP, offset=16 + 8 * k
+                )
+            )
+        if len(homes) % 2:
+            k = len(homes) - 1
+            self._emit(asm.str_(homes[k], regs.SP, 16 + 8 * k))
+        # Move incoming arguments (x1..) into their vreg homes.
+        for i in range(self._graph.num_inputs):
+            self._commit(i, regs.X1 + i)
+
+    def _emit_epilogue(self) -> None:
+        self._bind(self._epilogue)
+        homes = self._used_homes
+        for k in range(0, len(homes) - 1, 2):
+            self._emit(
+                ins.LoadStorePair(
+                    op="ldp", rt=homes[k], rt2=homes[k + 1], rn=regs.SP, offset=16 + 8 * k
+                )
+            )
+        if len(homes) % 2:
+            k = len(homes) - 1
+            self._emit(asm.ldr(homes[k], regs.SP, 16 + 8 * k))
+        self._emit(asm.ldr_pair_post(regs.FP, regs.LR, regs.SP, self._frame))
+        self._emit(ins.Ret())
+
+    def _emit_slowpaths(self) -> None:
+        for kind, label in self._slowpath_labels.items():
+            start = len(self._entries)
+            self._bind(label)
+            self._runtime_call(kind, dex_pc=-1, kind="slowpath")
+            self._emit(ins.Brk(imm16=0x900))  # unreachable: throws never return
+            self._slowpath_marks.append((start, len(self._entries)))
+
+    def _emit_pool(self) -> None:
+        if not self._pool:
+            return
+        # 8-align the pool start with a data padding word if needed.
+        offset = sum(e.size for e in self._entries)
+        if offset % 8:
+            self._emit_data(b"\x00\x00\x00\x00")
+        self._pool_entry_index: dict[int, int] = {}
+        for slot, (value, symbol) in enumerate(self._pool):
+            if symbol is None:
+                assert value is not None
+                data = (value & ((1 << 64) - 1)).to_bytes(8, "little")
+                self._pool_entry_index[slot] = self._emit_data(data)
+            else:
+                self._pool_entry_index[slot] = self._emit_data(
+                    b"\x00" * 8, reloc=(RelocKind.ABS64, symbol, value or 0)
+                )
+
+    # -- IR lowering templates -------------------------------------------------
+
+    def _lower(self, instr: HInstruction) -> None:
+        kind = instr.kind
+        if kind == "const":
+            self._lower_const(instr.dst, instr.extra["value"])
+        elif kind == "const-string":
+            self._lower_const_string(instr.dst, instr.extra["string_idx"])
+        elif kind == "move":
+            src = self._read(instr.uses[0], _SCRATCH[0])
+            self._commit(instr.dst, src)
+        elif kind == "binop":
+            self._lower_binop(instr)
+        elif kind == "binop-lit":
+            self._lower_binop_lit(instr)
+        elif kind in ("invoke-static", "invoke-virtual"):
+            self._lower_invoke(instr)
+        elif kind == "new-instance":
+            self._emit_many(asm.mov_imm(regs.X0, instr.extra["class_idx"]))
+            self._emit_many(asm.mov_imm(regs.X1, instr.extra["num_fields"]))
+            self._runtime_call("pAllocObjectResolved", self._dex_pc)
+            self._commit(instr.dst, regs.X0)
+        elif kind == "new-array":
+            self._read_into(instr.uses[0], regs.X0)
+            self._runtime_call("pAllocArrayResolved", self._dex_pc)
+            self._commit(instr.dst, regs.X0)
+        elif kind == "array-length":
+            arr = self._read(instr.uses[0], _SCRATCH[0])
+            self._null_check(arr)
+            dst = self._dst_reg(instr.dst, _SCRATCH[1])
+            self._emit(asm.ldr(dst, arr, layout.ARRAY_LENGTH_OFFSET))
+            self._commit(instr.dst, dst)
+        elif kind == "iget":
+            obj = self._read(instr.uses[0], _SCRATCH[0])
+            self._null_check(obj)
+            dst = self._dst_reg(instr.dst, _SCRATCH[1])
+            self._emit(asm.ldr(dst, obj, self._field_offset(instr.extra["field_idx"])))
+            self._commit(instr.dst, dst)
+        elif kind == "iput":
+            src = self._read(instr.uses[0], _SCRATCH[0])
+            obj = self._read(instr.uses[1], _SCRATCH[1])
+            self._null_check(obj)
+            self._emit(asm.str_(src, obj, self._field_offset(instr.extra["field_idx"])))
+        elif kind == "aget":
+            addr = self._array_element_addr(instr.uses[0], instr.uses[1])
+            dst = self._dst_reg(instr.dst, _SCRATCH[0])
+            self._emit(asm.ldr(dst, addr, layout.ARRAY_HEADER_SIZE))
+            self._commit(instr.dst, dst)
+        elif kind == "aput":
+            addr = self._array_element_addr(instr.uses[1], instr.uses[2])
+            src = self._read(instr.uses[0], _SCRATCH[3])
+            self._emit(asm.str_(src, addr, layout.ARRAY_HEADER_SIZE))
+        else:  # pragma: no cover - exhaustive over IR kinds
+            raise NotImplementedError(kind)
+
+    def _field_offset(self, field_idx: int) -> int:
+        return layout.OBJECT_HEADER_SIZE + 8 * field_idx
+
+    def _array_element_addr(self, arr_vreg: int, idx_vreg: int) -> int:
+        """Null + bounds check, then compute ``arr + idx*8`` into a
+        scratch register (the element itself sits at ``+ARRAY_HEADER``).
+
+        The unsigned ``b.hs`` against the length catches negative indices
+        too (they become huge unsigned values) — the same trick ART uses.
+        """
+        arr = self._read(arr_vreg, _SCRATCH[0])
+        self._null_check(arr)
+        idx = self._read(idx_vreg, _SCRATCH[1])
+        self._emit(asm.ldr(_SCRATCH[2], arr, layout.ARRAY_LENGTH_OFFSET))
+        self._emit(asm.cmp_reg(idx, _SCRATCH[2]))
+        self._emit_fixup(
+            "bcond", self._slowpath("pThrowArrayIndexOutOfBounds"), (ins.Cond.HS,)
+        )
+        self._emit(ins.MoveWide(op="movz", rd=_SCRATCH[2], imm16=8))
+        self._emit(asm.mul(_SCRATCH[2], idx, _SCRATCH[2]))
+        self._emit(asm.add_reg(_SCRATCH[2], _SCRATCH[2], arr))
+        return _SCRATCH[2]
+
+    def _lower_const(self, dst: int, value: int) -> None:
+        reg = self._dst_reg(dst, _SCRATCH[0])
+        if 0 <= value < (1 << 16):
+            self._emit(ins.MoveWide(op="movz", rd=reg, imm16=value))
+        elif -(1 << 16) <= value < 0:
+            self._emit(ins.MoveWide(op="movn", rd=reg, imm16=~value & 0xFFFF))
+        elif 0 <= value < (1 << 32) and value & 0xFFFF == 0:
+            self._emit(ins.MoveWide(op="movz", rd=reg, imm16=value >> 16, hw=1))
+        else:
+            self._load_literal(reg, value)
+        self._commit(dst, reg)
+
+    def _lower_const_string(self, dst: int, string_idx: int) -> None:
+        reg = self._dst_reg(dst, _SCRATCH[0])
+        symbol = f"data:string:{string_idx}"
+        self._emit_reloc(ins.Adrp(rd=reg, page_offset=0), RelocKind.ADRP_PAGE21, symbol)
+        self._emit_reloc(
+            ins.AddSubImm(op="add", rd=reg, rn=reg, imm12=0), RelocKind.ADD_LO12, symbol
+        )
+        self._commit(dst, reg)
+
+    def _lower_binop(self, instr: HInstruction) -> None:
+        op = instr.extra["op"]
+        lhs = self._read(instr.uses[0], _SCRATCH[0])
+        rhs = self._read(instr.uses[1], _SCRATCH[1])
+        dst = self._dst_reg(instr.dst, _SCRATCH[2])
+        if op == "div":
+            self._emit_fixup("cbz", self._slowpath("pThrowDivZero"), (rhs, True))
+            self._emit(asm.sdiv(dst, lhs, rhs))
+        elif op in ("add", "sub"):
+            self._emit(ins.AddSubReg(op=op, rd=dst, rn=lhs, rm=rhs))
+        elif op == "mul":
+            self._emit(asm.mul(dst, lhs, rhs))
+        elif op in ("shl", "shr", "ushr"):
+            name = {"shl": "lsl", "shr": "asr", "ushr": "lsr"}[op]
+            self._emit(ins.ShiftVar(op=name, rd=dst, rn=lhs, rm=rhs))
+        elif op in ("min", "max"):
+            # The Math.min/max intrinsic lowering: cmp + csel.
+            cond = ins.Cond.LE if op == "min" else ins.Cond.GE
+            self._emit(asm.cmp_reg(lhs, rhs))
+            self._emit(ins.CSel(rd=dst, rn=lhs, rm=rhs, cond=cond))
+        else:  # and / or / xor
+            name = {"and": "and", "or": "orr", "xor": "eor"}[op]
+            self._emit(ins.LogicalReg(op=name, rd=dst, rn=lhs, rm=rhs))
+        self._commit(instr.dst, dst)
+
+    def _lower_binop_lit(self, instr: HInstruction) -> None:
+        op = instr.extra["op"]
+        literal = instr.extra["literal"]
+        lhs = self._read(instr.uses[0], _SCRATCH[0])
+        dst = self._dst_reg(instr.dst, _SCRATCH[2])
+        if op in ("add", "sub"):
+            self._emit(ins.AddSubImm(op=op, rd=dst, rn=lhs, imm12=literal))
+        else:
+            self._emit(ins.MoveWide(op="movz", rd=_SCRATCH[1], imm16=literal))
+            if op == "mul":
+                self._emit(asm.mul(dst, lhs, _SCRATCH[1]))
+            elif op == "div":
+                self._emit_fixup("cbz", self._slowpath("pThrowDivZero"), (_SCRATCH[1], True))
+                self._emit(asm.sdiv(dst, lhs, _SCRATCH[1]))
+            elif op in ("shl", "shr", "ushr"):
+                name = {"shl": "lsl", "shr": "asr", "ushr": "lsr"}[op]
+                self._emit(ins.ShiftVar(op=name, rd=dst, rn=lhs, rm=_SCRATCH[1]))
+            elif op in ("min", "max"):
+                cond = ins.Cond.LE if op == "min" else ins.Cond.GE
+                self._emit(asm.cmp_reg(lhs, _SCRATCH[1]))
+                self._emit(ins.CSel(rd=dst, rn=lhs, rm=_SCRATCH[1], cond=cond))
+            else:
+                name = {"and": "and", "or": "orr", "xor": "eor"}[op]
+                self._emit(ins.LogicalReg(op=name, rd=dst, rn=lhs, rm=_SCRATCH[1]))
+        self._commit(instr.dst, dst)
+
+    def _lower_invoke(self, instr: HInstruction) -> None:
+        callee = instr.extra["method"]
+        arg_vregs = instr.uses
+        if instr.kind == "invoke-virtual":
+            receiver = self._read(arg_vregs[0], _SCRATCH[0])
+            self._null_check(receiver)
+        # Marshal arguments into x1.. (sources live in callee-saved homes
+        # or the frame, so nothing here clobbers a pending argument).
+        for i, vreg in enumerate(arg_vregs):
+            self._read_into(vreg, regs.X1 + i)
+        # Load the callee ArtMethod* from the literal pool (bound at link).
+        self._load_literal(regs.X0, 0, symbol=f"artmethod:{callee}")
+        self._callees.append(callee)
+        self._java_call_tail(self._dex_pc)
+        if instr.dst is not None:
+            self._commit(instr.dst, regs.X0)
+
+    def _terminate(self, term: HInstruction, successors: list[int], next_bid: int | None) -> None:
+        kind = term.kind
+        if kind == "goto":
+            if successors[0] != next_bid:
+                self._emit_fixup("b", self._block_labels[successors[0]])
+            else:
+                # Fallthrough still ends the block: an explicit terminator
+                # is required for LTBO's separator map, as in real OAT
+                # code every block boundary is observable.  A fallthrough
+                # goto costs nothing after linking, so emit the branch.
+                self._emit_fixup("b", self._block_labels[successors[0]])
+        elif kind == "if":
+            taken, fallthrough = successors
+            self._lower_condition(term, self._block_labels[taken])
+            if fallthrough != next_bid:
+                self._emit_fixup("b", self._block_labels[fallthrough])
+        elif kind == "return":
+            self._read_into(term.uses[0], regs.X0)
+            self._emit_fixup("b", self._epilogue)
+        elif kind == "return-void":
+            self._emit(ins.MoveWide(op="movz", rd=regs.X0, imm16=0))
+            self._emit_fixup("b", self._epilogue)
+        elif kind == "switch":
+            self._lower_switch(term, successors)
+        else:  # pragma: no cover
+            raise NotImplementedError(kind)
+
+    def _lower_condition(self, term: HInstruction, taken: _Label) -> None:
+        cmp = term.extra["cmp"]
+        lhs = self._read(term.uses[0], _SCRATCH[0])
+        if term.extra.get("zero"):
+            if cmp == "eq":
+                self._emit_fixup("cbz", taken, (lhs, True))
+                return
+            if cmp == "ne":
+                self._emit_fixup("cbnz", taken, (lhs, True))
+                return
+            if cmp == "lt":
+                self._emit_fixup("tbnz", taken, (lhs, 63))
+                return
+            if cmp == "ge":
+                self._emit_fixup("tbz", taken, (lhs, 63))
+                return
+            self._emit(asm.cmp_imm(lhs, 0))
+        else:
+            rhs = self._read(term.uses[1], _SCRATCH[1])
+            self._emit(asm.cmp_reg(lhs, rhs))
+        self._emit_fixup("bcond", taken, (_COND_OF_CMP[cmp],))
+
+    def _lower_switch(self, term: HInstruction, successors: list[int]) -> None:
+        self._has_indirect_jump = True
+        first_key = term.extra["first_key"]
+        n_targets = len(term.extra["targets"])
+        default_label = self._block_labels[successors[-1]]
+        value = self._read(term.uses[0], _SCRATCH[0])
+        if first_key:
+            if 0 <= first_key < 4096:
+                self._emit(ins.AddSubImm(op="sub", rd=_SCRATCH[0], rn=value, imm12=first_key))
+            else:
+                self._load_literal(_SCRATCH[1], first_key)
+                self._emit(asm.sub_reg(_SCRATCH[0], value, _SCRATCH[1]))
+            value = _SCRATCH[0]
+        self._emit(asm.cmp_imm(value, n_targets))
+        self._emit_fixup("bcond", default_label, (ins.Cond.HS,))
+        table_label = _Label()
+        self._emit_fixup("adr", table_label, (_SCRATCH[1],))
+        self._emit(ins.MoveWide(op="movz", rd=_SCRATCH[2], imm16=8))
+        self._emit(asm.mul(_SCRATCH[2], value, _SCRATCH[2]))
+        self._emit(asm.add_reg(_SCRATCH[1], _SCRATCH[1], _SCRATCH[2]))
+        self._emit(asm.ldr(_SCRATCH[1], _SCRATCH[1], 0))
+        self._emit(ins.Br(rn=_SCRATCH[1]))
+        # Jump table: 8-byte absolute entries, relocated to local labels.
+        self._bind(table_label)
+        for succ in successors[:-1]:
+            self._emit_data(b"\x00" * 8, reloc=("local_label", self._block_labels[succ]))
+
+    # -- finalisation -------------------------------------------------------------
+
+    def _finalize(self) -> CompiledMethod:
+        offsets: list[int] = []
+        offset = 0
+        for entry in self._entries:
+            offsets.append(offset)
+            offset += entry.size
+        total = offset
+
+        def label_offset(label: _Label) -> int:
+            if label.entry is None:
+                raise CodegenError(f"{self._graph.method_name}: unbound label")
+            return offsets[label.entry] if label.entry < len(offsets) else total
+
+        code = bytearray()
+        pc_relative: list[PcRelativeRef] = []
+        terminators: list[int] = []
+        relocations: list[Relocation] = []
+        data_extents: list[DataExtent] = []
+
+        for idx, entry in enumerate(self._entries):
+            here = offsets[idx]
+            instr = entry.instr
+            if entry.fixup is not None:
+                kind, label, payload = entry.fixup
+                if kind == "lit":
+                    rt, slot = payload
+                    target = offsets[self._pool_entry_index[slot]]
+                    instr = ins.LoadLiteral(rt=rt, offset=target - here)
+                else:
+                    target = label_offset(label)
+                    delta = target - here
+                    if kind == "b":
+                        instr = ins.B(offset=delta)
+                    elif kind == "bcond":
+                        instr = ins.BCond(cond=payload[0], offset=delta)
+                    elif kind == "cbz":
+                        instr = ins.Cbz(rt=payload[0], offset=delta, sf=payload[1])
+                    elif kind == "cbnz":
+                        instr = ins.Cbnz(rt=payload[0], offset=delta, sf=payload[1])
+                    elif kind == "tbz":
+                        instr = ins.Tbz(rt=payload[0], bit=payload[1], offset=delta)
+                    elif kind == "tbnz":
+                        instr = ins.Tbnz(rt=payload[0], bit=payload[1], offset=delta)
+                    elif kind == "adr":
+                        instr = ins.Adr(rd=payload[0], offset=delta)
+                    else:  # pragma: no cover
+                        raise NotImplementedError(kind)
+                pc_relative.append(PcRelativeRef(offset=here, target=here + instr.target_offset))
+            if entry.is_data:
+                code += entry.data
+                data_extents.append(DataExtent(start=here, size=len(entry.data)))
+                if entry.reloc is not None:
+                    if entry.reloc[0] == "local_label":
+                        relocations.append(
+                            Relocation(
+                                offset=here,
+                                kind=RelocKind.LOCAL_ABS64,
+                                symbol=self._graph.method_name,
+                                addend=label_offset(entry.reloc[1]),
+                            )
+                        )
+                    else:
+                        kind, symbol, addend = entry.reloc
+                        relocations.append(
+                            Relocation(offset=here, kind=kind, symbol=symbol, addend=addend)
+                        )
+                continue
+            assert instr is not None
+            if entry.reloc is not None:
+                kind, symbol, addend = entry.reloc
+                relocations.append(Relocation(offset=here, kind=kind, symbol=symbol, addend=addend))
+            if instr.is_terminator:
+                terminators.append(here)
+            code += instr.encode_bytes()
+
+        # Coalesce adjacent data extents (pool padding + slots, tables).
+        merged: list[DataExtent] = []
+        for extent in sorted(data_extents, key=lambda e: e.start):
+            if merged and merged[-1].end == extent.start:
+                merged[-1] = DataExtent(start=merged[-1].start, size=merged[-1].size + extent.size)
+            else:
+                merged.append(extent)
+
+        stackmaps = StackMapTable(method_name=self._graph.method_name)
+        for entry_idx, dex_pc, kind, live_mask in self._stackmap_marks:
+            native_pc = offsets[entry_idx] if entry_idx < len(offsets) else total
+            stackmaps.add(
+                native_pc=native_pc, dex_pc=dex_pc, kind=kind, live_vregs=live_mask
+            )
+
+        slowpaths = [
+            SlowpathExtent(start=offsets[s], end=offsets[e] if e < len(offsets) else total)
+            for s, e in self._slowpath_marks
+        ]
+
+        metadata = MethodMetadata(
+            method_name=self._graph.method_name,
+            code_size=len(code),
+            embedded_data=merged,
+            pc_relative=pc_relative,
+            terminators=terminators,
+            has_indirect_jump=self._has_indirect_jump,
+            is_native=False,
+            slowpaths=slowpaths,
+        )
+        return CompiledMethod(
+            name=self._graph.method_name,
+            code=bytes(code),
+            relocations=relocations,
+            metadata=metadata,
+            stackmaps=stackmaps,
+            frame_size=self._frame,
+            callees=tuple(dict.fromkeys(self._callees)),
+        )
+
+
+def compile_graph(
+    graph: HGraph, method: DexMethod, cto: patterns.ThunkCache | None = None
+) -> CompiledMethod:
+    """Compile one optimized HGraph to a relocatable method blob."""
+    return MethodCodegen(graph, method, cto).generate()
+
+
+def compile_jni_stub(
+    method: DexMethod, method_id: int, cto: patterns.ThunkCache | None = None
+) -> CompiledMethod:
+    """Emit the JNI transition stub for a native method.
+
+    The stub pushes a frame, identifies itself to the runtime (method id
+    in ``x17``) and transfers to the ``pJniBridge`` entrypoint, which
+    dispatches the registered native implementation.  Flagged
+    ``is_native`` so LTBO never touches it (paper Section 3.2).
+    """
+    asm_entries: list[ins.Instruction] = []
+    relocations: list[Relocation] = []
+    callees: list[str] = []
+    asm_entries.append(asm.stp_pre(regs.FP, regs.LR, regs.SP, -16))
+    asm_entries.append(ins.AddSubImm(op="add", rd=regs.FP, rn=regs.SP, imm12=0))
+    asm_entries.extend(asm.mov_imm(regs.X17, method_id))
+    offset = 4 * len(asm_entries)
+    if cto is not None:
+        symbol = cto.runtime_call("pJniBridge")
+        asm_entries.append(ins.Bl(offset=0))
+        relocations.append(Relocation(offset=offset, kind=RelocKind.CALL26, symbol=symbol))
+        callees.append(symbol)
+    else:
+        asm_entries.extend(patterns.runtime_call_pattern("pJniBridge"))
+    asm_entries.append(asm.ldr_pair_post(regs.FP, regs.LR, regs.SP, 16))
+    asm_entries.append(ins.Ret())
+    code = b"".join(i.encode_bytes() for i in asm_entries)
+    stackmaps = StackMapTable(method_name=method.name)
+    metadata = MethodMetadata(
+        method_name=method.name,
+        code_size=len(code),
+        terminators=[len(code) - 4],
+        is_native=True,
+    )
+    return CompiledMethod(
+        name=method.name,
+        code=code,
+        relocations=relocations,
+        metadata=metadata,
+        stackmaps=stackmaps,
+        frame_size=16,
+        callees=tuple(callees),
+    )

@@ -1,0 +1,166 @@
+"""The compilation package: the CTO → LTBO → linker handoff artifact.
+
+In production Calibro, DEX2OAT writes compiled methods plus the LTBO.1
+side-band metadata, the link-time outliner rewrites that intermediate
+product, and the linking phase consumes the result (paper Fig. 5).  The
+:class:`CompilationPackage` is that intermediate product as a real file
+format: every :class:`~repro.compiler.compiled.CompiledMethod` with its
+relocations, LTBO metadata and StackMaps, plus the string table the
+linker lays out.  It is what the CLI's ``compile``/``outline``/``link``
+stages pass between separate processes.
+
+Format: a JSON side-table (metadata, relocations, stackmaps, per-method
+sizes) followed by the concatenated raw code blobs.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+from repro.compiler.compiled import CompiledMethod, Relocation
+from repro.compiler.stackmap import StackMapEntry, StackMapTable
+from repro.core.metadata import DataExtent, MethodMetadata, PcRelativeRef, SlowpathExtent
+
+__all__ = ["CompilationPackage"]
+
+_MAGIC = b"RPKG\x01\x00"
+
+
+def _metadata_to_json(meta: MethodMetadata | None) -> dict | None:
+    if meta is None:
+        return None
+    return {
+        "code_size": meta.code_size,
+        "embedded_data": [[e.start, e.size] for e in meta.embedded_data],
+        "pc_relative": [[r.offset, r.target] for r in meta.pc_relative],
+        "terminators": list(meta.terminators),
+        "has_indirect_jump": meta.has_indirect_jump,
+        "is_native": meta.is_native,
+        "slowpaths": [[s.start, s.end] for s in meta.slowpaths],
+    }
+
+
+def _metadata_from_json(name: str, data: dict | None) -> MethodMetadata | None:
+    if data is None:
+        return None
+    return MethodMetadata(
+        method_name=name,
+        code_size=data["code_size"],
+        embedded_data=[DataExtent(start=s, size=z) for s, z in data["embedded_data"]],
+        pc_relative=[PcRelativeRef(offset=o, target=t) for o, t in data["pc_relative"]],
+        terminators=list(data["terminators"]),
+        has_indirect_jump=data["has_indirect_jump"],
+        is_native=data["is_native"],
+        slowpaths=[SlowpathExtent(start=s, end=e) for s, e in data["slowpaths"]],
+    )
+
+
+@dataclass
+class CompilationPackage:
+    """A pre-link bundle of compiled methods."""
+
+    methods: list[CompiledMethod] = field(default_factory=list)
+    string_table: list[str] = field(default_factory=list)
+    cto_enabled: bool = False
+    #: Free-form provenance (workload name, config, outliner stats ...).
+    annotations: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def text_size(self) -> int:
+        return sum(m.size for m in self.methods)
+
+    def method(self, name: str) -> CompiledMethod:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        table = {
+            "cto_enabled": self.cto_enabled,
+            "string_table": self.string_table,
+            "annotations": self.annotations,
+            "methods": [
+                {
+                    "name": m.name,
+                    "size": m.size,
+                    "frame_size": m.frame_size,
+                    "callees": list(m.callees),
+                    "relocations": [
+                        [r.offset, r.kind, r.symbol, r.addend] for r in m.relocations
+                    ],
+                    "metadata": _metadata_to_json(m.metadata),
+                    "stackmaps": (
+                        [
+                            [e.native_pc, e.dex_pc, e.live_vregs, e.kind]
+                            for e in m.stackmaps.entries
+                        ]
+                        if m.stackmaps is not None
+                        else None
+                    ),
+                }
+                for m in self.methods
+            ],
+        }
+        blob = json.dumps(table, separators=(",", ":")).encode()
+        code = b"".join(m.code for m in self.methods)
+        return _MAGIC + struct.pack("<QQ", len(blob), len(code)) + blob + code
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "CompilationPackage":
+        if raw[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not a compilation package (bad magic)")
+        off = len(_MAGIC)
+        table_len, code_len = struct.unpack_from("<QQ", raw, off)
+        off += 16
+        table = json.loads(raw[off : off + table_len])
+        off += table_len
+        code = raw[off : off + code_len]
+        methods = []
+        cursor = 0
+        for m in table["methods"]:
+            body = code[cursor : cursor + m["size"]]
+            cursor += m["size"]
+            stackmaps = None
+            if m["stackmaps"] is not None:
+                stackmaps = StackMapTable(method_name=m["name"])
+                for native_pc, dex_pc, live, kind in m["stackmaps"]:
+                    stackmaps.entries.append(
+                        StackMapEntry(
+                            native_pc=native_pc, dex_pc=dex_pc,
+                            live_vregs=live, kind=kind,
+                        )
+                    )
+            methods.append(
+                CompiledMethod(
+                    name=m["name"],
+                    code=body,
+                    relocations=[
+                        Relocation(offset=o, kind=k, symbol=s, addend=a)
+                        for o, k, s, a in m["relocations"]
+                    ],
+                    metadata=_metadata_from_json(m["name"], m["metadata"]),
+                    stackmaps=stackmaps,
+                    frame_size=m["frame_size"],
+                    callees=tuple(m["callees"]),
+                )
+            )
+        return cls(
+            methods=methods,
+            string_table=list(table["string_table"]),
+            cto_enabled=table["cto_enabled"],
+            annotations=dict(table["annotations"]),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as fh:
+            fh.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: str) -> "CompilationPackage":
+        with open(path, "rb") as fh:
+            return cls.from_bytes(fh.read())

@@ -1,0 +1,64 @@
+"""StackMap generation and maintenance.
+
+Paper Section 3.5: StackMap is the ART side table mapping native PCs
+back to dex PCs (for stack walking, GC and exception delivery), and
+*"any binary code level optimization should ensure the consistency
+between the binary code and the stackmap by updating it
+correspondingly."*
+
+Our StackMap records one entry per safepoint — the native PC *after*
+each call instruction (ART convention: the return address identifies
+the map) with its dex PC and the live virtual-register mask.  The
+outliner carries tables through rewrites with the same total offset map
+used for PC-relative patching, and the post-link checker in
+:mod:`repro.oat.linker` verifies every entry still lands right after a
+call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["StackMapEntry", "StackMapTable"]
+
+
+@dataclass(frozen=True)
+class StackMapEntry:
+    """One safepoint: ``native_pc`` is the offset of the instruction
+    *after* the call; ``dex_pc`` the bytecode index; ``live_vregs`` a
+    bitmask of virtual registers live across the call."""
+
+    native_pc: int
+    dex_pc: int
+    live_vregs: int = 0
+    kind: str = "call"  # 'call' | 'slowpath'
+
+
+@dataclass
+class StackMapTable:
+    """Per-method safepoint table."""
+
+    method_name: str
+    entries: list[StackMapEntry] = field(default_factory=list)
+
+    def add(self, native_pc: int, dex_pc: int, live_vregs: int = 0, kind: str = "call") -> None:
+        self.entries.append(
+            StackMapEntry(native_pc=native_pc, dex_pc=dex_pc, live_vregs=live_vregs, kind=kind)
+        )
+
+    def remapped(self, offset_map: dict[int, int]) -> "StackMapTable":
+        """Apply the outliner's total offset map.
+
+        Safepoints follow call instructions and calls are never inside
+        outlined regions, so every native PC remaps exactly.
+        """
+        return StackMapTable(
+            method_name=self.method_name,
+            entries=[replace(e, native_pc=offset_map[e.native_pc]) for e in self.entries],
+        )
+
+    def lookup(self, native_pc: int) -> StackMapEntry | None:
+        for entry in self.entries:
+            if entry.native_pc == native_pc:
+                return entry
+        return None

@@ -1,0 +1,81 @@
+"""The code-size benefit model (paper Figure 2).
+
+For a repetitive sequence of ``Length`` instructions appearing
+``RepeatedTimes`` times::
+
+    OriginalSize   = Length * RepeatedTimes
+    OptimizedSize  = RepeatedTimes + 1 + Length
+    ReductionRatio = (OriginalSize - OptimizedSize) / OriginalSize
+
+``OptimizedSize`` counts one call per occurrence, the single reserved
+copy, and the extra return instruction ("+1", the ``br x30`` of the
+outlined function).  Sizes are in instructions (4 bytes each on A64).
+
+The same model drives three decisions in the paper: estimating the
+app-level redundancy (Table 1), deciding whether a repeat is worth
+outlining, and choosing among overlapping repeats (Section 3.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BenefitModel", "estimate_reduction_ratio", "evaluate"]
+
+
+@dataclass(frozen=True)
+class BenefitModel:
+    """Benefit of outlining one repeated sequence."""
+
+    length: int
+    repeats: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+    @property
+    def original_size(self) -> int:
+        return self.length * self.repeats
+
+    @property
+    def optimized_size(self) -> int:
+        return self.repeats + 1 + self.length
+
+    @property
+    def saved(self) -> int:
+        """Instructions saved; negative when outlining would grow code."""
+        return self.original_size - self.optimized_size
+
+    @property
+    def saved_bytes(self) -> int:
+        return 4 * self.saved
+
+    @property
+    def reduction_ratio(self) -> float:
+        return self.saved / self.original_size
+
+    def profitable(self, min_saved: int = 1) -> bool:
+        return self.saved >= min_saved
+
+
+def evaluate(length: int, repeats: int) -> int:
+    """Instructions saved by outlining (may be negative)."""
+    return length * repeats - (repeats + 1 + length)
+
+
+def estimate_reduction_ratio(
+    repeats: list[tuple[int, int]], total_instructions: int
+) -> float:
+    """Whole-app reduction estimate (paper Section 2.2, step 4).
+
+    ``repeats`` holds ``(length, count)`` pairs of *non-overlapping
+    claimed* repeats; the ratio is total instructions saved over the
+    whole code size.
+    """
+    if total_instructions <= 0:
+        raise ValueError("total_instructions must be positive")
+    saved = sum(max(0, evaluate(length, count)) for length, count in repeats)
+    return saved / total_instructions

@@ -1,0 +1,48 @@
+"""LTBO.2 step 1 — choosing candidate methods to outline (paper §3.3.1).
+
+"The methods with indirect jump instructions and the Java native methods
+can be recognized using the information collected during
+compilation-time, and should be excluded from the outlining
+optimization.  The remaining methods constitute the candidate methods."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.compiled import CompiledMethod
+
+__all__ = ["CandidateSelection", "select_candidates"]
+
+
+@dataclass
+class CandidateSelection:
+    """Partition of the method list into candidates and excluded methods."""
+
+    candidates: list[tuple[int, CompiledMethod]]
+    excluded_indirect: list[str]
+    excluded_native: list[str]
+    excluded_no_metadata: list[str]
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidates)
+
+
+def select_candidates(methods: list[CompiledMethod]) -> CandidateSelection:
+    """Split methods by the §3.3.1 rules, preserving indices into the
+    original list (the outliner rewrites in place by index)."""
+    selection = CandidateSelection(
+        candidates=[], excluded_indirect=[], excluded_native=[], excluded_no_metadata=[]
+    )
+    for index, method in enumerate(methods):
+        meta = method.metadata
+        if meta is None:
+            selection.excluded_no_metadata.append(method.name)
+        elif meta.is_native:
+            selection.excluded_native.append(method.name)
+        elif meta.has_indirect_jump:
+            selection.excluded_indirect.append(method.name)
+        else:
+            selection.candidates.append((index, method))
+    return selection

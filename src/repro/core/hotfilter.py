@@ -1,0 +1,65 @@
+"""HfOpti — hot function filtering (paper §3.4.2).
+
+"It collects the runtime data for each application using simpleperf ...
+the code outlining will be applied only to cold methods and slowpath of
+hot functions.  In evaluation, we sort the functions by their execution
+time and choose the set of top functions that account for 80% of the
+total execution time as hot functions to be filtered."
+
+The profile here comes from :meth:`repro.runtime.emulator.Emulator.profile`
+(the simpleperf substitute — flat per-PC cycle attribution).  The filter
+output feeds :func:`repro.core.detect.map_group`, which masks hot
+methods down to their slowpath extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HotFunctionFilter"]
+
+#: The paper's coverage threshold.
+DEFAULT_COVERAGE = 0.80
+
+
+@dataclass(frozen=True)
+class HotFunctionFilter:
+    """The set of methods whose non-slowpath code must not be outlined."""
+
+    hot_names: frozenset[str] = frozenset()
+    coverage: float = DEFAULT_COVERAGE
+    total_cycles: int = 0
+    covered_cycles: int = 0
+
+    @classmethod
+    def from_profile(
+        cls, profile: dict[str, int], coverage: float = DEFAULT_COVERAGE
+    ) -> "HotFunctionFilter":
+        """Select the smallest prefix of methods (by descending cycle
+        count) whose cumulative share reaches ``coverage``."""
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError("coverage must be in [0, 1]")
+        total = sum(profile.values())
+        if total == 0 or coverage == 0.0:
+            return cls(hot_names=frozenset(), coverage=coverage, total_cycles=total)
+        ranked = sorted(profile.items(), key=lambda kv: (-kv[1], kv[0]))
+        target = coverage * total
+        hot: list[str] = []
+        covered = 0
+        for name, cycles in ranked:
+            if covered >= target:
+                break
+            hot.append(name)
+            covered += cycles
+        return cls(
+            hot_names=frozenset(hot),
+            coverage=coverage,
+            total_cycles=total,
+            covered_cycles=covered,
+        )
+
+    def is_hot(self, method_name: str) -> bool:
+        return method_name in self.hot_names
+
+    def __len__(self) -> int:
+        return len(self.hot_names)

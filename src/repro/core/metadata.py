@@ -1,0 +1,122 @@
+"""LTBO.1 — the per-method metadata collected at compilation time.
+
+Paper Section 3.2: binary-level outlining is fragile because embedded
+data can be mis-disassembled and indirect-jump targets cannot be
+recovered.  Calibro therefore records, while the compiler still *knows*
+the answers, everything the link-time pass needs:
+
+* embedded data extents (literal pools, jump tables),
+* PC-relative instructions with their targets,
+* terminator offsets (basic-block separators),
+* an indirect-jump flag (the method is not outlinable),
+* a Java-native flag (ditto),
+* slowpath extents (outlinable even inside hot methods — HfOpti).
+
+All offsets are method-local byte offsets into the method's code blob —
+they survive linking because LTBO runs before label binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["DataExtent", "MethodMetadata", "PcRelativeRef", "SlowpathExtent"]
+
+
+@dataclass(frozen=True)
+class DataExtent:
+    """A byte range of non-instruction data embedded in the code
+    (``[start, start + size)``)."""
+
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, offset: int) -> bool:
+        return self.start <= offset < self.end
+
+
+@dataclass(frozen=True)
+class PcRelativeRef:
+    """One PC-relative instruction and its method-local target.
+
+    ``offset`` is the instruction's own offset, ``target`` the byte
+    offset it refers to.  Cross-method references (``bl``, ``adrp`` into
+    the data segment) are *not* recorded here — those stay symbolic as
+    relocations and are bound after outlining, exactly as the paper
+    argues call instructions need no patching.
+    """
+
+    offset: int
+    target: int
+
+
+@dataclass(frozen=True)
+class SlowpathExtent:
+    """A byte range holding slowpath code (cold by construction)."""
+
+    start: int
+    end: int
+
+    def contains(self, offset: int) -> bool:
+        return self.start <= offset < self.end
+
+
+@dataclass
+class MethodMetadata:
+    """Everything LTBO.2 needs to outline one method safely."""
+
+    method_name: str
+    code_size: int = 0
+    embedded_data: list[DataExtent] = field(default_factory=list)
+    pc_relative: list[PcRelativeRef] = field(default_factory=list)
+    terminators: list[int] = field(default_factory=list)
+    has_indirect_jump: bool = False
+    is_native: bool = False
+    slowpaths: list[SlowpathExtent] = field(default_factory=list)
+
+    @property
+    def outlining_candidate(self) -> bool:
+        """Paper Section 3.3.1: exclude indirect jumps and JNI natives."""
+        return not (self.has_indirect_jump or self.is_native)
+
+    def in_embedded_data(self, offset: int) -> bool:
+        return any(extent.contains(offset) for extent in self.embedded_data)
+
+    def in_slowpath(self, offset: int) -> bool:
+        return any(extent.contains(offset) for extent in self.slowpaths)
+
+    def remapped(self, offset_map: dict[int, int], new_size: int) -> "MethodMetadata":
+        """Carry the metadata through an outlining rewrite.
+
+        ``offset_map`` is the *total* old-offset → new-offset map built
+        by the outliner (every old word offset plus the end sentinel is
+        present; interiors of outlined-away regions map to the point
+        just after the replacing call).  PC-relative instructions,
+        terminators and data extents are never themselves outlined, so
+        every offset recorded here remaps exactly.
+        """
+
+        def m(off: int) -> int:
+            return offset_map[off]
+
+        return MethodMetadata(
+            method_name=self.method_name,
+            code_size=new_size,
+            embedded_data=[
+                replace(e, start=m(e.start)) for e in self.embedded_data
+            ],
+            pc_relative=[
+                PcRelativeRef(offset=m(r.offset), target=m(r.target))
+                for r in self.pc_relative
+            ],
+            terminators=[m(t) for t in self.terminators],
+            has_indirect_jump=self.has_indirect_jump,
+            is_native=self.is_native,
+            slowpaths=[
+                SlowpathExtent(start=m(s.start), end=m(s.end)) for s in self.slowpaths
+            ],
+        )

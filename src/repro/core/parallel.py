@@ -1,0 +1,98 @@
+"""PlOpti — the paralleled suffix tree optimization (paper §3.4.1).
+
+"Firstly, we simply partition the candidate methods into K groups evenly
+in terms of method numbers ... a simple and random partition instead of
+clustering ... Secondly, we build a suffix tree for each group in
+parallel.  Thirdly, we detect repetitive code sequences, outline the
+binary code and patch PC-relative addressing instructions per suffix
+tree in parallel."
+
+The trade-off the paper measures: build time drops sharply (Table 6,
++489.5% → +70.8%) while reduction shrinks a little (Table 4, 19.19% →
+16.40%) because repeats shared *across* groups are found independently
+per group — each group pays for its own copy of the outlined function,
+and repeats whose occurrences are split between groups may fall under
+the benefit threshold in both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.compiled import CompiledMethod
+from repro.core.outline import (
+    DEFAULT_MAX_LENGTH,
+    DEFAULT_MIN_LENGTH,
+    DEFAULT_MIN_SAVED,
+    GroupOutlineResult,
+    OutlineStats,
+    outline_group,
+)
+from repro.suffixtree.parallel import map_over_groups, partition_evenly
+
+__all__ = ["ParallelOutlineResult", "outline_partitioned"]
+
+
+@dataclass
+class ParallelOutlineResult:
+    """Combined result across all K groups."""
+
+    rewritten: dict[int, CompiledMethod]
+    outlined: list[CompiledMethod]
+    group_stats: list[OutlineStats] = field(default_factory=list)
+
+    @property
+    def total_occurrences(self) -> int:
+        return sum(s.occurrences_replaced for s in self.group_stats)
+
+    @property
+    def total_outlined_functions(self) -> int:
+        return sum(s.repeats_outlined for s in self.group_stats)
+
+
+def _worker(payload: tuple) -> GroupOutlineResult:
+    candidates, hot_names, min_length, max_length, min_saved, prefix = payload
+    return outline_group(
+        candidates,
+        hot_names=hot_names,
+        min_length=min_length,
+        max_length=max_length,
+        min_saved=min_saved,
+        symbol_prefix=prefix,
+    )
+
+
+def outline_partitioned(
+    candidates: list[tuple[int, CompiledMethod]],
+    groups: int,
+    *,
+    hot_names: frozenset[str] = frozenset(),
+    min_length: int = DEFAULT_MIN_LENGTH,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    min_saved: int = DEFAULT_MIN_SAVED,
+    jobs: int | None = None,
+    seed: int = 0,
+    symbol_prefix: str = "MethodOutliner",
+) -> ParallelOutlineResult:
+    """Outline with K per-group suffix trees.
+
+    ``groups=1`` degenerates to the single global tree.  ``jobs``
+    defaults to ``groups`` (a process pool is used only when the host
+    actually has spare CPUs; see :mod:`repro.suffixtree.parallel`).
+    ``symbol_prefix`` namespaces the outlined functions (multi-round
+    callers pass a per-round prefix to keep symbols unique).
+    """
+    if groups < 1:
+        raise ValueError("groups must be >= 1")
+    partitions = partition_evenly(candidates, groups, seed=seed)
+    payloads = [
+        (part, hot_names, min_length, max_length, min_saved, f"{symbol_prefix}$g{gi}")
+        for gi, part in enumerate(partitions)
+    ]
+    results = map_over_groups(_worker, payloads, jobs=jobs if jobs is not None else groups)
+    combined = ParallelOutlineResult(rewritten={}, outlined=[])
+    for result in results:
+        combined.rewritten.update(result.rewritten)
+        combined.outlined.extend(result.outlined)
+        combined.group_stats.append(result.stats)
+    return combined

@@ -1,0 +1,63 @@
+"""LTBO.2 step 4 — patching PC-relative addressing instructions (§3.3.4).
+
+Outlining shrinks methods, changing the relative offsets between the
+surviving instructions.  The compile-time metadata recorded every
+PC-relative instruction with its method-local target; given the total
+old→new offset map produced by the rewrite, each such instruction is
+re-encoded with its updated displacement — the paper's Table 2 example
+(the ``cbz`` offset shrinking from ``+0xc`` to ``+0x8``) is exactly this
+operation, and a unit test replays it verbatim.
+
+Call instructions (``bl``) need no patching: their targets are still
+unbound labels carried as relocations (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.metadata import MethodMetadata
+from repro.isa import decode
+
+__all__ = ["PatchError", "patch_pc_relative"]
+
+
+class PatchError(ValueError):
+    """A PC-relative instruction cannot reach its relocated target."""
+
+
+def patch_pc_relative(
+    code: bytearray,
+    old_metadata: MethodMetadata,
+    offset_map: dict[int, int],
+) -> int:
+    """Re-encode every recorded PC-relative instruction in ``code``.
+
+    ``code`` is the *rewritten* method body (new layout); ``old_metadata``
+    holds the pre-rewrite refs; ``offset_map`` is the total old→new map.
+    Returns the number of instructions patched.
+    """
+    patched = 0
+    for ref in old_metadata.pc_relative:
+        new_offset = offset_map[ref.offset]
+        new_target = offset_map[ref.target]
+        word = int.from_bytes(code[new_offset : new_offset + 4], "little")
+        instr = decode(word)
+        if not instr.is_pc_relative:
+            raise PatchError(
+                f"{old_metadata.method_name}+{new_offset:#x}: metadata points at "
+                f"non-PC-relative instruction {instr.render()}"
+            )
+        delta = new_target - new_offset
+        if instr.target_offset == delta:
+            continue
+        try:
+            replacement = instr.with_target_offset(delta)
+            encoded = replacement.encode_bytes()
+        except ValueError as exc:
+            # Includes FieldRangeError: the relocated target is out of the
+            # instruction's displacement range.
+            raise PatchError(
+                f"{old_metadata.method_name}+{new_offset:#x}: {exc}"
+            ) from exc
+        code[new_offset : new_offset + 4] = encoded
+        patched += 1
+    return patched

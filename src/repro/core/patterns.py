@@ -1,0 +1,179 @@
+"""The three ART-specific repetitive code patterns and the CTO thunk cache.
+
+Paper Section 2.3.3 identifies the hottest repeats in production apps:
+
+* **Java function calling pattern** (Fig. 4a)::
+
+      ldr x30, [x0, #offset]   ; entry point out of the ArtMethod
+      blr x30
+
+* **ART native function calling pattern** (Fig. 4b)::
+
+      ldr x30, [x19, #offset]  ; entrypoint out of the thread block
+      blr x30
+
+* **Stack overflow checking pattern** (Fig. 4c)::
+
+      sub x16, sp, #0x2000
+      ldr wzr, [x16]
+
+Section 3.1's CTO outlines them *during code generation*: the first
+emission materialises the sequence once under a label, later emissions
+become a single ``bl label``.
+
+One implementation refinement, documented here because it is invisible
+in the paper's prose: the two *calling* patterns end in ``blr x30``, so
+a shared copy entered via ``bl`` cannot simply append a return — ``x30``
+holds the thunk's return address and is about to be clobbered by the
+pattern itself.  The shared copies are therefore *tail-call thunks*
+through the scratch register ``x16`` (``ldr x16, [...]; br x16``): the
+callee's own ``ret`` returns straight to the original call site.  The
+stack-check pattern has no such problem and uses the paper's literal
+"sequence + jump back" shape (``...; br x30``).  Size accounting is
+identical either way: 2 instructions collapse to 1 ``bl`` per site plus
+one shared 2–3 instruction thunk per distinct offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.compiled import CompiledMethod
+from repro.core.metadata import MethodMetadata
+from repro.isa import asm, encode_all
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+from repro.oat import layout
+
+__all__ = [
+    "ThunkCache",
+    "java_call_pattern",
+    "runtime_call_pattern",
+    "stack_check_pattern",
+    "count_pattern_occurrences",
+]
+
+
+def java_call_pattern(entry_offset: int = layout.ART_METHOD_ENTRY_OFFSET) -> list[ins.Instruction]:
+    """The un-outlined Java calling pattern tail (Fig. 4a)."""
+    return [
+        asm.ldr(regs.ART_BRANCH_REG, regs.ART_METHOD_REG, entry_offset),
+        ins.Blr(rn=regs.ART_BRANCH_REG),
+    ]
+
+
+def runtime_call_pattern(entrypoint: str) -> list[ins.Instruction]:
+    """The un-outlined ART native calling pattern (Fig. 4b)."""
+    return [
+        asm.ldr(regs.ART_BRANCH_REG, regs.ART_THREAD_REG, layout.entrypoint_offset(entrypoint)),
+        ins.Blr(rn=regs.ART_BRANCH_REG),
+    ]
+
+
+def stack_check_pattern() -> list[ins.Instruction]:
+    """The stack overflow checking pattern (Fig. 4c) — probe one word
+    ``STACK_GUARD_SIZE`` below sp; the guard page turns overflow into a
+    fault the runtime converts to StackOverflowError."""
+    assert layout.STACK_GUARD_SIZE == 0x2000 and layout.STACK_GUARD_SIZE % 0x1000 == 0
+    return [
+        ins.AddSubImm(
+            op="sub",
+            rd=regs.IP0,
+            rn=regs.SP,
+            imm12=layout.STACK_GUARD_SIZE >> 12,
+            shift12=True,
+        ),
+        ins.LoadStoreImm(op="ldr", rt=regs.XZR, rn=regs.IP0, offset=0, size=4),
+    ]
+
+
+@dataclass
+class ThunkCache:
+    """The CTO label cache (paper Section 3.1): "storing it in a cache
+    with a label L; otherwise, retrieve the label L ... from the cache".
+
+    One OAT build shares one cache; :meth:`compiled_thunks` renders the
+    cached sequences as compiled methods the linker places in the text
+    segment.  Thunks contain an indirect jump (``br``), so their own
+    metadata naturally excludes them from LTBO.
+    """
+
+    _bodies: dict[str, list[ins.Instruction]] = field(default_factory=dict)
+    #: Per-pattern-class hit counts (emission sites rewritten to ``bl``).
+    hits: dict[str, int] = field(default_factory=dict)
+
+    def _get(self, label: str, make_body) -> str:
+        if label not in self._bodies:
+            self._bodies[label] = make_body()
+        self.hits[label] = self.hits.get(label, 0) + 1
+        return label
+
+    def java_call(self, entry_offset: int = layout.ART_METHOD_ENTRY_OFFSET) -> str:
+        return self._get(
+            f"__cto$java_call${entry_offset:#x}",
+            lambda: [
+                asm.ldr(regs.IP0, regs.ART_METHOD_REG, entry_offset),
+                ins.Br(rn=regs.IP0),
+            ],
+        )
+
+    def runtime_call(self, entrypoint: str) -> str:
+        offset = layout.entrypoint_offset(entrypoint)
+        return self._get(
+            f"__cto$rt${entrypoint}",
+            lambda: [
+                asm.ldr(regs.IP0, regs.ART_THREAD_REG, offset),
+                ins.Br(rn=regs.IP0),
+            ],
+        )
+
+    def stack_check(self) -> str:
+        return self._get(
+            "__cto$stack_check",
+            lambda: stack_check_pattern() + [ins.Br(rn=regs.ART_BRANCH_REG)],
+        )
+
+    def compiled_thunks(self) -> list[CompiledMethod]:
+        """Render every cached sequence as a linkable method."""
+        out = []
+        for label, body in sorted(self._bodies.items()):
+            code = encode_all(body)
+            metadata = MethodMetadata(
+                method_name=label,
+                code_size=len(code),
+                terminators=[len(code) - 4],  # the br
+                has_indirect_jump=True,
+            )
+            out.append(CompiledMethod(name=label, code=code, metadata=metadata))
+        return out
+
+    @property
+    def total_sites(self) -> int:
+        return sum(self.hits.values())
+
+
+def count_pattern_occurrences(code: bytes) -> dict[str, int]:
+    """Count occurrences of the three ART patterns in raw binary code
+    (used by the Section 2.3.3 / Fig. 4 census)."""
+    from repro.isa import encoding as enc
+
+    words = list(enc.iter_words(code))
+    java = encode_all(java_call_pattern())
+    stack = encode_all(stack_check_pattern())
+    java_w = [int.from_bytes(java[i : i + 4], "little") for i in (0, 4)]
+    stack_w = [int.from_bytes(stack[i : i + 4], "little") for i in (0, 4)]
+    rt_words = {}
+    for name in layout.ENTRYPOINT_OFFSETS:
+        pat = encode_all(runtime_call_pattern(name))
+        rt_words[name] = [int.from_bytes(pat[i : i + 4], "little") for i in (0, 4)]
+
+    counts = {"java_call": 0, "stack_check": 0, "runtime_call": 0}
+    for i in range(len(words) - 1):
+        pair = words[i : i + 2]
+        if pair == java_w:
+            counts["java_call"] += 1
+        elif pair == stack_w:
+            counts["stack_check"] += 1
+        elif any(pair == w for w in rt_words.values()):
+            counts["runtime_call"] += 1
+    return counts

@@ -1,0 +1,185 @@
+"""The end-to-end Calibro build pipeline (paper Fig. 5).
+
+``build_app`` runs dex2oat (with or without CTO), then LTBO.2 over the
+candidate methods (global suffix tree or K PlOpti partitions, with the
+optional HfOpti mask), then the linking phase — producing the final OAT
+image plus the per-phase timing breakdown Table 6 reports.
+
+Configurations match the paper's evaluation rows:
+
+* ``CalibroConfig.baseline()`` — AOSP with all stock size opts (the
+  HGraph pass pipeline runs in every configuration);
+* ``.cto()`` — + compilation-time outlining;
+* ``.cto_ltbo()`` — + link-time outlining, one global suffix tree;
+* ``.cto_ltbo_plopti(k)`` — + K paralleled suffix trees;
+* ``.full(profile, k)`` — + hot function filtering on a profile.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+
+from repro.compiler.driver import Dex2OatResult, dex2oat
+from repro.core.candidates import CandidateSelection, select_candidates
+from repro.core.hotfilter import HotFunctionFilter
+from repro.core.outline import (
+    DEFAULT_MAX_LENGTH,
+    DEFAULT_MIN_LENGTH,
+    DEFAULT_MIN_SAVED,
+    OutlineStats,
+)
+from repro.core.parallel import ParallelOutlineResult, outline_partitioned
+from repro.dex.method import DexFile
+from repro.oat.linker import link
+from repro.oat.oatfile import OatFile
+
+__all__ = ["CalibroBuild", "CalibroConfig", "build_app"]
+
+
+@dataclass(frozen=True)
+class CalibroConfig:
+    """One build configuration (an evaluation row)."""
+
+    cto_enabled: bool = False
+    ltbo_enabled: bool = False
+    #: Conservative small-method inlining before the pass pipeline
+    #: (related-work interaction study; the paper's rows keep it off).
+    inlining: bool = False
+    #: Number of suffix-tree partitions; 1 = single global tree.
+    parallel_groups: int = 1
+    jobs: int | None = None
+    hot_filter: HotFunctionFilter | None = None
+    min_length: int = DEFAULT_MIN_LENGTH
+    max_length: int = DEFAULT_MAX_LENGTH
+    min_saved: int = DEFAULT_MIN_SAVED
+    partition_seed: int = 0
+    name: str = "baseline"
+
+    @classmethod
+    def baseline(cls) -> "CalibroConfig":
+        return cls(name="baseline")
+
+    @classmethod
+    def cto(cls) -> "CalibroConfig":
+        return cls(cto_enabled=True, name="CTO")
+
+    @classmethod
+    def cto_ltbo(cls) -> "CalibroConfig":
+        return cls(cto_enabled=True, ltbo_enabled=True, name="CTO+LTBO")
+
+    @classmethod
+    def cto_ltbo_plopti(cls, groups: int = 8, jobs: int | None = None) -> "CalibroConfig":
+        return cls(
+            cto_enabled=True,
+            ltbo_enabled=True,
+            parallel_groups=groups,
+            jobs=jobs,
+            name="CTO+LTBO+PlOpti",
+        )
+
+    @classmethod
+    def full(
+        cls,
+        profile: dict[str, int],
+        groups: int = 8,
+        coverage: float = 0.80,
+        jobs: int | None = None,
+    ) -> "CalibroConfig":
+        return cls(
+            cto_enabled=True,
+            ltbo_enabled=True,
+            parallel_groups=groups,
+            jobs=jobs,
+            hot_filter=HotFunctionFilter.from_profile(profile, coverage),
+            name="CTO+LTBO+PlOpti+HfOpti",
+        )
+
+    def with_hot_filter(self, hot_filter: HotFunctionFilter) -> "CalibroConfig":
+        return dc_replace(self, hot_filter=hot_filter, name=self.name + "+HfOpti")
+
+
+@dataclass
+class CalibroBuild:
+    """A finished build: the OAT image plus every measurement the
+    evaluation harness consumes."""
+
+    oat: OatFile
+    config: CalibroConfig
+    dex2oat: Dex2OatResult
+    selection: CandidateSelection | None = None
+    ltbo: ParallelOutlineResult | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def text_size(self) -> int:
+        return self.oat.text_size
+
+    @property
+    def build_seconds(self) -> float:
+        return self.timings.get("total", 0.0)
+
+    @property
+    def outline_stats(self) -> list[OutlineStats]:
+        return self.ltbo.group_stats if self.ltbo else []
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "config": self.config.name,
+            "text_size": self.text_size,
+            "data_size": self.oat.data_size,
+            "methods": len(self.oat.methods),
+            "outlined_functions": self.ltbo.total_outlined_functions if self.ltbo else 0,
+            "occurrences_replaced": self.ltbo.total_occurrences if self.ltbo else 0,
+            "build_seconds": round(self.build_seconds, 4),
+            "timings": {k: round(v, 4) for k, v in self.timings.items()},
+        }
+
+
+def build_app(dexfile: DexFile, config: CalibroConfig | None = None) -> CalibroBuild:
+    """Compile, (optionally) outline, and link one application."""
+    config = config or CalibroConfig.baseline()
+    t_start = time.perf_counter()
+
+    compile_result = dex2oat(dexfile, cto=config.cto_enabled, inline=config.inlining)
+    t_compile = time.perf_counter()
+
+    methods = list(compile_result.methods)
+    selection = None
+    ltbo_result = None
+    if config.ltbo_enabled:
+        selection = select_candidates(methods)
+        hot_names = (
+            config.hot_filter.hot_names if config.hot_filter is not None else frozenset()
+        )
+        ltbo_result = outline_partitioned(
+            selection.candidates,
+            groups=config.parallel_groups,
+            hot_names=hot_names,
+            min_length=config.min_length,
+            max_length=config.max_length,
+            min_saved=config.min_saved,
+            jobs=config.jobs,
+            seed=config.partition_seed,
+        )
+        for index, rewritten in ltbo_result.rewritten.items():
+            methods[index] = rewritten
+        methods.extend(ltbo_result.outlined)
+    t_ltbo = time.perf_counter()
+
+    oat = link(methods, dexfile)
+    t_link = time.perf_counter()
+
+    return CalibroBuild(
+        oat=oat,
+        config=config,
+        dex2oat=compile_result,
+        selection=selection,
+        ltbo=ltbo_result,
+        timings={
+            "compile": t_compile - t_start,
+            "ltbo": t_ltbo - t_compile,
+            "link": t_link - t_ltbo,
+            "total": t_link - t_start,
+        },
+    )

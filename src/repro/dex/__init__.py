@@ -1,0 +1,28 @@
+"""Mini-DEX substrate: bytecode, containers, builder, verifier and the
+reference interpreter that anchors all correctness oracles."""
+
+from repro.dex import bytecode
+from repro.dex.builder import Label, MethodBuilder
+from repro.dex.interp import DexError, Interpreter, wrap64
+from repro.dex.method import DexClass, DexFile, DexMethod
+from repro.dex.serialize import dexfile_from_json, dexfile_to_json, load_dexfile, save_dexfile
+from repro.dex.verifier import VerificationError, verify_dexfile, verify_method
+
+__all__ = [
+    "DexClass",
+    "DexError",
+    "DexFile",
+    "DexMethod",
+    "Interpreter",
+    "Label",
+    "MethodBuilder",
+    "VerificationError",
+    "bytecode",
+    "dexfile_from_json",
+    "dexfile_to_json",
+    "load_dexfile",
+    "save_dexfile",
+    "verify_dexfile",
+    "verify_method",
+    "wrap64",
+]

@@ -1,0 +1,171 @@
+"""Fluent builder for mini-DEX methods with forward-label support.
+
+Branch targets in :mod:`repro.dex.bytecode` are raw instruction indices;
+writing those by hand is error-prone, so the builder provides labels:
+
+>>> b = MethodBuilder("LDemo;->abs", num_inputs=1, num_registers=2)
+>>> done = b.new_label()
+>>> _ = b.if_z("ge", 0, done)
+>>> _ = b.const(1, 0).binop("sub", 0, 1, 0)
+>>> _ = b.bind(done).ret(0)
+>>> method = b.build()
+>>> method.code[0].target
+3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dex import bytecode as bc
+from repro.dex.method import DexMethod
+
+__all__ = ["Label", "MethodBuilder"]
+
+
+@dataclass(eq=False)
+class Label:
+    """A branch target, bound to an instruction index at ``bind`` time."""
+
+    index: int | None = None
+
+
+class MethodBuilder:
+    """Accumulates instructions and resolves labels at :meth:`build`."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        num_inputs: int,
+        num_registers: int,
+        returns_value: bool = True,
+    ):
+        self._name = name
+        self._num_inputs = num_inputs
+        self._num_registers = num_registers
+        self._returns_value = returns_value
+        self._code: list[bc.Instruction] = []
+        self._pending: list[tuple[int, Label | tuple[Label, ...]]] = []
+
+    # -- labels -----------------------------------------------------------
+
+    def new_label(self) -> Label:
+        return Label()
+
+    def bind(self, label: Label) -> "MethodBuilder":
+        if label.index is not None:
+            raise ValueError("label already bound")
+        label.index = len(self._code)
+        return self
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, instr: bc.Instruction) -> "MethodBuilder":
+        self._code.append(instr)
+        return self
+
+    def nop(self) -> "MethodBuilder":
+        return self._emit(bc.Nop())
+
+    def const(self, dst: int, value: int) -> "MethodBuilder":
+        return self._emit(bc.Const(dst=dst, value=value))
+
+    def const_string(self, dst: int, string_idx: int) -> "MethodBuilder":
+        return self._emit(bc.ConstString(dst=dst, string_idx=string_idx))
+
+    def move(self, dst: int, src: int) -> "MethodBuilder":
+        return self._emit(bc.Move(dst=dst, src=src))
+
+    def binop(self, op: str, dst: int, lhs: int, rhs: int) -> "MethodBuilder":
+        return self._emit(bc.BinOp(op=op, dst=dst, lhs=lhs, rhs=rhs))
+
+    def binop_lit(self, op: str, dst: int, lhs: int, literal: int) -> "MethodBuilder":
+        return self._emit(bc.BinOpLit(op=op, dst=dst, lhs=lhs, literal=literal))
+
+    def if_cmp(self, cmp: str, lhs: int, rhs: int, target: Label) -> "MethodBuilder":
+        self._pending.append((len(self._code), target))
+        return self._emit(bc.If(cmp=cmp, lhs=lhs, rhs=rhs, target=-1))
+
+    def if_z(self, cmp: str, lhs: int, target: Label) -> "MethodBuilder":
+        self._pending.append((len(self._code), target))
+        return self._emit(bc.IfZ(cmp=cmp, lhs=lhs, target=-1))
+
+    def goto(self, target: Label) -> "MethodBuilder":
+        self._pending.append((len(self._code), target))
+        return self._emit(bc.Goto(target=-1))
+
+    def packed_switch(self, value: int, first_key: int, targets: list[Label]) -> "MethodBuilder":
+        self._pending.append((len(self._code), tuple(targets)))
+        return self._emit(
+            bc.PackedSwitch(value=value, first_key=first_key, targets=(-1,) * len(targets))
+        )
+
+    def ret(self, src: int) -> "MethodBuilder":
+        return self._emit(bc.Return(src=src))
+
+    def ret_void(self) -> "MethodBuilder":
+        return self._emit(bc.ReturnVoid())
+
+    def invoke_static(
+        self, method: str, args: tuple[int, ...] = (), dst: int | None = None
+    ) -> "MethodBuilder":
+        return self._emit(bc.InvokeStatic(method=method, args=args, dst=dst))
+
+    def invoke_virtual(
+        self,
+        method: str,
+        receiver: int,
+        args: tuple[int, ...] = (),
+        dst: int | None = None,
+    ) -> "MethodBuilder":
+        return self._emit(
+            bc.InvokeVirtual(method=method, receiver=receiver, args=args, dst=dst)
+        )
+
+    def new_instance(self, dst: int, class_idx: int, num_fields: int = 4) -> "MethodBuilder":
+        return self._emit(bc.NewInstance(dst=dst, class_idx=class_idx, num_fields=num_fields))
+
+    def new_array(self, dst: int, size: int) -> "MethodBuilder":
+        return self._emit(bc.NewArray(dst=dst, size=size))
+
+    def array_length(self, dst: int, array: int) -> "MethodBuilder":
+        return self._emit(bc.ArrayLength(dst=dst, array=array))
+
+    def iget(self, dst: int, obj: int, field_idx: int) -> "MethodBuilder":
+        return self._emit(bc.IGet(dst=dst, obj=obj, field_idx=field_idx))
+
+    def iput(self, src: int, obj: int, field_idx: int) -> "MethodBuilder":
+        return self._emit(bc.IPut(src=src, obj=obj, field_idx=field_idx))
+
+    def aget(self, dst: int, array: int, index: int) -> "MethodBuilder":
+        return self._emit(bc.AGet(dst=dst, array=array, index=index))
+
+    def aput(self, src: int, array: int, index: int) -> "MethodBuilder":
+        return self._emit(bc.APut(src=src, array=array, index=index))
+
+    # -- finalisation -------------------------------------------------------
+
+    def build(self) -> DexMethod:
+        code = list(self._code)
+        for index, target in self._pending:
+            instr = code[index]
+            if isinstance(target, tuple):
+                resolved = []
+                for label in target:
+                    if label.index is None:
+                        raise ValueError(f"unbound label used at instruction {index}")
+                    resolved.append(label.index)
+                code[index] = replace(instr, targets=tuple(resolved))
+            else:
+                if target.index is None:
+                    raise ValueError(f"unbound label used at instruction {index}")
+                code[index] = replace(instr, target=target.index)
+        method = DexMethod(
+            name=self._name,
+            num_registers=self._num_registers,
+            num_inputs=self._num_inputs,
+            code=code,
+            returns_value=self._returns_value,
+        )
+        return method

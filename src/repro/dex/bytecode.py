@@ -1,0 +1,292 @@
+"""Register-based mini-DEX bytecode.
+
+A faithful-in-shape substitute for the DEX instruction set: a register
+machine (each method declares ``num_registers`` virtual registers,
+``v0..vN``), 64-bit signed integer values, object references modelled as
+heap addresses, and the instruction families that matter to Calibro's
+code shape:
+
+* arithmetic / moves / constants — compile to plain ALU code;
+* conditional and unconditional branches — become basic-block
+  terminators, the separators of LTBO's detection step;
+* ``invoke-static`` / ``invoke-virtual`` — compile to the **Java function
+  calling pattern** (paper Fig. 4a);
+* ``new-instance`` / ``new-array`` and the implicit null / bounds /
+  div-by-zero checks — compile to **ART native function calls**
+  (Fig. 4b) and **slowpaths**;
+* ``packed-switch`` — compiles to an indirect jump (``br``), flagging
+  the method as non-outlinable;
+* ``const-string`` — compiles to ``adrp + add`` against the OAT data
+  segment, exercising page-relative relocation.
+
+Branch targets are *instruction indices* within the method's code list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AGet", "APut", "ArrayLength", "BinOp", "BinOpLit", "Const", "ConstString",
+    "Goto", "IGet", "IPut", "If", "IfZ", "Instruction", "InvokeStatic",
+    "InvokeVirtual", "Move", "NewArray", "NewInstance", "Nop", "PackedSwitch",
+    "Return", "ReturnVoid", "BINARY_OPS", "COMPARISONS",
+]
+
+#: Binary ALU operations (64-bit signed, wraparound).  Shift amounts
+#: are taken modulo 64, as AArch64 variable shifts do; ``shr`` is the
+#: arithmetic shift, ``ushr`` the logical one (dex naming).  ``min`` and
+#: ``max`` mirror the Math intrinsics ART lowers to ``csel``.
+BINARY_OPS = ("add", "sub", "mul", "div", "and", "or", "xor",
+              "shl", "shr", "ushr", "min", "max")
+
+#: Comparison kinds for ``if`` instructions.
+COMPARISONS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for mini-DEX instructions."""
+
+    @property
+    def is_branch(self) -> bool:
+        return False
+
+    def branch_targets(self) -> tuple[int, ...]:
+        """Explicit branch-target instruction indices."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    pass
+
+
+@dataclass(frozen=True)
+class Const(Instruction):
+    """``const vA, #value`` — 64-bit signed immediate."""
+
+    dst: int
+    value: int
+
+
+@dataclass(frozen=True)
+class ConstString(Instruction):
+    """``const-string vA, string@idx`` — reference into the string table."""
+
+    dst: int
+    string_idx: int
+
+
+@dataclass(frozen=True)
+class Move(Instruction):
+    """``move vA, vB``."""
+
+    dst: int
+    src: int
+
+
+@dataclass(frozen=True)
+class BinOp(Instruction):
+    """``<op> vA, vB, vC``."""
+
+    op: str
+    dst: int
+    lhs: int
+    rhs: int
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class BinOpLit(Instruction):
+    """``<op>-int/lit vA, vB, #lit`` — small unsigned literal operand."""
+
+    op: str
+    dst: int
+    lhs: int
+    literal: int
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+        if not 0 <= self.literal < 4096:
+            raise ValueError("literal must fit an A64 imm12")
+
+
+@dataclass(frozen=True)
+class If(Instruction):
+    """``if-<cmp> vA, vB, +target`` — fall through when false."""
+
+    cmp: str
+    lhs: int
+    rhs: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.cmp not in COMPARISONS:
+            raise ValueError(f"unknown comparison {self.cmp!r}")
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def branch_targets(self) -> tuple[int, ...]:
+        return (self.target,)
+
+
+@dataclass(frozen=True)
+class IfZ(Instruction):
+    """``if-<cmp>z vA, +target``."""
+
+    cmp: str
+    lhs: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.cmp not in COMPARISONS:
+            raise ValueError(f"unknown comparison {self.cmp!r}")
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def branch_targets(self) -> tuple[int, ...]:
+        return (self.target,)
+
+
+@dataclass(frozen=True)
+class Goto(Instruction):
+    """``goto +target``."""
+
+    target: int
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def branch_targets(self) -> tuple[int, ...]:
+        return (self.target,)
+
+
+@dataclass(frozen=True)
+class PackedSwitch(Instruction):
+    """``packed-switch vA`` over ``first_key..first_key+len(targets)-1``.
+
+    Compiles to a jump table reached through ``br`` — the indirect jump
+    that makes the containing method ineligible for LTBO (Section 3.2).
+    Values outside the key range fall through.
+    """
+
+    value: int
+    first_key: int
+    targets: tuple[int, ...]
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def branch_targets(self) -> tuple[int, ...]:
+        return self.targets
+
+
+@dataclass(frozen=True)
+class Return(Instruction):
+    """``return vA``."""
+
+    src: int
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ReturnVoid(Instruction):
+    """``return-void``."""
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class InvokeStatic(Instruction):
+    """``invoke-static {vA..}, method`` — result (if any) lands in ``dst``."""
+
+    method: str
+    args: tuple[int, ...] = ()
+    dst: int | None = None
+
+
+@dataclass(frozen=True)
+class InvokeVirtual(Instruction):
+    """``invoke-virtual {vThis, vA..}, method`` — receiver is null-checked."""
+
+    method: str
+    receiver: int = 0
+    args: tuple[int, ...] = ()
+    dst: int | None = None
+
+
+@dataclass(frozen=True)
+class NewInstance(Instruction):
+    """``new-instance vA, type@idx`` — allocates via pAllocObjectResolved."""
+
+    dst: int
+    class_idx: int
+    num_fields: int = 4
+
+
+@dataclass(frozen=True)
+class NewArray(Instruction):
+    """``new-array vA, vSize, type`` — allocates via pAllocArrayResolved."""
+
+    dst: int
+    size: int
+
+
+@dataclass(frozen=True)
+class ArrayLength(Instruction):
+    """``array-length vA, vB`` (null-checks vB)."""
+
+    dst: int
+    array: int
+
+
+@dataclass(frozen=True)
+class IGet(Instruction):
+    """``iget vA, vObj, field@idx`` (null-checks vObj)."""
+
+    dst: int
+    obj: int
+    field_idx: int
+
+
+@dataclass(frozen=True)
+class IPut(Instruction):
+    """``iput vA, vObj, field@idx`` (null-checks vObj)."""
+
+    src: int
+    obj: int
+    field_idx: int
+
+
+@dataclass(frozen=True)
+class AGet(Instruction):
+    """``aget vA, vArr, vIdx`` (null + bounds checks)."""
+
+    dst: int
+    array: int
+    index: int
+
+
+@dataclass(frozen=True)
+class APut(Instruction):
+    """``aput vA, vArr, vIdx`` (null + bounds checks)."""
+
+    src: int
+    array: int
+    index: int

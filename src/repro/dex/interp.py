@@ -1,0 +1,258 @@
+"""Reference interpreter for mini-DEX bytecode.
+
+This is the semantic ground truth of the whole reproduction: the same
+program is (1) interpreted here, (2) compiled to A64 and emulated, and
+(3) re-emulated after every Calibro configuration.  All three must
+produce identical integer results — the system-level oracle that the
+outliner, patcher and linker preserve behaviour.
+
+Semantics are chosen to match the A64 code the compiler emits exactly:
+64-bit signed wraparound arithmetic, truncating (C-style) signed
+division, and the same check order (null before bounds) with the same
+throwing behaviour (a :class:`DexError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dex import bytecode as bc
+from repro.dex.method import DexFile, DexMethod
+
+__all__ = ["DexError", "Interpreter", "wrap64"]
+
+_MASK = (1 << 64) - 1
+
+
+def wrap64(value: int) -> int:
+    """Reduce to a signed 64-bit integer (two's complement wraparound)."""
+    value &= _MASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def _sdiv(lhs: int, rhs: int) -> int:
+    """AArch64 ``sdiv``: signed division truncating toward zero."""
+    q = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        q = -q
+    return wrap64(q)
+
+
+class DexError(RuntimeError):
+    """A runtime exception (NPE, bounds, div-by-zero, stack overflow).
+
+    ``kind`` matches the ART entrypoint the compiled code's slowpath
+    would invoke.
+    """
+
+    def __init__(self, kind: str, detail: str = ""):
+        super().__init__(f"{kind}{': ' + detail if detail else ''}")
+        self.kind = kind
+
+
+@dataclass
+class _Object:
+    class_idx: int
+    fields: list[int]
+
+
+@dataclass
+class _Array:
+    elements: list[int]
+
+
+@dataclass
+class Interpreter:
+    """Executes methods of one dex file.
+
+    ``native_handlers`` maps native method names to Python callables
+    ``(args) -> int`` so JNI methods have defined behaviour; unknown
+    natives return 0.
+    """
+
+    dexfile: DexFile
+    native_handlers: dict[str, Callable[[list[int]], int]] = field(default_factory=dict)
+    max_call_depth: int = 200
+    max_steps: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        self._methods = {m.name: m for m in self.dexfile.all_methods()}
+        self._heap: list[_Object | _Array] = []
+        self._steps = 0
+        #: Monotone id source; references are encoded as heap index + 1 so
+        #: that 0 keeps its "null" meaning, matching the compiled code's
+        #: null checks on register value 0.
+        self.allocations = 0
+
+    # -- heap ---------------------------------------------------------------
+
+    def _alloc_object(self, class_idx: int, num_fields: int) -> int:
+        self._heap.append(_Object(class_idx=class_idx, fields=[0] * num_fields))
+        self.allocations += 1
+        return len(self._heap)
+
+    def _alloc_array(self, length: int) -> int:
+        if length < 0:
+            raise DexError("negative-array-size")
+        self._heap.append(_Array(elements=[0] * length))
+        self.allocations += 1
+        return len(self._heap)
+
+    def _deref(self, ref: int, kind: type) -> _Object | _Array:
+        if ref == 0:
+            raise DexError("null-pointer")
+        cell = self._heap[ref - 1]
+        if not isinstance(cell, kind):
+            raise DexError("type-confusion", f"expected {kind.__name__}")
+        return cell
+
+    # -- execution ------------------------------------------------------------
+
+    def call(self, method_name: str, args: list[int] | None = None) -> int | None:
+        """Invoke ``method_name`` with integer arguments; returns its
+        result (or ``None`` for void methods)."""
+        return self._call(self._methods[method_name], list(args or []), depth=0)
+
+    def _call(self, method: DexMethod, args: list[int], depth: int) -> int | None:
+        if depth >= self.max_call_depth:
+            raise DexError("stack-overflow")
+        if method.is_native:
+            handler = self.native_handlers.get(method.name)
+            return wrap64(handler(args)) if handler else 0
+        if len(args) != method.num_inputs:
+            raise ValueError(
+                f"{method.name} expects {method.num_inputs} args, got {len(args)}"
+            )
+        regs = [0] * method.num_registers
+        regs[: len(args)] = [wrap64(a) for a in args]
+        pc = 0
+        code = method.code
+        while True:
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise DexError("step-budget-exhausted")
+            instr = code[pc]
+            pc += 1
+            if isinstance(instr, bc.Const):
+                regs[instr.dst] = wrap64(instr.value)
+            elif isinstance(instr, bc.ConstString):
+                # References to interned strings: a distinct non-null token
+                # per string index (the compiled code produces an address).
+                regs[instr.dst] = -(instr.string_idx + 1)
+            elif isinstance(instr, bc.Move):
+                regs[instr.dst] = regs[instr.src]
+            elif isinstance(instr, bc.BinOp):
+                regs[instr.dst] = self._binop(instr.op, regs[instr.lhs], regs[instr.rhs])
+            elif isinstance(instr, bc.BinOpLit):
+                regs[instr.dst] = self._binop(instr.op, regs[instr.lhs], instr.literal)
+            elif isinstance(instr, bc.If):
+                if _compare(instr.cmp, regs[instr.lhs], regs[instr.rhs]):
+                    pc = instr.target
+            elif isinstance(instr, bc.IfZ):
+                if _compare(instr.cmp, regs[instr.lhs], 0):
+                    pc = instr.target
+            elif isinstance(instr, bc.Goto):
+                pc = instr.target
+            elif isinstance(instr, bc.PackedSwitch):
+                key = regs[instr.value] - instr.first_key
+                if 0 <= key < len(instr.targets):
+                    pc = instr.targets[key]
+            elif isinstance(instr, bc.Return):
+                return regs[instr.src]
+            elif isinstance(instr, bc.ReturnVoid):
+                return None
+            elif isinstance(instr, bc.InvokeStatic):
+                callee = self._methods[instr.method]
+                result = self._call(callee, [regs[a] for a in instr.args], depth + 1)
+                if instr.dst is not None:
+                    regs[instr.dst] = result if result is not None else 0
+            elif isinstance(instr, bc.InvokeVirtual):
+                if regs[instr.receiver] == 0:
+                    raise DexError("null-pointer")
+                callee = self._methods[instr.method]
+                call_args = [regs[instr.receiver]] + [regs[a] for a in instr.args]
+                result = self._call(callee, call_args, depth + 1)
+                if instr.dst is not None:
+                    regs[instr.dst] = result if result is not None else 0
+            elif isinstance(instr, bc.NewInstance):
+                regs[instr.dst] = self._alloc_object(instr.class_idx, instr.num_fields)
+            elif isinstance(instr, bc.NewArray):
+                regs[instr.dst] = self._alloc_array(regs[instr.size])
+            elif isinstance(instr, bc.ArrayLength):
+                arr = self._deref(regs[instr.array], _Array)
+                regs[instr.dst] = len(arr.elements)
+            elif isinstance(instr, bc.IGet):
+                obj = self._deref(regs[instr.obj], _Object)
+                if instr.field_idx >= len(obj.fields):
+                    raise DexError("type-confusion", "field index out of range")
+                regs[instr.dst] = obj.fields[instr.field_idx]
+            elif isinstance(instr, bc.IPut):
+                obj = self._deref(regs[instr.obj], _Object)
+                if instr.field_idx >= len(obj.fields):
+                    raise DexError("type-confusion", "field index out of range")
+                obj.fields[instr.field_idx] = regs[instr.src]
+            elif isinstance(instr, bc.AGet):
+                arr = self._deref(regs[instr.array], _Array)
+                idx = regs[instr.index]
+                if not 0 <= idx < len(arr.elements):
+                    raise DexError("array-bounds", f"index {idx} length {len(arr.elements)}")
+                regs[instr.dst] = arr.elements[idx]
+            elif isinstance(instr, bc.APut):
+                arr = self._deref(regs[instr.array], _Array)
+                idx = regs[instr.index]
+                if not 0 <= idx < len(arr.elements):
+                    raise DexError("array-bounds", f"index {idx} length {len(arr.elements)}")
+                arr.elements[idx] = regs[instr.src]
+            elif isinstance(instr, bc.Nop):
+                pass
+            else:  # pragma: no cover - exhaustive over the opcode set
+                raise NotImplementedError(type(instr).__name__)
+
+    @staticmethod
+    def _binop(op: str, lhs: int, rhs: int) -> int:
+        if op == "add":
+            return wrap64(lhs + rhs)
+        if op == "sub":
+            return wrap64(lhs - rhs)
+        if op == "mul":
+            return wrap64(lhs * rhs)
+        if op == "div":
+            if rhs == 0:
+                raise DexError("div-zero")
+            return _sdiv(lhs, rhs)
+        if op == "and":
+            return wrap64(lhs & rhs)
+        if op == "or":
+            return wrap64(lhs | rhs)
+        if op == "xor":
+            return wrap64(lhs ^ rhs)
+        if op == "shl":
+            return wrap64(lhs << (rhs & 63))
+        if op == "shr":
+            return wrap64(lhs >> (rhs & 63))  # arithmetic: python >> is signed
+        if op == "ushr":
+            return wrap64((lhs & _MASK) >> (rhs & 63))
+        if op == "min":
+            return lhs if lhs <= rhs else rhs
+        if op == "max":
+            return lhs if lhs >= rhs else rhs
+        raise NotImplementedError(op)
+
+
+def _compare(cmp: str, lhs: int, rhs: int) -> bool:
+    if cmp == "eq":
+        return lhs == rhs
+    if cmp == "ne":
+        return lhs != rhs
+    if cmp == "lt":
+        return lhs < rhs
+    if cmp == "le":
+        return lhs <= rhs
+    if cmp == "gt":
+        return lhs > rhs
+    if cmp == "ge":
+        return lhs >= rhs
+    raise NotImplementedError(cmp)

@@ -1,0 +1,104 @@
+"""Mini-DEX containers: methods, classes and dex files.
+
+Method naming follows the DEX descriptor convention loosely:
+``LCom/example/Foo;->bar`` — the fully-qualified name is the key used by
+``invoke`` instructions, the method table and the OAT symbol namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dex import bytecode as bc
+
+__all__ = ["DexClass", "DexFile", "DexMethod"]
+
+
+@dataclass
+class DexMethod:
+    """One method: code, register file size and ABI description.
+
+    ``num_inputs`` arguments arrive in ``v0..v(num_inputs-1)``; the
+    remaining registers are locals.  ``is_native`` marks JNI methods —
+    they have no dex code, the compiler emits an opaque JNI stub, and
+    the LTBO candidate filter excludes them (paper Section 3.2).
+    """
+
+    name: str
+    num_registers: int
+    num_inputs: int
+    code: list[bc.Instruction] = field(default_factory=list)
+    is_native: bool = False
+    returns_value: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_inputs > self.num_registers:
+            raise ValueError(f"{self.name}: more inputs than registers")
+        if self.is_native and self.code:
+            raise ValueError(f"{self.name}: native methods carry no dex code")
+
+    @property
+    def invoked_methods(self) -> list[str]:
+        """Names of methods this method invokes (static call graph edge set)."""
+        out = []
+        for instr in self.code:
+            if isinstance(instr, (bc.InvokeStatic, bc.InvokeVirtual)):
+                out.append(instr.method)
+        return out
+
+    @property
+    def is_leaf(self) -> bool:
+        """Leaf methods make no calls and allocate nothing — ART omits
+        their stack overflow check (paper Section 2.3.3: "each non-leaf
+        function should check the stack")."""
+        return not any(
+            isinstance(
+                i,
+                (bc.InvokeStatic, bc.InvokeVirtual, bc.NewInstance, bc.NewArray),
+            )
+            for i in self.code
+        )
+
+    @property
+    def has_switch(self) -> bool:
+        return any(isinstance(i, bc.PackedSwitch) for i in self.code)
+
+
+@dataclass
+class DexClass:
+    """A class: a name and its methods."""
+
+    name: str
+    methods: list[DexMethod] = field(default_factory=list)
+
+    def method(self, simple_name: str) -> DexMethod:
+        full = f"{self.name}->{simple_name}"
+        for m in self.methods:
+            if m.name == full or m.name == simple_name:
+                return m
+        raise KeyError(f"no method {simple_name} in {self.name}")
+
+
+@dataclass
+class DexFile:
+    """A dex file: classes plus the file-level string table.
+
+    ``string_table`` backs ``const-string``; the OAT layout places it in
+    the data segment and ``const-string`` compiles to ``adrp + add``
+    against it.
+    """
+
+    classes: list[DexClass] = field(default_factory=list)
+    string_table: list[str] = field(default_factory=list)
+
+    def all_methods(self) -> list[DexMethod]:
+        return [m for cls in self.classes for m in cls.methods]
+
+    def find_method(self, name: str) -> DexMethod:
+        for m in self.all_methods():
+            if m.name == name:
+                return m
+        raise KeyError(f"no method named {name}")
+
+    def method_names(self) -> list[str]:
+        return [m.name for m in self.all_methods()]

@@ -1,0 +1,95 @@
+"""Human-readable listing of mini-DEX bytecode (smali-ish)."""
+
+from __future__ import annotations
+
+from repro.dex import bytecode as bc
+from repro.dex.method import DexFile, DexMethod
+
+__all__ = ["format_dexfile", "format_method"]
+
+
+def _fmt(instr: bc.Instruction) -> str:
+    if isinstance(instr, bc.Nop):
+        return "nop"
+    if isinstance(instr, bc.Const):
+        return f"const v{instr.dst}, #{instr.value}"
+    if isinstance(instr, bc.ConstString):
+        return f"const-string v{instr.dst}, string@{instr.string_idx}"
+    if isinstance(instr, bc.Move):
+        return f"move v{instr.dst}, v{instr.src}"
+    if isinstance(instr, bc.BinOp):
+        return f"{instr.op} v{instr.dst}, v{instr.lhs}, v{instr.rhs}"
+    if isinstance(instr, bc.BinOpLit):
+        return f"{instr.op}/lit v{instr.dst}, v{instr.lhs}, #{instr.literal}"
+    if isinstance(instr, bc.If):
+        return f"if-{instr.cmp} v{instr.lhs}, v{instr.rhs}, :{instr.target}"
+    if isinstance(instr, bc.IfZ):
+        return f"if-{instr.cmp}z v{instr.lhs}, :{instr.target}"
+    if isinstance(instr, bc.Goto):
+        return f"goto :{instr.target}"
+    if isinstance(instr, bc.PackedSwitch):
+        targets = ", ".join(f":{t}" for t in instr.targets)
+        return f"packed-switch v{instr.value}, #{instr.first_key}, [{targets}]"
+    if isinstance(instr, bc.Return):
+        return f"return v{instr.src}"
+    if isinstance(instr, bc.ReturnVoid):
+        return "return-void"
+    if isinstance(instr, bc.InvokeStatic):
+        args = ", ".join(f"v{a}" for a in instr.args)
+        dst = f" -> v{instr.dst}" if instr.dst is not None else ""
+        return f"invoke-static {{{args}}}, {instr.method}{dst}"
+    if isinstance(instr, bc.InvokeVirtual):
+        args = ", ".join(f"v{a}" for a in (instr.receiver,) + instr.args)
+        dst = f" -> v{instr.dst}" if instr.dst is not None else ""
+        return f"invoke-virtual {{{args}}}, {instr.method}{dst}"
+    if isinstance(instr, bc.NewInstance):
+        return f"new-instance v{instr.dst}, type@{instr.class_idx} ({instr.num_fields} fields)"
+    if isinstance(instr, bc.NewArray):
+        return f"new-array v{instr.dst}, v{instr.size}"
+    if isinstance(instr, bc.ArrayLength):
+        return f"array-length v{instr.dst}, v{instr.array}"
+    if isinstance(instr, bc.IGet):
+        return f"iget v{instr.dst}, v{instr.obj}, field@{instr.field_idx}"
+    if isinstance(instr, bc.IPut):
+        return f"iput v{instr.src}, v{instr.obj}, field@{instr.field_idx}"
+    if isinstance(instr, bc.AGet):
+        return f"aget v{instr.dst}, v{instr.array}, v{instr.index}"
+    if isinstance(instr, bc.APut):
+        return f"aput v{instr.src}, v{instr.array}, v{instr.index}"
+    return repr(instr)  # pragma: no cover
+
+
+def format_method(method: DexMethod) -> str:
+    """One method as an indexed listing (branch targets are indices)."""
+    header = (
+        f".method {method.name}  "
+        f"(registers={method.num_registers}, inputs={method.num_inputs}"
+        f"{', native' if method.is_native else ''})"
+    )
+    if method.is_native:
+        return header
+    # Branch targets get label markers for readability.
+    targets = set()
+    for instr in method.code:
+        targets.update(instr.branch_targets())
+    lines = [header]
+    for idx, instr in enumerate(method.code):
+        marker = f":{idx}" if idx in targets else ""
+        lines.append(f"  {marker:>6} {idx:3d}: {_fmt(instr)}")
+    return "\n".join(lines)
+
+
+def format_dexfile(dexfile: DexFile) -> str:
+    """Whole-file listing."""
+    parts = []
+    if dexfile.string_table:
+        parts.append(".strings")
+        for i, s in enumerate(dexfile.string_table):
+            parts.append(f"  {i:3d}: {s!r}")
+        parts.append("")
+    for cls in dexfile.classes:
+        parts.append(f".class {cls.name}")
+        for method in cls.methods:
+            parts.append(format_method(method))
+            parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,16 @@
+"""HGraph IR substrate: construction from dex bytecode and the
+optimization pass pipeline."""
+
+from repro.hgraph.builder import build_hgraph
+from repro.hgraph.ir import HBasicBlock, HGraph, HInstruction, IRValidationError
+from repro.hgraph.passes import OptimizationStats, PassManager
+
+__all__ = [
+    "HBasicBlock",
+    "HGraph",
+    "HInstruction",
+    "IRValidationError",
+    "OptimizationStats",
+    "PassManager",
+    "build_hgraph",
+]

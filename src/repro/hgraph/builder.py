@@ -1,0 +1,159 @@
+"""Dex bytecode → HGraph construction (the DEX2OAT front end).
+
+Performs the classic leader analysis: instruction 0, every branch target
+and every fall-through point after a branch start a basic block.  Blocks
+that fall through get an explicit ``goto`` terminator so every block is
+single-exit, matching what the code generator expects.
+"""
+
+from __future__ import annotations
+
+from repro.dex import bytecode as bc
+from repro.dex.method import DexMethod
+from repro.hgraph.ir import HBasicBlock, HGraph, HInstruction
+
+__all__ = ["build_hgraph"]
+
+
+def _lower(instr: bc.Instruction) -> HInstruction | None:
+    """Translate one non-branch dex instruction; ``None`` drops it."""
+    if isinstance(instr, bc.Nop):
+        return None
+    if isinstance(instr, bc.Const):
+        return HInstruction("const", dst=instr.dst, extra={"value": instr.value})
+    if isinstance(instr, bc.ConstString):
+        return HInstruction(
+            "const-string", dst=instr.dst, extra={"string_idx": instr.string_idx}
+        )
+    if isinstance(instr, bc.Move):
+        return HInstruction("move", dst=instr.dst, uses=(instr.src,))
+    if isinstance(instr, bc.BinOp):
+        return HInstruction(
+            "binop", dst=instr.dst, uses=(instr.lhs, instr.rhs), extra={"op": instr.op}
+        )
+    if isinstance(instr, bc.BinOpLit):
+        return HInstruction(
+            "binop-lit",
+            dst=instr.dst,
+            uses=(instr.lhs,),
+            extra={"op": instr.op, "literal": instr.literal},
+        )
+    if isinstance(instr, bc.InvokeStatic):
+        return HInstruction(
+            "invoke-static", dst=instr.dst, uses=tuple(instr.args), extra={"method": instr.method}
+        )
+    if isinstance(instr, bc.InvokeVirtual):
+        return HInstruction(
+            "invoke-virtual",
+            dst=instr.dst,
+            uses=(instr.receiver,) + tuple(instr.args),
+            extra={"method": instr.method},
+        )
+    if isinstance(instr, bc.NewInstance):
+        return HInstruction(
+            "new-instance",
+            dst=instr.dst,
+            extra={"class_idx": instr.class_idx, "num_fields": instr.num_fields},
+        )
+    if isinstance(instr, bc.NewArray):
+        return HInstruction("new-array", dst=instr.dst, uses=(instr.size,))
+    if isinstance(instr, bc.ArrayLength):
+        return HInstruction("array-length", dst=instr.dst, uses=(instr.array,))
+    if isinstance(instr, bc.IGet):
+        return HInstruction(
+            "iget", dst=instr.dst, uses=(instr.obj,), extra={"field_idx": instr.field_idx}
+        )
+    if isinstance(instr, bc.IPut):
+        return HInstruction(
+            "iput", uses=(instr.src, instr.obj), extra={"field_idx": instr.field_idx}
+        )
+    if isinstance(instr, bc.AGet):
+        return HInstruction("aget", dst=instr.dst, uses=(instr.array, instr.index))
+    if isinstance(instr, bc.APut):
+        return HInstruction("aput", uses=(instr.src, instr.array, instr.index))
+    raise NotImplementedError(f"cannot lower {type(instr).__name__}")
+
+
+def build_hgraph(method: DexMethod) -> HGraph:
+    """Build the control-flow graph for one (non-native) dex method."""
+    if method.is_native:
+        raise ValueError(f"{method.name}: native methods have no HGraph")
+    code = method.code
+
+    leaders = {0}
+    for idx, instr in enumerate(code):
+        if instr.is_branch:
+            leaders.update(instr.branch_targets())
+            if idx + 1 < len(code):
+                leaders.add(idx + 1)
+    leader_list = sorted(leaders)
+    block_of_leader = {leader: bid for bid, leader in enumerate(leader_list)}
+
+    graph = HGraph(
+        method_name=method.name,
+        num_registers=method.num_registers,
+        num_inputs=method.num_inputs,
+        entry_id=0,
+    )
+
+    for bid, leader in enumerate(leader_list):
+        end = leader_list[bid + 1] if bid + 1 < len(leader_list) else len(code)
+        block = HBasicBlock(block_id=bid)
+        idx = leader
+        while idx < end:
+            dex_instr = code[idx]
+            if dex_instr.is_branch:
+                _terminate(block, dex_instr, idx, block_of_leader)
+                break
+            lowered = _lower(dex_instr)
+            if lowered is not None:
+                block.instructions.append(lowered)
+            idx += 1
+        else:
+            # Fell off the block end: explicit goto to the next leader.
+            block.instructions.append(HInstruction("goto"))
+            block.successors = [block_of_leader[end]]
+        graph.blocks[bid] = block
+
+    graph.recompute_predecessors()
+    graph.validate()
+    return graph
+
+
+def _terminate(
+    block: HBasicBlock,
+    instr: bc.Instruction,
+    idx: int,
+    block_of_leader: dict[int, int],
+) -> None:
+    if isinstance(instr, bc.If):
+        block.instructions.append(
+            HInstruction("if", uses=(instr.lhs, instr.rhs), extra={"cmp": instr.cmp})
+        )
+        block.successors = [block_of_leader[instr.target], block_of_leader[idx + 1]]
+    elif isinstance(instr, bc.IfZ):
+        block.instructions.append(
+            HInstruction("if", uses=(instr.lhs,), extra={"cmp": instr.cmp, "zero": True})
+        )
+        block.successors = [block_of_leader[instr.target], block_of_leader[idx + 1]]
+    elif isinstance(instr, bc.Goto):
+        block.instructions.append(HInstruction("goto"))
+        block.successors = [block_of_leader[instr.target]]
+    elif isinstance(instr, bc.PackedSwitch):
+        block.instructions.append(
+            HInstruction(
+                "switch",
+                uses=(instr.value,),
+                extra={"first_key": instr.first_key, "targets": list(instr.targets)},
+            )
+        )
+        block.successors = [block_of_leader[t] for t in instr.targets]
+        block.successors.append(block_of_leader[idx + 1])  # default: fall through
+    elif isinstance(instr, bc.Return):
+        block.instructions.append(HInstruction("return", uses=(instr.src,)))
+        block.successors = []
+    elif isinstance(instr, bc.ReturnVoid):
+        block.instructions.append(HInstruction("return-void"))
+        block.successors = []
+    else:  # pragma: no cover
+        raise NotImplementedError(type(instr).__name__)

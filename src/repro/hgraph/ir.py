@@ -1,0 +1,200 @@
+"""HGraph: the optimization IR of the dex2oat substrate.
+
+Real dex2oat translates each dex method into an SSA graph called HGraph,
+optimizes it per method, then lowers it to machine code (paper Fig. 5).
+This substrate keeps the same pipeline position but stays at the virtual
+register (dex register) level rather than full SSA: instructions read and
+write ``vN`` registers, and passes reason locally within basic blocks
+plus a global liveness analysis for dead-code elimination.  That is
+enough to reproduce the paper's premise — "most compilation
+optimizations are concentrated at the HGraph level ... much code
+redundancy cannot be identified at this level of abstraction" — while
+staying honest about being a substrate, not a dex2oat clone.
+
+Blocks end with exactly one terminator (``if``/``goto``/``switch``/
+``return``/``return-void``); checks (null, bounds, div-zero) stay
+implicit in the memory/arith operations and are materialised as compare
++ slowpath at code generation, as ART does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["HBasicBlock", "HGraph", "HInstruction", "IRValidationError"]
+
+#: Instruction kinds that terminate a block.
+TERMINATOR_KINDS = frozenset({"if", "goto", "switch", "return", "return-void"})
+
+#: Kinds with observable side effects (cannot be removed or reordered).
+SIDE_EFFECT_KINDS = frozenset(
+    {"invoke-static", "invoke-virtual", "new-instance", "new-array", "iput", "aput"}
+)
+
+#: Kinds that can throw and therefore must be kept even if their result
+#: is dead (their slowpath is an observable effect).
+THROWING_KINDS = frozenset(
+    {"invoke-virtual", "iget", "iput", "aget", "aput", "array-length", "new-array"}
+)
+
+
+@dataclass
+class HInstruction:
+    """One IR operation.
+
+    ``dst`` is the defined virtual register (or ``None``); ``uses`` are
+    the registers read, in positional order; ``extra`` carries the
+    kind-specific payload (constant value, ALU op, callee name, ...).
+    """
+
+    kind: str
+    dst: int | None = None
+    uses: tuple[int, ...] = ()
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.kind in TERMINATOR_KINDS
+
+    @property
+    def has_side_effects(self) -> bool:
+        return self.kind in SIDE_EFFECT_KINDS
+
+    @property
+    def can_throw(self) -> bool:
+        if self.kind in THROWING_KINDS:
+            return True
+        return self.kind in ("binop", "binop-lit") and self.extra.get("op") == "div"
+
+    @property
+    def is_removable_if_dead(self) -> bool:
+        """Pure computations may be dropped when their result is dead."""
+        return (
+            not self.is_terminator
+            and not self.has_side_effects
+            and not self.can_throw
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dst = f"v{self.dst} <- " if self.dst is not None else ""
+        uses = ", ".join(f"v{u}" for u in self.uses)
+        extra = f" {self.extra}" if self.extra else ""
+        return f"<{dst}{self.kind}({uses}){extra}>"
+
+
+@dataclass
+class HBasicBlock:
+    """A straight-line instruction run ending in one terminator."""
+
+    block_id: int
+    instructions: list[HInstruction] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> HInstruction:
+        if not self.instructions or not self.instructions[-1].is_terminator:
+            raise IRValidationError(f"block {self.block_id} lacks a terminator")
+        return self.instructions[-1]
+
+    @property
+    def body(self) -> list[HInstruction]:
+        """All instructions except the terminator."""
+        return self.instructions[:-1]
+
+
+class IRValidationError(ValueError):
+    """The graph violates a structural invariant."""
+
+
+@dataclass
+class HGraph:
+    """The per-method IR graph.
+
+    ``blocks`` maps block id to block; ``entry_id`` is the entry block.
+    Block ids are stable across passes (removed ids simply disappear),
+    which keeps pass debugging sane.
+    """
+
+    method_name: str
+    num_registers: int
+    num_inputs: int
+    blocks: dict[int, HBasicBlock] = field(default_factory=dict)
+    entry_id: int = 0
+
+    def block_order(self) -> list[int]:
+        """Reverse-post-order from the entry — the layout order used by
+        code generation (deterministic)."""
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, Iterator[int]]] = []
+        seen.add(self.entry_id)
+        stack.append((self.entry_id, iter(self.blocks[self.entry_id].successors)))
+        post: list[int] = []
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(self.blocks[succ].successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(node)
+                stack.pop()
+        order = list(reversed(post))
+        return order
+
+    def recompute_predecessors(self) -> None:
+        for block in self.blocks.values():
+            block.predecessors = []
+        for block in self.blocks.values():
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.block_id)
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks.values())
+
+    def validate(self) -> None:
+        """Check the structural invariants the code generator relies on."""
+        if self.entry_id not in self.blocks:
+            raise IRValidationError(f"{self.method_name}: entry block missing")
+        for bid, block in self.blocks.items():
+            if bid != block.block_id:
+                raise IRValidationError(f"{self.method_name}: block id mismatch at {bid}")
+            if not block.instructions:
+                raise IRValidationError(f"{self.method_name}: empty block {bid}")
+            for instr in block.body:
+                if instr.is_terminator:
+                    raise IRValidationError(
+                        f"{self.method_name}: terminator in the middle of block {bid}"
+                    )
+            term = block.terminator
+            expected = {
+                "if": 2,
+                "goto": 1,
+                "return": 0,
+                "return-void": 0,
+            }
+            if term.kind in expected and len(block.successors) != expected[term.kind]:
+                raise IRValidationError(
+                    f"{self.method_name}: block {bid} terminator {term.kind} has "
+                    f"{len(block.successors)} successors"
+                )
+            if term.kind == "switch" and len(block.successors) != len(term.extra["targets"]) + 1:
+                raise IRValidationError(
+                    f"{self.method_name}: block {bid} switch successor count mismatch"
+                )
+            for succ in block.successors:
+                if succ not in self.blocks:
+                    raise IRValidationError(
+                        f"{self.method_name}: block {bid} points at missing block {succ}"
+                    )
+            for instr in block.instructions:
+                for reg in (instr.uses + ((instr.dst,) if instr.dst is not None else ())):
+                    if not 0 <= reg < self.num_registers:
+                        raise IRValidationError(
+                            f"{self.method_name}: v{reg} out of range in block {bid}"
+                        )

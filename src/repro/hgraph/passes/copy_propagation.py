@@ -1,0 +1,31 @@
+"""Copy propagation (per basic block) — rewrites uses of ``move``
+destinations to their sources, exposing more CSE/DCE opportunities."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hgraph.ir import HGraph, HInstruction
+
+__all__ = ["propagate_copies"]
+
+
+def propagate_copies(graph: HGraph) -> bool:
+    changed = False
+    for block in graph.blocks.values():
+        copies: dict[int, int] = {}
+        new_instrs: list[HInstruction] = []
+        for instr in block.instructions:
+            resolved = tuple(copies.get(u, u) for u in instr.uses)
+            if resolved != instr.uses:
+                instr = dataclasses.replace(instr, uses=resolved)
+                changed = True
+            if instr.dst is not None:
+                # The definition kills copies through and of dst.
+                copies.pop(instr.dst, None)
+                copies = {d: s for d, s in copies.items() if s != instr.dst}
+            if instr.kind == "move" and instr.dst != instr.uses[0]:
+                copies[instr.dst] = instr.uses[0]
+            new_instrs.append(instr)
+        block.instructions = new_instrs
+    return changed

@@ -1,0 +1,71 @@
+"""Dead code elimination with global liveness.
+
+Backward dataflow over the CFG computes live-in/live-out register sets;
+pure instructions whose destination is dead at their program point are
+removed.  Throwing and side-effecting instructions always survive (their
+slowpath or effect is observable), matching dex2oat's conservatism.
+"""
+
+from __future__ import annotations
+
+from repro.hgraph.ir import HGraph, HInstruction
+
+__all__ = ["eliminate_dead_code", "liveness"]
+
+
+def _use_def(instr: HInstruction) -> tuple[set[int], set[int]]:
+    uses = set(instr.uses)
+    defs = {instr.dst} if instr.dst is not None else set()
+    return uses, defs
+
+
+def liveness(graph: HGraph) -> dict[int, set[int]]:
+    """Compute ``live_out`` per block by iterating to a fixed point."""
+    use_before_def: dict[int, set[int]] = {}
+    defs: dict[int, set[int]] = {}
+    for bid, block in graph.blocks.items():
+        seen_defs: set[int] = set()
+        upward: set[int] = set()
+        for instr in block.instructions:
+            u, d = _use_def(instr)
+            upward |= u - seen_defs
+            seen_defs |= d
+        use_before_def[bid] = upward
+        defs[bid] = seen_defs
+
+    live_in: dict[int, set[int]] = {bid: set() for bid in graph.blocks}
+    live_out: dict[int, set[int]] = {bid: set() for bid in graph.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for bid, block in graph.blocks.items():
+            out: set[int] = set()
+            for succ in block.successors:
+                out |= live_in[succ]
+            new_in = use_before_def[bid] | (out - defs[bid])
+            if out != live_out[bid] or new_in != live_in[bid]:
+                live_out[bid] = out
+                live_in[bid] = new_in
+                changed = True
+    return live_out
+
+
+def eliminate_dead_code(graph: HGraph) -> bool:
+    """Remove pure instructions with dead destinations and no-op moves."""
+    live_out = liveness(graph)
+    changed = False
+    for bid, block in graph.blocks.items():
+        live = set(live_out[bid])
+        kept_reversed: list[HInstruction] = []
+        for instr in reversed(block.instructions):
+            uses, defs = _use_def(instr)
+            is_self_move = instr.kind == "move" and instr.dst == instr.uses[0]
+            dead_dst = instr.dst is not None and instr.dst not in live
+            if instr.is_removable_if_dead and (dead_dst or is_self_move):
+                changed = True
+                continue
+            live -= defs
+            live |= uses
+            kept_reversed.append(instr)
+        block.instructions = list(reversed(kept_reversed))
+    return changed

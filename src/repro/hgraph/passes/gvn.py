@@ -1,0 +1,67 @@
+"""Local value numbering (common subexpression elimination).
+
+A per-block analogue of dex2oat's GVN: pure expressions (and memory
+loads, guarded by a memory epoch that any store/call bumps) are value
+numbered; recomputations become ``move`` from the register that already
+holds the value — provided that register has not been overwritten since.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.hgraph.ir import HGraph, HInstruction
+
+__all__ = ["value_number"]
+
+#: Expression kinds eligible for value numbering.  Loads participate via
+#: the memory epoch; ``div`` stays out (its throw is an effect we keep).
+_PURE_KINDS = frozenset({"binop", "binop-lit", "const-string", "array-length", "iget", "aget"})
+
+
+def _key(
+    instr: HInstruction, version: dict[int, int], epoch: int
+) -> Hashable | None:
+    if instr.kind not in _PURE_KINDS:
+        return None
+    if instr.kind in ("binop", "binop-lit") and instr.extra.get("op") == "div":
+        return None
+    operands = tuple((u, version.get(u, 0)) for u in instr.uses)
+    payload = tuple(sorted((k, _hashable(v)) for k, v in instr.extra.items()))
+    memory = epoch if instr.kind in ("iget", "aget", "array-length") else -1
+    return (instr.kind, payload, operands, memory)
+
+
+def _hashable(value: object) -> object:
+    return tuple(value) if isinstance(value, list) else value
+
+
+def value_number(graph: HGraph) -> bool:
+    changed = False
+    for block in graph.blocks.values():
+        version: dict[int, int] = {}
+        epoch = 0
+        available: dict[Hashable, tuple[int, int]] = {}
+        new_body: list[HInstruction] = []
+        for instr in block.body:
+            key = _key(instr, version, epoch)
+            if key is not None and key in available:
+                holder, held_version = available[key]
+                if version.get(holder, 0) == held_version and instr.dst is not None:
+                    if instr.dst != holder:
+                        instr = HInstruction("move", dst=instr.dst, uses=(holder,))
+                        changed = True
+                    else:
+                        # Recomputing into the same register: drop entirely.
+                        changed = True
+                        continue
+                    key = None  # the move defines dst below
+            if instr.has_side_effects:
+                epoch += 1
+            if instr.dst is not None:
+                version[instr.dst] = version.get(instr.dst, 0) + 1
+                if key is not None:
+                    available[key] = (instr.dst, version[instr.dst])
+            new_body.append(instr)
+        block.instructions = new_body + [block.terminator]
+    return changed

@@ -1,0 +1,155 @@
+"""Loop-invariant code motion — one of the HGraph optimizations the
+paper lists among ART's stock size/speed passes (§5).
+
+Classic non-SSA LICM with conservative safety conditions:
+
+* natural loops are found from back edges (``u → h`` where ``h``
+  dominates ``u``), bodies by the standard reverse-reachability walk;
+* an instruction hoists when it is **pure** (no side effects, cannot
+  throw), none of its operands is defined inside the loop, it is the
+  **only** definition of its destination in the loop, and the
+  destination is **not live into the header** (so no first-iteration
+  read can observe the pre-loop value);
+* hoisted instructions land in a **preheader** created on demand (all
+  non-back-edge predecessors are redirected through it).
+
+Pure instructions make speculation safe, so no dominance-of-exits test
+is needed: executing the computation early can only produce the value
+every in-loop use would have seen anyway.
+"""
+
+from __future__ import annotations
+
+from repro.hgraph.ir import HBasicBlock, HGraph, HInstruction
+
+__all__ = ["dominators", "hoist_loop_invariants", "natural_loops"]
+
+
+def dominators(graph: HGraph) -> dict[int, set[int]]:
+    """Iterative dominator sets (fine for the small CFGs here)."""
+    all_blocks = set(graph.blocks)
+    dom: dict[int, set[int]] = {bid: set(all_blocks) for bid in all_blocks}
+    dom[graph.entry_id] = {graph.entry_id}
+    changed = True
+    while changed:
+        changed = False
+        for bid, block in graph.blocks.items():
+            if bid == graph.entry_id:
+                continue
+            preds = block.predecessors
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds)) | {bid}
+            else:
+                new = {bid}
+            if new != dom[bid]:
+                dom[bid] = new
+                changed = True
+    return dom
+
+
+def natural_loops(graph: HGraph) -> dict[int, set[int]]:
+    """``header → loop body blocks`` for every natural loop (bodies of
+    back edges sharing a header are merged)."""
+    dom = dominators(graph)
+    loops: dict[int, set[int]] = {}
+    for bid, block in graph.blocks.items():
+        for succ in block.successors:
+            if succ in dom[bid]:  # back edge bid -> succ
+                body = loops.setdefault(succ, {succ})
+                stack = [bid]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(graph.blocks[node].predecessors)
+    return loops
+
+
+def _live_in(graph: HGraph) -> dict[int, set[int]]:
+    """Per-block live-in sets, from the DCE liveness machinery."""
+    from repro.hgraph.passes.dce import liveness
+
+    live_out = liveness(graph)
+    live_in: dict[int, set[int]] = {}
+    for bid, block in graph.blocks.items():
+        live = set(live_out[bid])
+        for instr in reversed(block.instructions):
+            if instr.dst is not None:
+                live.discard(instr.dst)
+            live |= set(instr.uses)
+        live_in[bid] = live
+    return live_in
+
+
+def _ensure_preheader(graph: HGraph, header: int, body: set[int]) -> HBasicBlock:
+    """Insert (or reuse) a preheader: the unique out-of-loop predecessor."""
+    outside_preds = [p for p in graph.blocks[header].predecessors if p not in body]
+    if len(outside_preds) == 1:
+        candidate = graph.blocks[outside_preds[0]]
+        if candidate.successors == [header]:
+            return candidate
+    new_id = max(graph.blocks) + 1
+    pre = HBasicBlock(
+        block_id=new_id,
+        instructions=[HInstruction("goto")],
+        successors=[header],
+    )
+    graph.blocks[new_id] = pre
+    for pid in outside_preds:
+        pred = graph.blocks[pid]
+        pred.successors = [new_id if s == header else s for s in pred.successors]
+        term = pred.terminator
+        if term.kind == "switch":
+            term.extra["targets"] = [
+                new_id if t == header else t for t in term.extra["targets"]
+            ]
+    if header == graph.entry_id:
+        graph.entry_id = new_id
+    graph.recompute_predecessors()
+    return pre
+
+
+def hoist_loop_invariants(graph: HGraph) -> bool:
+    """Run LICM over every natural loop; returns True when changed."""
+    loops = natural_loops(graph)
+    if not loops:
+        return False
+    changed = False
+    # Inner loops first (smaller bodies), so invariants can bubble
+    # outward across runs of the pass pipeline.
+    for header in sorted(loops, key=lambda h: len(loops[h])):
+        body = loops[header]
+        live_in = _live_in(graph)
+        defs_in_loop: dict[int, int] = {}
+        for bid in body:
+            for instr in graph.blocks[bid].instructions:
+                if instr.dst is not None:
+                    defs_in_loop[instr.dst] = defs_in_loop.get(instr.dst, 0) + 1
+
+        hoisted: list[HInstruction] = []
+        for bid in sorted(body):
+            block = graph.blocks[bid]
+            kept: list[HInstruction] = []
+            for instr in block.body:
+                invariant = (
+                    instr.is_removable_if_dead
+                    and instr.dst is not None
+                    and defs_in_loop.get(instr.dst, 0) == 1
+                    and all(u not in defs_in_loop for u in instr.uses)
+                    and instr.dst not in live_in[header]
+                )
+                if invariant:
+                    hoisted.append(instr)
+                    defs_in_loop.pop(instr.dst, None)
+                    changed = True
+                else:
+                    kept.append(instr)
+            block.instructions = kept + [block.terminator]
+        if hoisted:
+            pre = _ensure_preheader(graph, header, body)
+            pre.instructions = pre.body + hoisted + [pre.terminator]
+    if changed:
+        graph.recompute_predecessors()
+        graph.validate()
+    return changed

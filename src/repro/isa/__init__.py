@@ -1,0 +1,28 @@
+"""A64 instruction-set substrate: typed instructions, bit-accurate
+encodings for the subset the dex2oat substrate emits, a decoder and a
+disassembler.
+
+The Calibro passes treat code as sequences of 32-bit words; this package
+is where word-level structure (PC-relative immediates, terminators,
+calls) is defined.
+"""
+
+from repro.isa import asm, instructions, registers
+from repro.isa.encoding import DecodeError, decode, decode_all, encode_all, iter_words
+from repro.isa.disasm import disassemble, format_instruction
+from repro.isa.instructions import WORD_SIZE, Instruction
+
+__all__ = [
+    "DecodeError",
+    "Instruction",
+    "WORD_SIZE",
+    "asm",
+    "decode",
+    "decode_all",
+    "disassemble",
+    "encode_all",
+    "format_instruction",
+    "instructions",
+    "iter_words",
+    "registers",
+]

@@ -1,0 +1,37 @@
+"""Bit-field helpers shared by the A64 encoder and decoder."""
+
+from __future__ import annotations
+
+
+class FieldRangeError(ValueError):
+    """An immediate does not fit its encoding field (width/alignment)."""
+
+
+def check_uint(value: int, width: int, what: str) -> int:
+    """Validate ``value`` as an unsigned ``width``-bit field."""
+    if not 0 <= value < (1 << width):
+        raise FieldRangeError(f"{what}={value:#x} does not fit in {width} unsigned bits")
+    return value
+
+
+def check_sint(value: int, width: int, what: str) -> int:
+    """Validate ``value`` as a signed ``width``-bit field, returning the
+    two's-complement unsigned representation used in the encoding."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise FieldRangeError(f"{what}={value:#x} does not fit in {width} signed bits")
+    return value & ((1 << width) - 1)
+
+
+def sext(value: int, width: int) -> int:
+    """Sign-extend the low ``width`` bits of ``value``."""
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return value
+
+
+def bits(word: int, hi: int, lo: int) -> int:
+    """Extract bits ``hi..lo`` (inclusive) of ``word``."""
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)

@@ -1,0 +1,87 @@
+"""Assembler-style convenience constructors for common A64 aliases.
+
+These keep the code generator readable: ``mov(x3, x4)`` instead of
+spelling out the ``orr``-with-zero-register encoding.
+"""
+
+from __future__ import annotations
+
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+
+__all__ = [
+    "add_imm", "add_reg", "cmp_imm", "cmp_reg", "ldr", "ldr_pair_post",
+    "mov", "mov_imm", "mul", "sdiv", "str_", "stp_pre", "sub_imm", "sub_reg",
+]
+
+
+def mov(rd: int, rm: int, *, sf: bool = True) -> ins.LogicalReg:
+    """``mov rd, rm`` (the ``orr rd, xzr, rm`` alias)."""
+    return ins.LogicalReg(op="orr", rd=rd, rn=regs.XZR, rm=rm, sf=sf)
+
+
+def mov_imm(rd: int, value: int, *, sf: bool = True) -> list[ins.Instruction]:
+    """Materialise an unsigned immediate with ``movz`` + ``movk`` chunks."""
+    if value < 0:
+        raise ValueError("mov_imm only materialises unsigned immediates")
+    width = 64 if sf else 32
+    if value >= (1 << width):
+        raise ValueError(f"immediate {value:#x} does not fit in {width} bits")
+    chunks = [(value >> (16 * hw)) & 0xFFFF for hw in range(width // 16)]
+    out: list[ins.Instruction] = [ins.MoveWide(op="movz", rd=rd, imm16=chunks[0], hw=0, sf=sf)]
+    for hw, chunk in enumerate(chunks[1:], start=1):
+        if chunk:
+            out.append(ins.MoveWide(op="movk", rd=rd, imm16=chunk, hw=hw, sf=sf))
+    return out
+
+
+def cmp_imm(rn: int, imm12: int, *, sf: bool = True) -> ins.AddSubImm:
+    """``cmp rn, #imm`` (``subs xzr, rn, #imm``)."""
+    return ins.AddSubImm(op="sub", rd=regs.XZR, rn=rn, imm12=imm12, set_flags=True, sf=sf)
+
+
+def cmp_reg(rn: int, rm: int, *, sf: bool = True) -> ins.AddSubReg:
+    """``cmp rn, rm`` (``subs xzr, rn, rm``)."""
+    return ins.AddSubReg(op="sub", rd=regs.XZR, rn=rn, rm=rm, set_flags=True, sf=sf)
+
+
+def add_imm(rd: int, rn: int, imm12: int, *, sf: bool = True) -> ins.AddSubImm:
+    return ins.AddSubImm(op="add", rd=rd, rn=rn, imm12=imm12, sf=sf)
+
+
+def sub_imm(rd: int, rn: int, imm12: int, *, sf: bool = True) -> ins.AddSubImm:
+    return ins.AddSubImm(op="sub", rd=rd, rn=rn, imm12=imm12, sf=sf)
+
+
+def add_reg(rd: int, rn: int, rm: int, *, sf: bool = True) -> ins.AddSubReg:
+    return ins.AddSubReg(op="add", rd=rd, rn=rn, rm=rm, sf=sf)
+
+
+def sub_reg(rd: int, rn: int, rm: int, *, sf: bool = True) -> ins.AddSubReg:
+    return ins.AddSubReg(op="sub", rd=rd, rn=rn, rm=rm, sf=sf)
+
+
+def mul(rd: int, rn: int, rm: int, *, sf: bool = True) -> ins.MAdd:
+    return ins.MAdd(rd=rd, rn=rn, rm=rm, ra=regs.XZR, sf=sf)
+
+
+def sdiv(rd: int, rn: int, rm: int, *, sf: bool = True) -> ins.SDiv:
+    return ins.SDiv(rd=rd, rn=rn, rm=rm, sf=sf)
+
+
+def ldr(rt: int, rn: int, offset: int = 0, *, size: int = 8) -> ins.LoadStoreImm:
+    return ins.LoadStoreImm(op="ldr", rt=rt, rn=rn, offset=offset, size=size)
+
+
+def str_(rt: int, rn: int, offset: int = 0, *, size: int = 8) -> ins.LoadStoreImm:
+    return ins.LoadStoreImm(op="str", rt=rt, rn=rn, offset=offset, size=size)
+
+
+def stp_pre(rt: int, rt2: int, rn: int, offset: int) -> ins.LoadStorePair:
+    """``stp rt, rt2, [rn, #offset]!`` — the standard frame prologue."""
+    return ins.LoadStorePair(op="stp", rt=rt, rt2=rt2, rn=rn, offset=offset, mode="pre")
+
+
+def ldr_pair_post(rt: int, rt2: int, rn: int, offset: int) -> ins.LoadStorePair:
+    """``ldp rt, rt2, [rn], #offset`` — the matching epilogue."""
+    return ins.LoadStorePair(op="ldp", rt=rt, rt2=rt2, rn=rn, offset=offset, mode="post")

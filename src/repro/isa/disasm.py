@@ -1,0 +1,38 @@
+"""Textual disassembly of A64-subset code, in the style of the paper's
+Table 2 listings (``0x138320: cbz w0, #+0xc (addr 0x13832c)``)."""
+
+from __future__ import annotations
+
+from repro.isa import instructions as ins
+from repro.isa.encoding import DecodeError, decode, iter_words
+
+__all__ = ["disassemble", "format_instruction"]
+
+
+def format_instruction(instr: ins.Instruction, address: int | None = None) -> str:
+    """Render one instruction; PC-relative targets get their absolute
+    address annotated when ``address`` is known."""
+    text = instr.render()
+    if address is None:
+        return text
+    if instr.is_pc_relative:
+        text += f" (addr {address + instr.target_offset:#x})"
+    return f"{address:#x}: {text}"
+
+
+def disassemble(code: bytes, base_address: int = 0) -> list[str]:
+    """Disassemble ``code`` into one line per 32-bit word.
+
+    Words that fail to decode are rendered as ``.word`` directives — the
+    honest behaviour for embedded data, which the paper's LTBO metadata
+    exists to identify without guessing.
+    """
+    lines = []
+    address = base_address
+    for word in iter_words(code):
+        try:
+            lines.append(format_instruction(decode(word), address))
+        except DecodeError:
+            lines.append(f"{address:#x}: .word {word:#010x}")
+        address += ins.WORD_SIZE
+    return lines

@@ -1,0 +1,222 @@
+"""A64 subset decoder and byte-level helpers.
+
+``decode`` is the inverse of each instruction's ``encode`` for the subset
+emitted by the compiler substrate.  Words that do not match any supported
+pattern raise :class:`DecodeError` — exactly the situation the paper
+warns about when data is embedded in a text segment, and the reason LTBO
+relies on compile-time metadata instead of blind disassembly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.isa import instructions as ins
+from repro.isa._bits import bits, sext
+
+__all__ = ["DecodeError", "decode", "decode_all", "encode_all", "iter_words"]
+
+
+class DecodeError(ValueError):
+    """A 32-bit word does not encode a supported instruction."""
+
+
+def decode(word: int) -> ins.Instruction:
+    """Decode one little-endian 32-bit instruction word."""
+    if not 0 <= word < (1 << 32):
+        raise DecodeError(f"not a 32-bit word: {word:#x}")
+
+    # Fixed-pattern system / branch-register forms first.
+    if word == 0xD503201F:
+        return ins.Nop()
+    if (word & 0xFFE0001F) == 0xD4200000:
+        return ins.Brk(imm16=bits(word, 20, 5))
+    if (word & 0xFFFFFC1F) == 0xD65F0000:
+        return ins.Ret(rn=bits(word, 9, 5))
+    if (word & 0xFFFFFC1F) == 0xD61F0000:
+        return ins.Br(rn=bits(word, 9, 5))
+    if (word & 0xFFFFFC1F) == 0xD63F0000:
+        return ins.Blr(rn=bits(word, 9, 5))
+
+    # Immediate branches.
+    if (word & 0xFC000000) == 0x14000000:
+        return ins.B(offset=sext(bits(word, 25, 0), 26) * 4)
+    if (word & 0xFC000000) == 0x94000000:
+        return ins.Bl(offset=sext(bits(word, 25, 0), 26) * 4)
+    if (word & 0xFF000010) == 0x54000000:
+        return ins.BCond(cond=bits(word, 3, 0), offset=sext(bits(word, 23, 5), 19) * 4)
+    if (word & 0x7E000000) == 0x34000000:
+        cls = ins.Cbnz if bits(word, 24, 24) else ins.Cbz
+        return cls(
+            rt=bits(word, 4, 0),
+            offset=sext(bits(word, 23, 5), 19) * 4,
+            sf=bool(bits(word, 31, 31)),
+        )
+    if (word & 0x7E000000) == 0x36000000:
+        cls = ins.Tbnz if bits(word, 24, 24) else ins.Tbz
+        bit = (bits(word, 31, 31) << 5) | bits(word, 23, 19)
+        return cls(rt=bits(word, 4, 0), bit=bit, offset=sext(bits(word, 18, 5), 14) * 4)
+
+    # PC-relative addresses and literal loads.
+    if (word & 0x9F000000) == 0x10000000:
+        imm21 = sext((bits(word, 23, 5) << 2) | bits(word, 30, 29), 21)
+        return ins.Adr(rd=bits(word, 4, 0), offset=imm21)
+    if (word & 0x9F000000) == 0x90000000:
+        imm21 = sext((bits(word, 23, 5) << 2) | bits(word, 30, 29), 21)
+        return ins.Adrp(rd=bits(word, 4, 0), page_offset=imm21)
+    if (word & 0xFF000000) == 0x58000000:
+        return ins.LoadLiteral(rt=bits(word, 4, 0), offset=sext(bits(word, 23, 5), 19) * 4)
+
+    # Move wide.
+    if (word & 0x1F800000) == 0x12800000:
+        opc = bits(word, 30, 29)
+        names = {0b00: "movn", 0b10: "movz", 0b11: "movk"}
+        if opc not in names:
+            raise DecodeError(f"unsupported move-wide opc in {word:#010x}")
+        if not bits(word, 31, 31) and bits(word, 22, 21) > 1:
+            # hw >= 2 is unallocated in the 32-bit variant.
+            raise DecodeError(f"unallocated 32-bit move-wide hw in {word:#010x}")
+        return ins.MoveWide(
+            op=names[opc],
+            rd=bits(word, 4, 0),
+            imm16=bits(word, 20, 5),
+            hw=bits(word, 22, 21),
+            sf=bool(bits(word, 31, 31)),
+        )
+
+    # Add/sub immediate.
+    if (word & 0x1F800000) == 0x11000000:
+        return ins.AddSubImm(
+            op="sub" if bits(word, 30, 30) else "add",
+            rd=bits(word, 4, 0),
+            rn=bits(word, 9, 5),
+            imm12=bits(word, 21, 10),
+            shift12=bool(bits(word, 22, 22)),
+            set_flags=bool(bits(word, 29, 29)),
+            sf=bool(bits(word, 31, 31)),
+        )
+
+    # Add/sub shifted register (shift amount 0 only).
+    if (word & 0x1F200000) == 0x0B000000:
+        if bits(word, 23, 22) or bits(word, 15, 10):
+            raise DecodeError(f"shifted-register form with nonzero shift: {word:#010x}")
+        return ins.AddSubReg(
+            op="sub" if bits(word, 30, 30) else "add",
+            rd=bits(word, 4, 0),
+            rn=bits(word, 9, 5),
+            rm=bits(word, 20, 16),
+            set_flags=bool(bits(word, 29, 29)),
+            sf=bool(bits(word, 31, 31)),
+        )
+
+    # Logical shifted register (shift amount 0, no ANDS, no negated forms).
+    if (word & 0x1F200000) == 0x0A000000:
+        if bits(word, 23, 22) or bits(word, 15, 10) or bits(word, 21, 21):
+            raise DecodeError(f"unsupported logical form: {word:#010x}")
+        opc = bits(word, 30, 29)
+        names = {0b00: "and", 0b01: "orr", 0b10: "eor"}
+        if opc not in names:
+            raise DecodeError(f"unsupported logical opc in {word:#010x}")
+        return ins.LogicalReg(
+            op=names[opc],
+            rd=bits(word, 4, 0),
+            rn=bits(word, 9, 5),
+            rm=bits(word, 20, 16),
+            sf=bool(bits(word, 31, 31)),
+        )
+
+    # Multiply-add.
+    if (word & 0x7FE08000) == 0x1B000000:
+        return ins.MAdd(
+            rd=bits(word, 4, 0),
+            rn=bits(word, 9, 5),
+            rm=bits(word, 20, 16),
+            ra=bits(word, 14, 10),
+            sf=bool(bits(word, 31, 31)),
+        )
+
+    # Signed divide.
+    if (word & 0x7FE0FC00) == 0x1AC00C00:
+        return ins.SDiv(
+            rd=bits(word, 4, 0),
+            rn=bits(word, 9, 5),
+            rm=bits(word, 20, 16),
+            sf=bool(bits(word, 31, 31)),
+        )
+
+    # Variable shifts (lslv/lsrv/asrv).
+    if (word & 0x7FE0F000) == 0x1AC02000:
+        op2 = bits(word, 11, 10)
+        names = {0b00: "lsl", 0b01: "lsr", 0b10: "asr"}
+        if op2 not in names:
+            raise DecodeError(f"unsupported shift variant: {word:#010x}")
+        return ins.ShiftVar(
+            op=names[op2],
+            rd=bits(word, 4, 0),
+            rn=bits(word, 9, 5),
+            rm=bits(word, 20, 16),
+            sf=bool(bits(word, 31, 31)),
+        )
+
+    # Conditional select / increment.
+    if (word & 0x7FE00800) == 0x1A800000:
+        return ins.CSel(
+            rd=bits(word, 4, 0),
+            rn=bits(word, 9, 5),
+            rm=bits(word, 20, 16),
+            cond=bits(word, 15, 12),
+            increment=bool(bits(word, 10, 10)),
+            sf=bool(bits(word, 31, 31)),
+        )
+
+    # Load/store unsigned immediate.
+    if (word & 0x3F000000) == 0x39000000:
+        size_bits = bits(word, 31, 30)
+        if size_bits not in (0b10, 0b11):
+            raise DecodeError(f"unsupported load/store size: {word:#010x}")
+        opc = bits(word, 23, 22)
+        if opc not in (0b00, 0b01):
+            raise DecodeError(f"unsupported load/store opc: {word:#010x}")
+        size = 8 if size_bits == 0b11 else 4
+        return ins.LoadStoreImm(
+            op="ldr" if opc == 0b01 else "str",
+            rt=bits(word, 4, 0),
+            rn=bits(word, 9, 5),
+            offset=bits(word, 21, 10) * size,
+            size=size,
+        )
+
+    # Load/store pair (64-bit).
+    if (word & 0xFC000000) == 0xA8000000 and not bits(word, 26, 26):
+        mode_bits = bits(word, 25, 23)
+        modes = {0b001: "post", 0b011: "pre", 0b010: "offset"}
+        if mode_bits not in modes:
+            raise DecodeError(f"unsupported pair addressing mode: {word:#010x}")
+        return ins.LoadStorePair(
+            op="ldp" if bits(word, 22, 22) else "stp",
+            rt=bits(word, 4, 0),
+            rt2=bits(word, 14, 10),
+            rn=bits(word, 9, 5),
+            offset=sext(bits(word, 21, 15), 7) * 8,
+            mode=modes[mode_bits],
+        )
+
+    raise DecodeError(f"cannot decode word {word:#010x}")
+
+
+def iter_words(code: bytes) -> Iterator[int]:
+    """Yield little-endian 32-bit words from ``code``."""
+    if len(code) % ins.WORD_SIZE:
+        raise ValueError(f"code length {len(code)} is not a multiple of 4")
+    for i in range(0, len(code), ins.WORD_SIZE):
+        yield int.from_bytes(code[i : i + ins.WORD_SIZE], "little")
+
+
+def decode_all(code: bytes) -> list[ins.Instruction]:
+    """Decode a byte string into a list of instructions."""
+    return [decode(word) for word in iter_words(code)]
+
+
+def encode_all(instructions: Iterable[ins.Instruction]) -> bytes:
+    """Encode instructions into a little-endian byte string."""
+    return b"".join(i.encode_bytes() for i in instructions)

@@ -1,0 +1,818 @@
+"""Typed model of the A64 instruction subset emitted by the dex2oat substrate.
+
+Every instruction is a frozen dataclass that knows its own bit-accurate
+A64 encoding (``encode``) and its textual rendering (``render``).  The
+decoder lives in :mod:`repro.isa.encoding`.
+
+Classification flags drive the Calibro passes:
+
+``is_terminator``
+    Ends a basic block (unconditional/conditional branches, compare-and-
+    branch, test-and-branch, ``ret``, ``br``).  Terminators are mapped to
+    a unique separator symbol before suffix-tree construction (paper
+    Section 3.3.2) so no repeated sequence crosses a basic block edge.
+``is_call``
+    ``bl``/``blr``.  Calls clobber ``x30``, which outlined functions need
+    intact for their ``br x30`` return, so sequences containing calls are
+    never outlined (a strictly-safe refinement documented in DESIGN.md).
+``is_pc_relative``
+    Carries a PC-relative immediate that the link-time patcher must keep
+    consistent when code moves (paper Section 3.3.4 lists b, bl, cbz,
+    cbnz, tbz, tbnz, adr, adrp and ldr-literal).
+``is_indirect_jump``
+    ``br``.  Methods containing indirect jumps are flagged at compile
+    time and excluded from outlining entirely (paper Section 3.2).
+
+PC-relative instructions expose ``target_offset`` — the byte displacement
+from the instruction's own address — and ``with_target_offset`` which
+returns a re-targeted copy, used by the patcher.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.isa import registers as regs
+from repro.isa._bits import FieldRangeError, check_sint, check_uint
+
+__all__ = [
+    "AddSubImm",
+    "AddSubReg",
+    "Adr",
+    "Adrp",
+    "B",
+    "BCond",
+    "Bl",
+    "Blr",
+    "Br",
+    "Brk",
+    "CSel",
+    "Cbnz",
+    "Cbz",
+    "Cond",
+    "Instruction",
+    "LoadLiteral",
+    "LoadStoreImm",
+    "LoadStorePair",
+    "LogicalReg",
+    "MAdd",
+    "MoveWide",
+    "Nop",
+    "Ret",
+    "SDiv",
+    "ShiftVar",
+    "Tbnz",
+    "Tbz",
+    "WORD_SIZE",
+]
+
+#: Every A64 instruction is one 32-bit word.
+WORD_SIZE = 4
+
+
+class Cond:
+    """A64 condition codes for ``b.cond``."""
+
+    EQ, NE, HS, LO, MI, PL, VS, VC, HI, LS, GE, LT, GT, LE, AL, NV = range(16)
+
+    NAMES = (
+        "eq", "ne", "hs", "lo", "mi", "pl", "vs", "vc",
+        "hi", "ls", "ge", "lt", "gt", "le", "al", "nv",
+    )
+
+    @classmethod
+    def name(cls, cond: int) -> str:
+        return cls.NAMES[cond]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all instructions.  Subclasses set the class-level
+    classification flags and implement ``encode``/``render``."""
+
+    is_terminator = False
+    is_call = False
+    is_pc_relative = False
+    is_indirect_jump = False
+
+    def encode(self) -> int:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def encode_bytes(self) -> bytes:
+        return self.encode().to_bytes(WORD_SIZE, "little")
+
+    # PC-relative protocol -----------------------------------------------
+
+    @property
+    def target_offset(self) -> int:
+        """Byte displacement to the target, relative to this instruction."""
+        raise AttributeError(f"{type(self).__name__} is not PC-relative")
+
+    def with_target_offset(self, offset: int) -> "Instruction":
+        """Return a copy of this instruction re-targeted to ``offset``."""
+        raise AttributeError(f"{type(self).__name__} is not PC-relative")
+
+
+def _r(n: int, *, sf: bool = True, sp: bool = False) -> str:
+    return regs.reg_name(n, sf=sf, sp=sp)
+
+
+# -- Data processing: move wide ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MoveWide(Instruction):
+    """``movz``/``movk``/``movn`` — move a shifted 16-bit immediate."""
+
+    op: str  # 'movz' | 'movk' | 'movn'
+    rd: int
+    imm16: int
+    hw: int = 0  # shift = hw * 16
+    sf: bool = True
+
+    _OPC = {"movn": 0b00, "movz": 0b10, "movk": 0b11}
+
+    def encode(self) -> int:
+        opc = self._OPC[self.op]
+        check_uint(self.imm16, 16, "imm16")
+        max_hw = 3 if self.sf else 1
+        if not 0 <= self.hw <= max_hw:
+            raise FieldRangeError(f"hw={self.hw} out of range for sf={self.sf}")
+        return (
+            (int(self.sf) << 31)
+            | (opc << 29)
+            | (0b100101 << 23)
+            | (self.hw << 21)
+            | (self.imm16 << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    def render(self) -> str:
+        shift = f", lsl #{self.hw * 16}" if self.hw else ""
+        return f"{self.op} {_r(self.rd, sf=self.sf)}, #{self.imm16:#x}{shift}"
+
+
+# -- Data processing: add/sub --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AddSubImm(Instruction):
+    """``add``/``sub``[``s``] with a 12-bit immediate (optionally LSL 12).
+
+    Register 31 reads as SP for ``rd``/``rn`` when flags are not set —
+    this is what lets the stack overflow checking pattern compute
+    ``sub x16, sp, #0x2000``.
+    """
+
+    op: str  # 'add' | 'sub'
+    rd: int
+    rn: int
+    imm12: int
+    shift12: bool = False
+    set_flags: bool = False
+    sf: bool = True
+
+    def encode(self) -> int:
+        op_bit = {"add": 0, "sub": 1}[self.op]
+        return (
+            (int(self.sf) << 31)
+            | (op_bit << 30)
+            | (int(self.set_flags) << 29)
+            | (0b100010 << 23)
+            | (int(self.shift12) << 22)
+            | (check_uint(self.imm12, 12, "imm12") << 10)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    def render(self) -> str:
+        s = "s" if self.set_flags else ""
+        shift = ", lsl #12" if self.shift12 else ""
+        if self.set_flags and self.rd == 31:
+            name = {"sub": "cmp", "add": "cmn"}[self.op]
+            return f"{name} {_r(self.rn, sf=self.sf, sp=True)}, #{self.imm12:#x}{shift}"
+        return (
+            f"{self.op}{s} {_r(self.rd, sf=self.sf, sp=not self.set_flags)}, "
+            f"{_r(self.rn, sf=self.sf, sp=True)}, #{self.imm12:#x}{shift}"
+        )
+
+
+@dataclass(frozen=True)
+class AddSubReg(Instruction):
+    """``add``/``sub``[``s``] shifted-register form (shift amount 0)."""
+
+    op: str  # 'add' | 'sub'
+    rd: int
+    rn: int
+    rm: int
+    set_flags: bool = False
+    sf: bool = True
+
+    def encode(self) -> int:
+        op_bit = {"add": 0, "sub": 1}[self.op]
+        return (
+            (int(self.sf) << 31)
+            | (op_bit << 30)
+            | (int(self.set_flags) << 29)
+            | (0b01011 << 24)
+            | (check_uint(self.rm, 5, "rm") << 16)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    def render(self) -> str:
+        if self.set_flags and self.rd == 31:
+            name = {"sub": "cmp", "add": "cmn"}[self.op]
+            return f"{name} {_r(self.rn, sf=self.sf)}, {_r(self.rm, sf=self.sf)}"
+        s = "s" if self.set_flags else ""
+        return (
+            f"{self.op}{s} {_r(self.rd, sf=self.sf)}, "
+            f"{_r(self.rn, sf=self.sf)}, {_r(self.rm, sf=self.sf)}"
+        )
+
+
+@dataclass(frozen=True)
+class LogicalReg(Instruction):
+    """``and``/``orr``/``eor`` shifted-register form (shift amount 0).
+
+    ``orr rd, xzr, rm`` is the canonical ``mov rd, rm`` alias.
+    """
+
+    op: str  # 'and' | 'orr' | 'eor'
+    rd: int
+    rn: int
+    rm: int
+    sf: bool = True
+
+    _OPC = {"and": 0b00, "orr": 0b01, "eor": 0b10}
+
+    def encode(self) -> int:
+        return (
+            (int(self.sf) << 31)
+            | (self._OPC[self.op] << 29)
+            | (0b01010 << 24)
+            | (check_uint(self.rm, 5, "rm") << 16)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    def render(self) -> str:
+        if self.op == "orr" and self.rn == 31:
+            return f"mov {_r(self.rd, sf=self.sf)}, {_r(self.rm, sf=self.sf)}"
+        return (
+            f"{self.op} {_r(self.rd, sf=self.sf)}, "
+            f"{_r(self.rn, sf=self.sf)}, {_r(self.rm, sf=self.sf)}"
+        )
+
+
+@dataclass(frozen=True)
+class MAdd(Instruction):
+    """``madd rd, rn, rm, ra`` — ``mul`` when ``ra`` is the zero register."""
+
+    rd: int
+    rn: int
+    rm: int
+    ra: int = regs.XZR
+    sf: bool = True
+
+    def encode(self) -> int:
+        return (
+            (int(self.sf) << 31)
+            | (0b0011011000 << 21)
+            | (check_uint(self.rm, 5, "rm") << 16)
+            | (check_uint(self.ra, 5, "ra") << 10)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    def render(self) -> str:
+        if self.ra == 31:
+            return f"mul {_r(self.rd, sf=self.sf)}, {_r(self.rn, sf=self.sf)}, {_r(self.rm, sf=self.sf)}"
+        return (
+            f"madd {_r(self.rd, sf=self.sf)}, {_r(self.rn, sf=self.sf)}, "
+            f"{_r(self.rm, sf=self.sf)}, {_r(self.ra, sf=self.sf)}"
+        )
+
+
+@dataclass(frozen=True)
+class SDiv(Instruction):
+    """``sdiv rd, rn, rm``."""
+
+    rd: int
+    rn: int
+    rm: int
+    sf: bool = True
+
+    def encode(self) -> int:
+        return (
+            (int(self.sf) << 31)
+            | (0b0011010110 << 21)
+            | (check_uint(self.rm, 5, "rm") << 16)
+            | (0b000011 << 10)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    def render(self) -> str:
+        return f"sdiv {_r(self.rd, sf=self.sf)}, {_r(self.rn, sf=self.sf)}, {_r(self.rm, sf=self.sf)}"
+
+
+@dataclass(frozen=True)
+class ShiftVar(Instruction):
+    """``lslv``/``lsrv``/``asrv rd, rn, rm`` — variable shifts (the
+    ``lsl``/``lsr``/``asr`` register aliases).  The shift amount is
+    ``rm mod datasize``, per the architecture."""
+
+    op: str  # 'lsl' | 'lsr' | 'asr'
+    rd: int
+    rn: int
+    rm: int
+    sf: bool = True
+
+    _OP2 = {"lsl": 0b00, "lsr": 0b01, "asr": 0b10}
+
+    def encode(self) -> int:
+        return (
+            (int(self.sf) << 31)
+            | (0b0011010110 << 21)
+            | (check_uint(self.rm, 5, "rm") << 16)
+            | (0b0010 << 12)
+            | (self._OP2[self.op] << 10)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    def render(self) -> str:
+        return f"{self.op} {_r(self.rd, sf=self.sf)}, {_r(self.rn, sf=self.sf)}, {_r(self.rm, sf=self.sf)}"
+
+
+@dataclass(frozen=True)
+class CSel(Instruction):
+    """``csel``/``csinc rd, rn, rm, cond`` — conditional select.
+
+    ``csinc`` with ``rn = rm = xzr`` is the ``cset`` alias the code
+    generator uses to materialise booleans from comparisons.
+    """
+
+    rd: int
+    rn: int
+    rm: int
+    cond: int
+    increment: bool = False  # csinc when True
+    sf: bool = True
+
+    def encode(self) -> int:
+        return (
+            (int(self.sf) << 31)
+            | (0b0011010100 << 21)
+            | (check_uint(self.rm, 5, "rm") << 16)
+            | (check_uint(self.cond, 4, "cond") << 12)
+            | (int(self.increment) << 10)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    def render(self) -> str:
+        cond = Cond.name(self.cond)
+        if self.increment and self.rn == 31 and self.rm == 31:
+            # cset rd, <inverted cond>
+            return f"cset {_r(self.rd, sf=self.sf)}, {Cond.name(self.cond ^ 1)}"
+        name = "csinc" if self.increment else "csel"
+        return (
+            f"{name} {_r(self.rd, sf=self.sf)}, {_r(self.rn, sf=self.sf)}, "
+            f"{_r(self.rm, sf=self.sf)}, {cond}"
+        )
+
+
+# -- Loads and stores ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadStoreImm(Instruction):
+    """``ldr``/``str`` register + scaled unsigned 12-bit immediate offset.
+
+    ``size`` is the access size in bytes (4 or 8); the byte offset must be
+    a multiple of the size (A64 scales the encoded immediate).
+    """
+
+    op: str  # 'ldr' | 'str'
+    rt: int
+    rn: int
+    offset: int = 0  # byte offset
+    size: int = 8  # 4 or 8
+
+    def encode(self) -> int:
+        if self.size not in (4, 8):
+            raise FieldRangeError(f"unsupported access size {self.size}")
+        if self.offset % self.size:
+            raise FieldRangeError(f"offset {self.offset:#x} not {self.size}-byte aligned")
+        imm12 = check_uint(self.offset // self.size, 12, "imm12")
+        size_bits = 0b11 if self.size == 8 else 0b10
+        opc = 0b01 if self.op == "ldr" else 0b00
+        return (
+            (size_bits << 30)
+            | (0b111001 << 24)
+            | (opc << 22)
+            | (imm12 << 10)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rt, 5, "rt")
+        )
+
+    def render(self) -> str:
+        sf = self.size == 8
+        off = f", #{self.offset:#x}" if self.offset else ""
+        return f"{self.op} {_r(self.rt, sf=sf)}, [{_r(self.rn, sp=True)}{off}]"
+
+
+@dataclass(frozen=True)
+class LoadStorePair(Instruction):
+    """``ldp``/``stp`` of 64-bit registers.
+
+    ``mode`` selects signed-offset (``offset``), pre-index (``pre``, with
+    writeback — the classic ``stp x29, x30, [sp, #-16]!`` prologue) or
+    post-index (``post`` — the matching ``ldp ..., [sp], #16`` epilogue).
+    """
+
+    op: str  # 'ldp' | 'stp'
+    rt: int
+    rt2: int
+    rn: int
+    offset: int = 0  # byte offset, multiple of 8, range [-512, 504]
+    mode: str = "offset"  # 'offset' | 'pre' | 'post'
+
+    _MODE_BITS = {"post": 0b001, "pre": 0b011, "offset": 0b010}
+
+    def encode(self) -> int:
+        if self.offset % 8:
+            raise FieldRangeError(f"pair offset {self.offset:#x} not 8-byte aligned")
+        imm7 = check_sint(self.offset // 8, 7, "imm7")
+        load_bit = 1 if self.op == "ldp" else 0
+        return (
+            (0b10 << 30)
+            | (0b101 << 27)
+            | (self._MODE_BITS[self.mode] << 23)
+            | (load_bit << 22)
+            | (imm7 << 15)
+            | (check_uint(self.rt2, 5, "rt2") << 10)
+            | (check_uint(self.rn, 5, "rn") << 5)
+            | check_uint(self.rt, 5, "rt")
+        )
+
+    def render(self) -> str:
+        base = _r(self.rn, sp=True)
+        pair = f"{self.op} {_r(self.rt)}, {_r(self.rt2)}"
+        if self.mode == "pre":
+            return f"{pair}, [{base}, #{self.offset}]!"
+        if self.mode == "post":
+            return f"{pair}, [{base}], #{self.offset}"
+        off = f", #{self.offset}" if self.offset else ""
+        return f"{pair}, [{base}{off}]"
+
+
+@dataclass(frozen=True)
+class LoadLiteral(Instruction):
+    """``ldr rt, <label>`` — PC-relative literal load (64-bit)."""
+
+    is_pc_relative = True
+
+    rt: int
+    offset: int = 0  # byte displacement from this instruction; ±1 MiB, word aligned
+
+    def encode(self) -> int:
+        if self.offset % 4:
+            raise FieldRangeError(f"literal offset {self.offset:#x} not word aligned")
+        imm19 = check_sint(self.offset // 4, 19, "imm19")
+        return (0b01 << 30) | (0b011000 << 24) | (imm19 << 5) | check_uint(self.rt, 5, "rt")
+
+    @property
+    def target_offset(self) -> int:
+        return self.offset
+
+    def with_target_offset(self, offset: int) -> "LoadLiteral":
+        return dataclasses.replace(self, offset=offset)
+
+    def render(self) -> str:
+        return f"ldr {_r(self.rt)}, #{self.offset:+#x}"
+
+
+# -- PC-relative address generation --------------------------------------------
+
+
+@dataclass(frozen=True)
+class Adr(Instruction):
+    """``adr rd, <label>`` — PC-relative address, ±1 MiB byte range."""
+
+    is_pc_relative = True
+
+    rd: int
+    offset: int = 0
+
+    def encode(self) -> int:
+        imm21 = check_sint(self.offset, 21, "imm21")
+        immlo = imm21 & 0b11
+        immhi = imm21 >> 2
+        return (immlo << 29) | (0b10000 << 24) | (immhi << 5) | check_uint(self.rd, 5, "rd")
+
+    @property
+    def target_offset(self) -> int:
+        return self.offset
+
+    def with_target_offset(self, offset: int) -> "Adr":
+        return dataclasses.replace(self, offset=offset)
+
+    def render(self) -> str:
+        return f"adr {_r(self.rd)}, #{self.offset:+#x}"
+
+
+@dataclass(frozen=True)
+class Adrp(Instruction):
+    """``adrp rd, <label>`` — PC-relative page address (4 KiB pages).
+
+    ``page_offset`` counts 4 KiB pages between the instruction's page and
+    the target's page.
+    """
+
+    is_pc_relative = True
+
+    rd: int
+    page_offset: int = 0
+
+    def encode(self) -> int:
+        imm21 = check_sint(self.page_offset, 21, "imm21")
+        immlo = imm21 & 0b11
+        immhi = imm21 >> 2
+        return (
+            (1 << 31) | (immlo << 29) | (0b10000 << 24) | (immhi << 5)
+            | check_uint(self.rd, 5, "rd")
+        )
+
+    @property
+    def target_offset(self) -> int:
+        return self.page_offset * 4096
+
+    def with_target_offset(self, offset: int) -> "Adrp":
+        if offset % 4096:
+            raise FieldRangeError("adrp target must stay page aligned under patching")
+        return dataclasses.replace(self, page_offset=offset // 4096)
+
+    def render(self) -> str:
+        return f"adrp {_r(self.rd)}, #{self.page_offset:+}(pages)"
+
+
+# -- Branches ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class B(Instruction):
+    """``b <label>`` — unconditional PC-relative branch, ±128 MiB."""
+
+    is_terminator = True
+    is_pc_relative = True
+
+    offset: int = 0
+
+    def encode(self) -> int:
+        if self.offset % 4:
+            raise FieldRangeError("branch offset must be word aligned")
+        return (0b000101 << 26) | check_sint(self.offset // 4, 26, "imm26")
+
+    @property
+    def target_offset(self) -> int:
+        return self.offset
+
+    def with_target_offset(self, offset: int) -> "B":
+        return dataclasses.replace(self, offset=offset)
+
+    def render(self) -> str:
+        return f"b #{self.offset:+#x}"
+
+
+@dataclass(frozen=True)
+class Bl(Instruction):
+    """``bl <label>`` — branch with link, ±128 MiB.
+
+    Not a terminator (control returns); clobbers ``x30``.  Calibro leaves
+    ``bl`` targets symbolic until link time (relocation records), which is
+    why the patcher never needs to touch them (paper Section 3.2).
+    """
+
+    is_call = True
+    is_pc_relative = True
+
+    offset: int = 0
+
+    def encode(self) -> int:
+        if self.offset % 4:
+            raise FieldRangeError("branch offset must be word aligned")
+        return (0b100101 << 26) | check_sint(self.offset // 4, 26, "imm26")
+
+    @property
+    def target_offset(self) -> int:
+        return self.offset
+
+    def with_target_offset(self, offset: int) -> "Bl":
+        return dataclasses.replace(self, offset=offset)
+
+    def render(self) -> str:
+        return f"bl #{self.offset:+#x}"
+
+
+@dataclass(frozen=True)
+class BCond(Instruction):
+    """``b.<cond> <label>`` — conditional branch, ±1 MiB."""
+
+    is_terminator = True
+    is_pc_relative = True
+
+    cond: int = Cond.EQ
+    offset: int = 0
+
+    def encode(self) -> int:
+        if self.offset % 4:
+            raise FieldRangeError("branch offset must be word aligned")
+        imm19 = check_sint(self.offset // 4, 19, "imm19")
+        return (0b01010100 << 24) | (imm19 << 5) | check_uint(self.cond, 4, "cond")
+
+    @property
+    def target_offset(self) -> int:
+        return self.offset
+
+    def with_target_offset(self, offset: int) -> "BCond":
+        return dataclasses.replace(self, offset=offset)
+
+    def render(self) -> str:
+        return f"b.{Cond.name(self.cond)} #{self.offset:+#x}"
+
+
+@dataclass(frozen=True)
+class Cbz(Instruction):
+    """``cbz rt, <label>`` — compare and branch if zero, ±1 MiB."""
+
+    is_terminator = True
+    is_pc_relative = True
+
+    rt: int = 0
+    offset: int = 0
+    sf: bool = True
+
+    _OP = 0
+
+    def encode(self) -> int:
+        if self.offset % 4:
+            raise FieldRangeError("branch offset must be word aligned")
+        imm19 = check_sint(self.offset // 4, 19, "imm19")
+        return (
+            (int(self.sf) << 31)
+            | (0b011010 << 25)
+            | (self._OP << 24)
+            | (imm19 << 5)
+            | check_uint(self.rt, 5, "rt")
+        )
+
+    @property
+    def target_offset(self) -> int:
+        return self.offset
+
+    def with_target_offset(self, offset: int) -> "Cbz":
+        return dataclasses.replace(self, offset=offset)
+
+    def render(self) -> str:
+        name = "cbz" if self._OP == 0 else "cbnz"
+        return f"{name} {_r(self.rt, sf=self.sf)}, #{self.offset:+#x}"
+
+
+@dataclass(frozen=True)
+class Cbnz(Cbz):
+    """``cbnz rt, <label>``."""
+
+    _OP = 1
+
+
+@dataclass(frozen=True)
+class Tbz(Instruction):
+    """``tbz rt, #bit, <label>`` — test bit and branch if zero, ±32 KiB."""
+
+    is_terminator = True
+    is_pc_relative = True
+
+    rt: int = 0
+    bit: int = 0
+    offset: int = 0
+
+    _OP = 0
+
+    def encode(self) -> int:
+        if self.offset % 4:
+            raise FieldRangeError("branch offset must be word aligned")
+        check_uint(self.bit, 6, "bit")
+        imm14 = check_sint(self.offset // 4, 14, "imm14")
+        b5 = self.bit >> 5
+        b40 = self.bit & 0b11111
+        return (
+            (b5 << 31)
+            | (0b011011 << 25)
+            | (self._OP << 24)
+            | (b40 << 19)
+            | (imm14 << 5)
+            | check_uint(self.rt, 5, "rt")
+        )
+
+    @property
+    def target_offset(self) -> int:
+        return self.offset
+
+    def with_target_offset(self, offset: int) -> "Tbz":
+        return dataclasses.replace(self, offset=offset)
+
+    def render(self) -> str:
+        name = "tbz" if self._OP == 0 else "tbnz"
+        sf = self.bit >= 32
+        return f"{name} {_r(self.rt, sf=sf)}, #{self.bit}, #{self.offset:+#x}"
+
+
+@dataclass(frozen=True)
+class Tbnz(Tbz):
+    """``tbnz rt, #bit, <label>``."""
+
+    _OP = 1
+
+
+@dataclass(frozen=True)
+class Br(Instruction):
+    """``br rn`` — indirect jump.  Methods containing one are excluded
+    from outlining (paper Section 3.2)."""
+
+    is_terminator = True
+    is_indirect_jump = True
+
+    rn: int = 0
+
+    def encode(self) -> int:
+        return 0xD61F0000 | (check_uint(self.rn, 5, "rn") << 5)
+
+    def render(self) -> str:
+        return f"br {_r(self.rn)}"
+
+
+@dataclass(frozen=True)
+class Blr(Instruction):
+    """``blr rn`` — indirect call; the tail of both ART calling patterns."""
+
+    is_call = True
+
+    rn: int = 0
+
+    def encode(self) -> int:
+        return 0xD63F0000 | (check_uint(self.rn, 5, "rn") << 5)
+
+    def render(self) -> str:
+        return f"blr {_r(self.rn)}"
+
+
+@dataclass(frozen=True)
+class Ret(Instruction):
+    """``ret`` (``ret x30``)."""
+
+    is_terminator = True
+
+    rn: int = regs.LR
+
+    def encode(self) -> int:
+        return 0xD65F0000 | (check_uint(self.rn, 5, "rn") << 5)
+
+    def render(self) -> str:
+        return "ret" if self.rn == regs.LR else f"ret {_r(self.rn)}"
+
+
+# -- System --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """``nop``."""
+
+    def encode(self) -> int:
+        return 0xD503201F
+
+    def render(self) -> str:
+        return "nop"
+
+
+@dataclass(frozen=True)
+class Brk(Instruction):
+    """``brk #imm`` — software breakpoint; the emulator treats it as a
+    trap (used by slowpaths that abort, e.g. stack-overflow throw)."""
+
+    is_terminator = True
+
+    imm16: int = 0
+
+    def encode(self) -> int:
+        return 0xD4200000 | (check_uint(self.imm16, 16, "imm16") << 5)
+
+    def render(self) -> str:
+        return f"brk #{self.imm16:#x}"

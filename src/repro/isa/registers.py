@@ -1,0 +1,82 @@
+"""AArch64 register model and the ART register conventions used by Calibro.
+
+Registers are represented as plain integers 0..31 throughout the package:
+this is what the A64 encodings store, and it keeps the encoder/decoder,
+emulator and code generator trivially interoperable.  Register number 31
+is context dependent in real A64 (``SP`` for address operands of
+loads/stores and add/sub immediate, ``XZR``/``WZR`` elsewhere); the
+instruction classes in :mod:`repro.isa.instructions` know which reading
+applies to each operand slot.
+
+The ART-specific conventions reproduced here come straight from the paper
+(Section 2.3.3):
+
+* ``x0`` holds the ``ArtMethod*`` of the callee when making a Java call;
+* ``x19`` holds the thread pointer, through which ART runtime entrypoints
+  are reached with a fixed offset (``ldr x30, [x19, #off]; blr x30``);
+* ``x30`` is the link register, also used as the scratch target of the
+  two calling patterns and as the return register of outlined functions
+  (``br x30``).
+"""
+
+from __future__ import annotations
+
+# -- General purpose registers ------------------------------------------------
+
+X0, X1, X2, X3, X4, X5, X6, X7 = range(8)
+X8, X9, X10, X11, X12, X13, X14, X15 = range(8, 16)
+X16, X17, X18, X19, X20, X21, X22, X23 = range(16, 24)
+X24, X25, X26, X27, X28, X29, X30 = range(24, 31)
+
+#: Register number 31: zero register or stack pointer depending on context.
+XZR = 31
+SP = 31
+
+#: Frame pointer (AAPCS64).
+FP = X29
+#: Link register.
+LR = X30
+#: Intra-procedure-call scratch registers (IP0/IP1); the stack overflow
+#: checking pattern materialises its probe address in IP0 (= ``x16``).
+IP0 = X16
+IP1 = X17
+
+# -- ART conventions (paper Section 2.3.3) ------------------------------------
+
+#: Register carrying the callee ``ArtMethod*`` in the Java calling pattern.
+ART_METHOD_REG = X0
+#: Thread register: base of the ART runtime entrypoint table.
+ART_THREAD_REG = X19
+#: Register loaded with the branch target in both calling patterns.
+ART_BRANCH_REG = X30
+
+#: Callee-saved registers under AAPCS64 (x19..x28 plus fp/lr).
+CALLEE_SAVED = tuple(range(X19, X29)) + (FP, LR)
+#: Caller-saved scratch registers handed out by the register allocator.
+#: ``x0`` is excluded (ArtMethod / return value), ``x16``/``x17`` are
+#: reserved as scratch for patterns, ``x19`` is the thread register.
+ALLOCATABLE = tuple(range(X1, X16))
+
+
+def x(n: int) -> int:
+    """Return the register number for ``x<n>``, validating the range."""
+    if not 0 <= n <= 30:
+        raise ValueError(f"no such register x{n}")
+    return n
+
+
+def reg_name(n: int, *, sf: bool = True, sp: bool = False) -> str:
+    """Render register number ``n`` as an assembly operand name.
+
+    ``sf`` selects the 64-bit (``x``) vs 32-bit (``w``) view; ``sp``
+    selects the stack-pointer reading of register 31 (otherwise the zero
+    register is printed).
+    """
+    if not 0 <= n <= 31:
+        raise ValueError(f"invalid register number {n}")
+    if n == 31:
+        if sp:
+            return "sp" if sf else "wsp"
+        return "xzr" if sf else "wzr"
+    prefix = "x" if sf else "w"
+    return f"{prefix}{n}"

@@ -1,0 +1,8 @@
+"""OAT container substrate: layout constants, the OAT file model and the
+linking phase (label binding + relocation + StackMap check)."""
+
+from repro.oat import layout
+from repro.oat.linker import LinkError, link
+from repro.oat.oatfile import OatFile, OatMethodRecord
+
+__all__ = ["LinkError", "OatFile", "OatMethodRecord", "layout", "link"]

@@ -1,0 +1,74 @@
+"""Address-space layout and ART runtime structure offsets.
+
+One shared vocabulary for the code generator, linker, emulator and
+runtime shim.  Values are simulation choices, but the *shape* mirrors
+ART on AArch64: a thread register (``x19``) pointing at a thread block
+whose fixed offsets hold runtime entrypoints, ``ArtMethod`` structures
+whose ``+0x20`` slot holds the compiled-code entry point, and a 4 KiB
+page size (relevant to ``adrp`` and to the Table 5 page-residency
+accounting).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ART_METHOD_ENTRY_OFFSET", "ART_METHOD_SIZE", "DATA_BASE", "ENTRYPOINT_OFFSETS",
+    "HEAP_BASE", "HEAP_SIZE", "NATIVE_STUB_BASE", "PAGE_SIZE", "STACK_GUARD_SIZE",
+    "STACK_SIZE", "STACK_TOP", "TEXT_BASE", "THREAD_BASE",
+    "ARRAY_HEADER_SIZE", "ARRAY_LENGTH_OFFSET", "OBJECT_HEADER_SIZE",
+    "entrypoint_offset",
+]
+
+#: 4 KiB pages — the unit of ``adrp`` and of resident-memory accounting.
+PAGE_SIZE = 4096
+
+#: Base virtual address of the OAT text segment.
+TEXT_BASE = 0x0010_0000
+#: Base of the OAT data segment (string table, literal-backed tables,
+#: ArtMethod array).
+DATA_BASE = 0x0200_0000
+#: The thread block ``x19`` points at (runtime-initialised, not in OAT).
+THREAD_BASE = 0x0300_0000
+#: Managed heap (bump allocated by pAllocObjectResolved/pAllocArrayResolved).
+HEAP_BASE = 0x0400_0000
+HEAP_SIZE = 0x0200_0000
+#: Stack: grows down from STACK_TOP; the guard band triggers the
+#: stack-overflow trap the checking pattern probes for.
+STACK_TOP = 0x0800_0000
+STACK_SIZE = 0x0010_0000
+STACK_GUARD_SIZE = 0x2000  # the #0x2000 in the paper's Fig. 4c
+
+#: Native runtime entrypoints live at synthetic addresses in this range;
+#: the emulator dispatches them to Python handlers.
+NATIVE_STUB_BASE = 0x0F00_0000
+
+#: ArtMethod structure: 64 bytes, entry point at +0x20 (the "#offset"
+#: of the Java function calling pattern, Fig. 4a).
+ART_METHOD_SIZE = 64
+ART_METHOD_ENTRY_OFFSET = 0x20
+
+#: Object layout: one 8-byte header word (class idx), then 8-byte fields.
+OBJECT_HEADER_SIZE = 8
+#: Array layout: 8-byte length, then 8-byte elements.
+ARRAY_LENGTH_OFFSET = 0
+ARRAY_HEADER_SIZE = 8
+
+#: Thread-block offsets of the ART runtime entrypoints (Fig. 4b's
+#: "segment address plus a fixed offset", reached via ``ldr x30,
+#: [x19, #offset]``).
+ENTRYPOINT_OFFSETS: dict[str, int] = {
+    "pAllocObjectResolved": 0x110,
+    "pAllocArrayResolved": 0x118,
+    "pThrowNullPointerException": 0x120,
+    "pThrowArrayIndexOutOfBounds": 0x128,
+    "pThrowDivZero": 0x130,
+    "pThrowStackOverflowError": 0x138,
+    "pJniBridge": 0x140,
+}
+
+
+def entrypoint_offset(name: str) -> int:
+    try:
+        return ENTRYPOINT_OFFSETS[name]
+    except KeyError:
+        raise KeyError(f"unknown ART entrypoint {name!r}") from None

@@ -1,0 +1,162 @@
+"""The linking phase: label binding and relocation.
+
+Paper Section 3.2: after linking-time outlining, "the later linking
+phase ... will bind function labels to addresses, and relocate the call
+instructions to the corresponding addresses."  This module is that
+phase.  It lays out the text segment (16-byte aligned methods), builds
+the data segment (string table + ArtMethod array with live entry
+points), resolves every relocation kind, and finally runs the StackMap
+consistency check demanded by Section 3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.compiled import CompiledMethod, RelocKind
+from repro.dex.method import DexFile
+from repro.isa import decode, instructions as ins
+from repro.oat import layout
+from repro.oat.oatfile import OatFile, OatMethodRecord
+
+__all__ = ["LinkError", "link"]
+
+#: Methods start at 16-byte boundaries, as ART aligns OAT methods.
+_METHOD_ALIGN = 16
+
+
+class LinkError(ValueError):
+    """Unresolvable symbol, out-of-range relocation, or a StackMap that
+    no longer sits on a call boundary."""
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def link(
+    methods: list[CompiledMethod],
+    dexfile: DexFile | None = None,
+    *,
+    check_stackmaps: bool = True,
+) -> OatFile:
+    """Bind labels and produce a linked :class:`OatFile`."""
+    # --- text layout -------------------------------------------------------
+    text = bytearray()
+    records: dict[str, OatMethodRecord] = {}
+    method_offset: dict[str, int] = {}
+    for method in methods:
+        if method.name in method_offset:
+            raise LinkError(f"duplicate symbol {method.name!r}")
+        offset = _align(len(text), _METHOD_ALIGN)
+        text.extend(b"\x00" * (offset - len(text)))
+        method_offset[method.name] = offset
+        text.extend(method.code)
+        records[method.name] = OatMethodRecord(
+            name=method.name,
+            offset=offset,
+            size=len(method.code),
+            frame_size=method.frame_size,
+            stackmaps=method.stackmaps,
+        )
+
+    # --- data layout ---------------------------------------------------------
+    data = bytearray()
+    data_symbols: dict[str, int] = {}
+    strings = dexfile.string_table if dexfile is not None else []
+    for idx, value in enumerate(strings):
+        data_symbols[f"data:string:{idx}"] = layout.DATA_BASE + len(data)
+        blob = value.encode("utf-8") + b"\x00"
+        data.extend(blob)
+        data.extend(b"\x00" * (_align(len(data), 8) - len(data)))
+    # ArtMethod array: entry point (+0x20) holds the linked code address.
+    for method in methods:
+        base = _align(len(data), 8)
+        data.extend(b"\x00" * (base - len(data)))
+        data_symbols[f"artmethod:{method.name}"] = layout.DATA_BASE + base
+        struct_bytes = bytearray(layout.ART_METHOD_SIZE)
+        entry = layout.TEXT_BASE + method_offset[method.name]
+        struct_bytes[
+            layout.ART_METHOD_ENTRY_OFFSET : layout.ART_METHOD_ENTRY_OFFSET + 8
+        ] = entry.to_bytes(8, "little")
+        data.extend(struct_bytes)
+
+    # --- relocation -------------------------------------------------------------
+    def symbol_address(symbol: str, addend: int) -> int:
+        if symbol in method_offset:
+            return layout.TEXT_BASE + method_offset[symbol] + addend
+        if symbol in data_symbols:
+            return data_symbols[symbol] + addend
+        raise LinkError(f"undefined symbol {symbol!r}")
+
+    for method in methods:
+        base = method_offset[method.name]
+        for reloc in method.relocations:
+            place = base + reloc.offset
+            address = layout.TEXT_BASE + place
+            if reloc.kind == RelocKind.CALL26:
+                target = symbol_address(reloc.symbol, reloc.addend)
+                delta = target - address
+                word = int.from_bytes(text[place : place + 4], "little")
+                instr = decode(word)
+                if not isinstance(instr, ins.Bl):
+                    raise LinkError(f"{method.name}+{reloc.offset:#x}: CALL26 on non-bl")
+                patched = instr.with_target_offset(delta)
+                text[place : place + 4] = patched.encode_bytes()
+            elif reloc.kind == RelocKind.ADRP_PAGE21:
+                target = symbol_address(reloc.symbol, reloc.addend)
+                pages = (target >> 12) - (address >> 12)
+                word = int.from_bytes(text[place : place + 4], "little")
+                instr = decode(word)
+                if not isinstance(instr, ins.Adrp):
+                    raise LinkError(f"{method.name}+{reloc.offset:#x}: PAGE21 on non-adrp")
+                text[place : place + 4] = ins.Adrp(rd=instr.rd, page_offset=pages).encode_bytes()
+            elif reloc.kind == RelocKind.ADD_LO12:
+                target = symbol_address(reloc.symbol, reloc.addend)
+                word = int.from_bytes(text[place : place + 4], "little")
+                instr = decode(word)
+                if not (isinstance(instr, ins.AddSubImm) and instr.op == "add"):
+                    raise LinkError(f"{method.name}+{reloc.offset:#x}: LO12 on non-add")
+                patched = ins.AddSubImm(
+                    op="add", rd=instr.rd, rn=instr.rn, imm12=target & 0xFFF, sf=instr.sf
+                )
+                text[place : place + 4] = patched.encode_bytes()
+            elif reloc.kind == RelocKind.ABS64:
+                target = symbol_address(reloc.symbol, reloc.addend)
+                text[place : place + 8] = target.to_bytes(8, "little")
+            elif reloc.kind == RelocKind.LOCAL_ABS64:
+                target = layout.TEXT_BASE + method_offset[reloc.symbol] + reloc.addend
+                text[place : place + 8] = target.to_bytes(8, "little")
+            else:  # pragma: no cover
+                raise LinkError(f"unknown relocation kind {reloc.kind!r}")
+
+    oat = OatFile(
+        text=bytes(text),
+        data=bytes(data),
+        methods=records,
+        data_symbols=data_symbols,
+    )
+    if check_stackmaps:
+        _check_stackmaps(oat)
+    return oat
+
+
+def _check_stackmaps(oat: OatFile) -> None:
+    """Section 3.5's consistency requirement: every StackMap native PC
+    must still be the return address of a call instruction."""
+    for record in oat.methods.values():
+        if record.stackmaps is None:
+            continue
+        for entry in record.stackmaps.entries:
+            if not 4 <= entry.native_pc <= record.size:
+                raise LinkError(
+                    f"{record.name}: stackmap pc {entry.native_pc:#x} outside method"
+                )
+            place = record.offset + entry.native_pc - 4
+            word = int.from_bytes(oat.text[place : place + 4], "little")
+            instr = decode(word)
+            if not (isinstance(instr, (ins.Bl, ins.Blr))):
+                raise LinkError(
+                    f"{record.name}: stackmap pc {entry.native_pc:#x} does not follow a call "
+                    f"(found {instr.render()})"
+                )

@@ -1,0 +1,146 @@
+"""The OAT file model.
+
+Real OAT files are "special ELF files, containing a part of
+Android-specific content" (paper Section 1).  This model keeps the parts
+that matter to Calibro and its evaluation:
+
+* a **text segment** of linked machine code with per-method records
+  (offset, size, frame info, StackMaps) — the thing Table 4 measures;
+* a **data segment** holding the string table and the ArtMethod array
+  whose ``+0x20`` entry points back the Java calling pattern reads;
+* the Android-specific side tables (StackMaps, and — for builds that
+  keep it — the LTBO metadata section).
+
+``to_bytes``/``from_bytes`` give a simple on-disk form so the "size on
+disk" experiments measure a real serialisation, not a Python object.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+from repro.compiler.stackmap import StackMapEntry, StackMapTable
+from repro.oat import layout
+
+__all__ = ["OatFile", "OatMethodRecord"]
+
+_MAGIC = b"ROAT\x01\x00"
+
+
+@dataclass
+class OatMethodRecord:
+    """Per-method entry in the OAT method table."""
+
+    name: str
+    offset: int  # into the text segment
+    size: int
+    frame_size: int = 0
+    stackmaps: StackMapTable | None = None
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+@dataclass
+class OatFile:
+    """A linked OAT image."""
+
+    text: bytes
+    data: bytes
+    methods: dict[str, OatMethodRecord] = field(default_factory=dict)
+    #: Absolute addresses of data objects (strings, ArtMethods).
+    data_symbols: dict[str, int] = field(default_factory=dict)
+    text_base: int = layout.TEXT_BASE
+    data_base: int = layout.DATA_BASE
+
+    @property
+    def text_size(self) -> int:
+        """Size of the code segment — the paper's primary metric."""
+        return len(self.text)
+
+    @property
+    def data_size(self) -> int:
+        return len(self.data)
+
+    def entry_address(self, method_name: str) -> int:
+        return self.text_base + self.methods[method_name].offset
+
+    def artmethod_address(self, method_name: str) -> int:
+        return self.data_symbols[f"artmethod:{method_name}"]
+
+    def method_code(self, method_name: str) -> bytes:
+        record = self.methods[method_name]
+        return self.text[record.offset : record.end]
+
+    def method_at_address(self, address: int) -> OatMethodRecord | None:
+        """Reverse-map a text address to its owning method (profiling)."""
+        offset = address - self.text_base
+        for record in self.methods.values():
+            if record.offset <= offset < record.end:
+                return record
+        return None
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the on-disk OAT form (header + side tables +
+        segments).  Used by the disk-size experiment (Table 4)."""
+        meta = {
+            "text_base": self.text_base,
+            "data_base": self.data_base,
+            "methods": [
+                {
+                    "name": r.name,
+                    "offset": r.offset,
+                    "size": r.size,
+                    "frame_size": r.frame_size,
+                    "stackmaps": [
+                        [e.native_pc, e.dex_pc, e.live_vregs, e.kind]
+                        for e in (r.stackmaps.entries if r.stackmaps else [])
+                    ],
+                }
+                for r in self.methods.values()
+            ],
+            "data_symbols": self.data_symbols,
+        }
+        blob = json.dumps(meta, separators=(",", ":")).encode()
+        header = _MAGIC + struct.pack("<QQQ", len(blob), len(self.text), len(self.data))
+        return header + blob + self.text + self.data
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "OatFile":
+        if raw[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not an OAT image (bad magic)")
+        off = len(_MAGIC)
+        meta_len, text_len, data_len = struct.unpack_from("<QQQ", raw, off)
+        off += 24
+        meta = json.loads(raw[off : off + meta_len])
+        off += meta_len
+        text = raw[off : off + text_len]
+        off += text_len
+        data = raw[off : off + data_len]
+        methods = {}
+        for m in meta["methods"]:
+            table = StackMapTable(method_name=m["name"])
+            for native_pc, dex_pc, live, kind in m["stackmaps"]:
+                table.entries.append(
+                    StackMapEntry(native_pc=native_pc, dex_pc=dex_pc, live_vregs=live, kind=kind)
+                )
+            methods[m["name"]] = OatMethodRecord(
+                name=m["name"],
+                offset=m["offset"],
+                size=m["size"],
+                frame_size=m["frame_size"],
+                stackmaps=table,
+            )
+        return cls(
+            text=text,
+            data=data,
+            methods=methods,
+            data_symbols=meta["data_symbols"],
+            text_base=meta["text_base"],
+            data_base=meta["data_base"],
+        )

@@ -1,0 +1,5 @@
+"""Profiling substrate: the simpleperf substitute feeding HfOpti."""
+
+from repro.profiling.simpleperf import ProfileReport, profile_app
+
+__all__ = ["ProfileReport", "profile_app"]

@@ -1,0 +1,67 @@
+"""Plain-text table and chart rendering for the benchmark harness.
+
+Every Table-N bench prints its rows through these helpers so the output
+visually parallels the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_bars", "format_bytes", "format_table", "pct", "ratio_row"]
+
+
+def pct(value: float, digits: int = 2) -> str:
+    """Render a fraction as a percentage string (0.1519 → '15.19%')."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable size: the paper reports OAT sizes in MB; generated
+    apps are KB-scale, so pick the unit adaptively."""
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}M"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}K"
+    return f"{n}B"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ratio_row(label: str, baseline: dict[str, float], values: dict[str, float]) -> list[str]:
+    """A relative-change row: ``(baseline - value) / baseline`` per app,
+    plus the average — the format of Table 4/5/7's lower halves."""
+    row = [label]
+    ratios = []
+    for app, base in baseline.items():
+        r = (base - values[app]) / base if base else 0.0
+        ratios.append(r)
+        row.append(pct(r))
+    row.append(pct(sum(ratios) / len(ratios)) if ratios else "-")
+    return row
+
+
+def ascii_bars(data: dict[object, int], width: int = 50, title: str = "") -> str:
+    """Horizontal bar chart (used for the Figure 3 length/repeat census)."""
+    lines = [title] if title else []
+    peak = max(data.values(), default=1) or 1
+    for key, value in data.items():
+        bar = "#" * max(1 if value else 0, round(width * value / peak))
+        lines.append(f"{str(key):>8} | {bar} {value}")
+    return "\n".join(lines)

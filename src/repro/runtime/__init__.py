@@ -1,0 +1,21 @@
+"""ART execution substrate: guest memory, runtime shim, cycle model and
+the A64-subset emulator."""
+
+from repro.runtime.art import ArtRuntime, GuestTrap
+from repro.runtime.branch_predictor import BranchPredictor
+from repro.runtime.cycles import CycleModel, ICache
+from repro.runtime.emulator import EmulationError, Emulator, RunResult
+from repro.runtime.memory import Memory, MemoryFault
+
+__all__ = [
+    "ArtRuntime",
+    "BranchPredictor",
+    "CycleModel",
+    "EmulationError",
+    "Emulator",
+    "GuestTrap",
+    "ICache",
+    "Memory",
+    "MemoryFault",
+    "RunResult",
+]

@@ -1,0 +1,145 @@
+"""ART runtime shim: thread block, entrypoints, heap and JNI bridge.
+
+This is the execution environment the compiled code expects:
+
+* ``x19`` points at a thread block whose fixed offsets hold the runtime
+  entrypoint addresses (Fig. 4b's dispatch base);
+* entrypoints live at synthetic addresses and are implemented as Python
+  handlers (allocation, the four throw helpers, the JNI bridge);
+* a bump allocator provides the managed heap with the same object/array
+  layout the code generator and the reference interpreter use.
+
+Trap kinds use the same vocabulary as :class:`repro.dex.interp.DexError`
+so the system-level oracle can compare interpreter and emulator
+behaviour on throwing programs directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.dex.method import DexFile
+from repro.oat import layout
+from repro.oat.oatfile import OatFile
+from repro.runtime.memory import Memory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.emulator import Emulator
+
+__all__ = ["ArtRuntime", "GuestTrap"]
+
+_MASK = (1 << 64) - 1
+
+
+class GuestTrap(RuntimeError):
+    """A runtime exception raised by guest code (same kinds as DexError)."""
+
+    def __init__(self, kind: str, detail: str = ""):
+        super().__init__(f"{kind}{': ' + detail if detail else ''}")
+        self.kind = kind
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+class ArtRuntime:
+    """Loads an OAT image and provides the runtime services."""
+
+    def __init__(
+        self,
+        oat: OatFile,
+        dexfile: DexFile | None = None,
+        native_handlers: dict[str, Callable[[list[int]], int]] | None = None,
+    ):
+        self.oat = oat
+        self.dexfile = dexfile
+        self.native_handlers = native_handlers or {}
+        self.memory = Memory()
+        self.memory.load_image(oat.text_base, oat.text)
+        self.memory.load_image(oat.data_base, oat.data)
+        self.memory.add_guard(0, layout.PAGE_SIZE, "null-pointer")
+        stack_limit = layout.STACK_TOP - layout.STACK_SIZE
+        self.memory.add_guard(
+            stack_limit - layout.STACK_GUARD_SIZE, stack_limit, "stack-overflow"
+        )
+        self._heap_next = layout.HEAP_BASE
+        self.allocations = 0
+        #: Method name / arity per id, for the JNI bridge's ``x17`` dispatch.
+        self._method_names = dexfile.method_names() if dexfile else []
+        self._method_inputs = (
+            [m.num_inputs for m in dexfile.all_methods()] if dexfile else []
+        )
+        self._stubs: dict[int, Callable[["Emulator"], None]] = {}
+        self._install_entrypoints()
+
+    # -- entrypoint wiring ------------------------------------------------
+
+    def _install_entrypoints(self) -> None:
+        handlers: dict[str, Callable[["Emulator"], None]] = {
+            "pAllocObjectResolved": self._alloc_object,
+            "pAllocArrayResolved": self._alloc_array,
+            "pThrowNullPointerException": _thrower("null-pointer"),
+            "pThrowArrayIndexOutOfBounds": _thrower("array-bounds"),
+            "pThrowDivZero": _thrower("div-zero"),
+            "pThrowStackOverflowError": _thrower("stack-overflow"),
+            "pJniBridge": self._jni_bridge,
+        }
+        for idx, (name, offset) in enumerate(sorted(layout.ENTRYPOINT_OFFSETS.items())):
+            stub_address = layout.NATIVE_STUB_BASE + idx * 16
+            self.memory.load_image(
+                layout.THREAD_BASE + offset, stub_address.to_bytes(8, "little")
+            )
+            self._stubs[stub_address] = handlers[name]
+
+    def is_native_address(self, address: int) -> bool:
+        return address in self._stubs
+
+    def dispatch_native(self, emulator: "Emulator", address: int) -> None:
+        self._stubs[address](emulator)
+
+    # -- heap ---------------------------------------------------------------
+
+    def _bump(self, size: int) -> int:
+        address = self._heap_next
+        self._heap_next += (size + 7) & ~7
+        if self._heap_next > layout.HEAP_BASE + layout.HEAP_SIZE:
+            raise GuestTrap("out-of-memory")
+        self.allocations += 1
+        return address
+
+    def _alloc_object(self, emulator: "Emulator") -> None:
+        class_idx = emulator.r[0]
+        num_fields = emulator.r[1]
+        address = self._bump(layout.OBJECT_HEADER_SIZE + 8 * num_fields)
+        self.memory.write_u64(address, class_idx)
+        emulator.r[0] = address
+
+    def _alloc_array(self, emulator: "Emulator") -> None:
+        length = _signed(emulator.r[0])
+        if length < 0:
+            raise GuestTrap("negative-array-size")
+        address = self._bump(layout.ARRAY_HEADER_SIZE + 8 * length)
+        self.memory.write_u64(address + layout.ARRAY_LENGTH_OFFSET, length)
+        emulator.r[0] = address
+
+    def _jni_bridge(self, emulator: "Emulator") -> None:
+        method_id = emulator.r[17]
+        try:
+            name = self._method_names[method_id]
+        except IndexError:
+            raise GuestTrap("bad-jni-method", str(method_id)) from None
+        handler = self.native_handlers.get(name)
+        if handler is None:
+            emulator.r[0] = 0
+            return
+        arity = self._method_inputs[method_id]
+        args = [_signed(emulator.r[i]) for i in range(1, 1 + arity)]
+        emulator.r[0] = handler(args) & _MASK
+
+
+def _thrower(kind: str) -> Callable[["Emulator"], None]:
+    def handler(_: "Emulator") -> None:
+        raise GuestTrap(kind)
+
+    return handler

@@ -1,0 +1,650 @@
+"""A64-subset emulator with deterministic cycle accounting.
+
+The Pixel 7 substitute.  It pre-decodes the text segment once (embedded
+data words simply decode to ``None`` and trap if ever executed), then
+interprets with a per-instruction-class dispatch table.  The register
+file holds *unsigned* 64-bit values; signed views are computed where
+semantics demand them.
+
+Three measurement channels, all used by the evaluation harness:
+
+* **cycles** — :class:`~repro.runtime.cycles.CycleModel` costs plus
+  taken-branch/call/return penalties and I-cache misses (Table 7);
+* **profile** — flat per-PC cycle attribution to the owning method,
+  exactly what ``simpleperf`` sampling would report (Fig. 6 / HfOpti);
+* **page residency** — executed text pages and touched data/heap pages
+  (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dex.method import DexFile
+from repro.isa import DecodeError, decode
+from repro.isa import instructions as ins
+from repro.oat import layout
+from repro.oat.oatfile import OatFile
+from repro.runtime.art import ArtRuntime, GuestTrap
+from repro.runtime.cycles import CycleModel
+from repro.runtime.memory import MemoryFault
+
+__all__ = ["EmulationError", "Emulator", "RunResult"]
+
+_MASK = (1 << 64) - 1
+_MASK32 = (1 << 32) - 1
+_SIGN = 1 << 63
+
+#: Magic return address: the initial call "returns" here when the top
+#: frame executes ``ret``.
+_RETURN_SENTINEL = 0x0DEAD000
+
+
+class EmulationError(RuntimeError):
+    """The emulator hit something structurally wrong (executed data,
+    jumped outside the text, exceeded the step budget)."""
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & _SIGN else value
+
+
+@dataclass
+class RunResult:
+    """Outcome of one emulated call."""
+
+    value: int | None
+    cycles: int
+    steps: int
+    trap: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.trap is None
+
+
+class Emulator:
+    """Executes linked OAT code."""
+
+    def __init__(
+        self,
+        oat: OatFile,
+        dexfile: DexFile | None = None,
+        native_handlers: dict[str, Callable[[list[int]], int]] | None = None,
+        cycle_model: CycleModel | None = None,
+        profile: bool = False,
+        sample_period: int = 0,
+        max_steps: int = 50_000_000,
+    ):
+        self.runtime = ArtRuntime(oat, dexfile, native_handlers)
+        self.oat = oat
+        self.model = cycle_model or CycleModel()
+        self.icache = self.model.make_icache()
+        self.predictor = self.model.make_predictor()
+        self._cost = _cost_table(self.model)
+        self._transfer = _transfer_table(self.model)
+        self.max_steps = max_steps
+        self.profile_enabled = profile
+        #: 0 = exact per-instruction attribution; N > 0 = statistical
+        #: sampling every N cycles, like real simpleperf (``-c N``).
+        self.sample_period = sample_period
+        self._next_sample = sample_period
+        self._samples: list[int] = []
+        #: Optional per-instruction hook ``(pc, instr) -> None`` for
+        #: tracing/debugging; adds one call per executed instruction.
+        self.tracer: Callable[[int, ins.Instruction], None] | None = None
+
+        # Register file: unsigned values; r[31] is pinned to zero (XZR).
+        self.r = [0] * 32
+        self.sp = layout.STACK_TOP - 16
+        self.n = self.z = self.c = self.v = False
+
+        self.total_cycles = 0
+        self.total_steps = 0
+
+        # Pre-decode the text segment.
+        self._text_base = oat.text_base
+        self._text_end = oat.text_base + len(oat.text)
+        self._decoded: list[ins.Instruction | None] = []
+        for i in range(0, len(oat.text), 4):
+            word = int.from_bytes(oat.text[i : i + 4], "little")
+            try:
+                self._decoded.append(decode(word))
+            except DecodeError:
+                self._decoded.append(None)
+
+        # Flat profile attribution: word index -> method table index.
+        self._method_names: list[str] = list(oat.methods)
+        self._word_method = [-1] * len(self._decoded)
+        for mi, record in enumerate(oat.methods.values()):
+            for w in range(record.offset // 4, record.end // 4):
+                self._word_method[w] = mi
+        self._profile_cycles = [0] * len(self._method_names)
+        self._samples = [0] * len(self._method_names)
+
+    # -- public API -----------------------------------------------------------
+
+    def call(self, method_name: str, args: list[int] | None = None) -> RunResult:
+        """Call a linked method with integer arguments.
+
+        Guest exceptions are captured into ``RunResult.trap`` (same kind
+        strings as :class:`repro.dex.interp.DexError`), so oracle tests
+        can compare against the reference interpreter directly.
+        """
+        args = list(args or [])
+        if len(args) > 6:
+            raise ValueError("at most 6 arguments")
+        r = self.r
+        for i in range(31):
+            r[i] = 0
+        self.sp = layout.STACK_TOP - 16
+        r[19] = layout.THREAD_BASE
+        r[0] = self.oat.data_symbols.get(f"artmethod:{method_name}", 0)
+        for i, a in enumerate(args):
+            r[1 + i] = a & _MASK
+        r[30] = _RETURN_SENTINEL
+        start_steps = self.total_steps
+        start_cycles = self.total_cycles
+        try:
+            self._run(self.oat.entry_address(method_name))
+        except GuestTrap as trap:
+            return RunResult(
+                value=None,
+                cycles=self.total_cycles - start_cycles,
+                steps=self.total_steps - start_steps,
+                trap=trap.kind,
+            )
+        except MemoryFault as fault:
+            return RunResult(
+                value=None,
+                cycles=self.total_cycles - start_cycles,
+                steps=self.total_steps - start_steps,
+                trap=fault.kind,
+            )
+        return RunResult(
+            value=_signed(r[0]),
+            cycles=self.total_cycles - start_cycles,
+            steps=self.total_steps - start_steps,
+        )
+
+    def profile(self) -> dict[str, int]:
+        """Per-method cycle attribution (the simpleperf substitute).
+
+        In sampled mode (``sample_period > 0``) the values are sample
+        counts scaled back to cycles (count × period), as perf tools
+        report."""
+        if self.sample_period:
+            return {
+                name: count * self.sample_period
+                for name, count in zip(self._method_names, self._samples)
+                if count
+            }
+        return {
+            name: cycles
+            for name, cycles in zip(self._method_names, self._profile_cycles)
+            if cycles
+        }
+
+    def sample_counts(self) -> dict[str, int]:
+        """Raw sample counts (sampled mode only)."""
+        return {
+            name: count
+            for name, count in zip(self._method_names, self._samples)
+            if count
+        }
+
+    def reset_measurements(self) -> None:
+        self.total_cycles = 0
+        self.total_steps = 0
+        self._profile_cycles = [0] * len(self._method_names)
+        self._samples = [0] * len(self._method_names)
+        self._next_sample = self.sample_period
+        if self.icache is not None:
+            self.icache.reset()
+        if self.predictor is not None:
+            self.predictor.reset()
+        self.runtime.memory.reset_residency()
+
+    # -- core loop ---------------------------------------------------------------
+
+    def _run(self, pc: int) -> None:
+        decoded = self._decoded
+        text_base = self._text_base
+        text_end = self._text_end
+        model = self.model
+        icache = self.icache
+        runtime = self.runtime
+        profiling = self.profile_enabled
+        sample_period = self.sample_period
+        samples = self._samples
+        word_method = self._word_method
+        profile_cycles = self._profile_cycles
+        touched = runtime.memory.touched_pages
+        last_exec_page = -1
+        steps = 0
+        cycles = 0
+        budget = self.max_steps - self.total_steps
+        predictor = self.predictor
+        tracer = self.tracer
+        try:
+            while pc != _RETURN_SENTINEL:
+                if runtime.is_native_address(pc):
+                    runtime.dispatch_native(self, pc)
+                    pc = self.r[30]
+                    if predictor is not None:
+                        # The native "returns" to the pushed address —
+                        # always a RAS hit; pop to keep the stack paired.
+                        cycles += predictor.predict_return(pc)
+                    else:
+                        cycles += model.ret
+                    continue
+                if not text_base <= pc < text_end:
+                    raise EmulationError(f"pc {pc:#x} outside text segment")
+                page = pc >> 12
+                if page != last_exec_page:
+                    last_exec_page = page
+                    touched.add(page)
+                idx = (pc - text_base) >> 2
+                instr = decoded[idx]
+                if instr is None:
+                    raise EmulationError(f"executed embedded data at {pc:#x}")
+                steps += 1
+                if steps > budget:
+                    raise EmulationError("step budget exhausted")
+                if tracer is not None:
+                    tracer(pc, instr)
+                kind = type(instr)
+                cost = self._cost.get(kind, model.base)
+                if icache is not None:
+                    cost += icache.access(pc)
+                next_pc = _DISPATCH[kind](self, instr, pc)
+                if predictor is not None:
+                    if kind in _CONDITIONAL:
+                        cost += predictor.predict_conditional(pc, next_pc != pc + 4)
+                    elif kind is ins.Bl:
+                        predictor.push_call(pc + 4)
+                    elif kind is ins.Blr:
+                        predictor.push_call(pc + 4)
+                        cost += predictor.predict_indirect(pc, next_pc)
+                    elif kind is ins.Ret:
+                        cost += predictor.predict_return(next_pc)
+                    elif kind is ins.Br:
+                        # `br x30` is a return in disguise (the outlined
+                        # function epilogue); other `br` are BTB lookups.
+                        if instr.rn == 30:
+                            cost += predictor.predict_return(next_pc)
+                        else:
+                            cost += predictor.predict_indirect(pc, next_pc)
+                elif next_pc != pc + 4:
+                    cost += self._transfer.get(kind, model.branch_taken)
+                if profiling:
+                    mi = word_method[idx]
+                    if mi >= 0:
+                        profile_cycles[mi] += cost
+                cycles += cost
+                if sample_period and self.total_cycles + cycles >= self._next_sample:
+                    mi = word_method[idx]
+                    if mi >= 0:
+                        samples[mi] += 1
+                    self._next_sample += sample_period
+                pc = next_pc
+        finally:
+            self.total_steps += steps
+            self.total_cycles += cycles
+
+    # -- helpers used by handlers ---------------------------------------------------
+
+    def _read_reg(self, n: int) -> int:
+        return self.r[n] if n != 31 else 0
+
+    def _write_reg(self, n: int, value: int) -> None:
+        if n != 31:
+            self.r[n] = value & _MASK
+
+    def _addsub_flags(self, a: int, b: int, result: int, is_sub: bool) -> None:
+        self.n = bool(result & _SIGN)
+        self.z = result == 0
+        if is_sub:
+            self.c = a >= b
+            self.v = bool(((a ^ b) & (a ^ result)) & _SIGN)
+        else:
+            self.c = a + b > _MASK
+            self.v = bool((~(a ^ b) & (a ^ result)) & _SIGN)
+
+    def _cond(self, cond: int) -> bool:
+        n, z, c, v = self.n, self.z, self.c, self.v
+        if cond == ins.Cond.EQ:
+            return z
+        if cond == ins.Cond.NE:
+            return not z
+        if cond == ins.Cond.HS:
+            return c
+        if cond == ins.Cond.LO:
+            return not c
+        if cond == ins.Cond.MI:
+            return n
+        if cond == ins.Cond.PL:
+            return not n
+        if cond == ins.Cond.VS:
+            return v
+        if cond == ins.Cond.VC:
+            return not v
+        if cond == ins.Cond.HI:
+            return c and not z
+        if cond == ins.Cond.LS:
+            return not c or z
+        if cond == ins.Cond.GE:
+            return n == v
+        if cond == ins.Cond.LT:
+            return n != v
+        if cond == ins.Cond.GT:
+            return not z and n == v
+        if cond == ins.Cond.LE:
+            return z or n != v
+        return True  # AL / NV
+
+
+# -- instruction handlers (module level for dispatch-table speed) ------------------
+
+
+def _h_movewide(emu: Emulator, i: ins.MoveWide, pc: int) -> int:
+    shift = i.hw * 16
+    chunk = i.imm16 << shift
+    if i.op == "movz":
+        value = chunk
+    elif i.op == "movn":
+        value = ~chunk & _MASK
+    else:  # movk
+        value = (emu._read_reg(i.rd) & ~(0xFFFF << shift)) | chunk
+    if not i.sf:
+        value &= _MASK32
+    emu._write_reg(i.rd, value)
+    return pc + 4
+
+
+def _h_addsub_imm(emu: Emulator, i: ins.AddSubImm, pc: int) -> int:
+    imm = i.imm12 << (12 if i.shift12 else 0)
+    a = emu.sp if i.rn == 31 else emu.r[i.rn]
+    if not i.sf:
+        a &= _MASK32
+    result = (a - imm if i.op == "sub" else a + imm) & (_MASK if i.sf else _MASK32)
+    if i.set_flags:
+        if i.sf:
+            emu._addsub_flags(a, imm, result, i.op == "sub")
+        else:
+            _flags32(emu, a, imm, result, i.op == "sub")
+        if i.rd != 31:
+            emu.r[i.rd] = result
+    else:
+        if i.rd == 31:
+            emu.sp = result
+        else:
+            emu.r[i.rd] = result
+    return pc + 4
+
+
+def _flags32(emu: Emulator, a: int, b: int, result: int, is_sub: bool) -> None:
+    sign = 1 << 31
+    emu.n = bool(result & sign)
+    emu.z = result == 0
+    if is_sub:
+        emu.c = a >= b
+        emu.v = bool(((a ^ b) & (a ^ result)) & sign)
+    else:
+        emu.c = a + b > _MASK32
+        emu.v = bool((~(a ^ b) & (a ^ result)) & sign)
+
+
+def _h_addsub_reg(emu: Emulator, i: ins.AddSubReg, pc: int) -> int:
+    a = emu._read_reg(i.rn)
+    b = emu._read_reg(i.rm)
+    if not i.sf:
+        a &= _MASK32
+        b &= _MASK32
+    result = (a - b if i.op == "sub" else a + b) & (_MASK if i.sf else _MASK32)
+    if i.set_flags:
+        if i.sf:
+            emu._addsub_flags(a, b, result, i.op == "sub")
+        else:
+            _flags32(emu, a, b, result, i.op == "sub")
+    emu._write_reg(i.rd, result)
+    return pc + 4
+
+
+def _h_logical(emu: Emulator, i: ins.LogicalReg, pc: int) -> int:
+    a = emu._read_reg(i.rn)
+    b = emu._read_reg(i.rm)
+    if i.op == "and":
+        result = a & b
+    elif i.op == "orr":
+        result = a | b
+    else:
+        result = a ^ b
+    if not i.sf:
+        result &= _MASK32
+    emu._write_reg(i.rd, result)
+    return pc + 4
+
+
+def _h_madd(emu: Emulator, i: ins.MAdd, pc: int) -> int:
+    result = (emu._read_reg(i.ra) + emu._read_reg(i.rn) * emu._read_reg(i.rm)) & _MASK
+    if not i.sf:
+        result &= _MASK32
+    emu._write_reg(i.rd, result)
+    return pc + 4
+
+
+def _h_sdiv(emu: Emulator, i: ins.SDiv, pc: int) -> int:
+    a = _signed(emu._read_reg(i.rn))
+    b = _signed(emu._read_reg(i.rm))
+    if b == 0:
+        result = 0  # ARM semantics: sdiv by zero yields zero, no trap
+    else:
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        result = q & _MASK
+    emu._write_reg(i.rd, result)
+    return pc + 4
+
+
+def _h_shiftvar(emu: Emulator, i: ins.ShiftVar, pc: int) -> int:
+    width = 64 if i.sf else 32
+    mask = _MASK if i.sf else _MASK32
+    amount = emu._read_reg(i.rm) & (width - 1)
+    value = emu._read_reg(i.rn) & mask
+    if i.op == "lsl":
+        result = (value << amount) & mask
+    elif i.op == "lsr":
+        result = value >> amount
+    else:  # asr: sign-extend, shift, re-wrap
+        if value & (1 << (width - 1)):
+            value -= 1 << width
+        result = (value >> amount) & mask
+    emu._write_reg(i.rd, result)
+    return pc + 4
+
+
+def _h_csel(emu: Emulator, i: ins.CSel, pc: int) -> int:
+    if emu._cond(i.cond):
+        result = emu._read_reg(i.rn)
+    else:
+        result = emu._read_reg(i.rm) + (1 if i.increment else 0)
+    result &= _MASK if i.sf else _MASK32
+    emu._write_reg(i.rd, result)
+    return pc + 4
+
+
+def _h_loadstore(emu: Emulator, i: ins.LoadStoreImm, pc: int) -> int:
+    base = emu.sp if i.rn == 31 else emu.r[i.rn]
+    address = (base + i.offset) & _MASK
+    mem = emu.runtime.memory
+    if i.op == "ldr":
+        value = mem.read_u64(address) if i.size == 8 else mem.read_u32(address)
+        emu._write_reg(i.rt, value)
+    else:
+        value = emu._read_reg(i.rt)
+        if i.size == 8:
+            mem.write_u64(address, value)
+        else:
+            mem.write_u32(address, value)
+    return pc + 4
+
+
+def _h_pair(emu: Emulator, i: ins.LoadStorePair, pc: int) -> int:
+    base = emu.sp if i.rn == 31 else emu.r[i.rn]
+    mem = emu.runtime.memory
+    if i.mode == "pre":
+        base = (base + i.offset) & _MASK
+        address = base
+    elif i.mode == "post":
+        address = base
+    else:
+        address = (base + i.offset) & _MASK
+    if i.op == "stp":
+        mem.write_u64(address, emu._read_reg(i.rt))
+        mem.write_u64(address + 8, emu._read_reg(i.rt2))
+    else:
+        emu._write_reg(i.rt, mem.read_u64(address))
+        emu._write_reg(i.rt2, mem.read_u64(address + 8))
+    if i.mode == "post":
+        base = (base + i.offset) & _MASK
+    if i.mode in ("pre", "post"):
+        if i.rn == 31:
+            emu.sp = base
+        else:
+            emu.r[i.rn] = base
+    return pc + 4
+
+
+def _h_literal(emu: Emulator, i: ins.LoadLiteral, pc: int) -> int:
+    emu._write_reg(i.rt, emu.runtime.memory.read_u64(pc + i.offset))
+    return pc + 4
+
+
+def _h_adr(emu: Emulator, i: ins.Adr, pc: int) -> int:
+    emu._write_reg(i.rd, pc + i.offset)
+    return pc + 4
+
+
+def _h_adrp(emu: Emulator, i: ins.Adrp, pc: int) -> int:
+    emu._write_reg(i.rd, (pc & ~0xFFF) + i.page_offset * 4096)
+    return pc + 4
+
+
+def _h_b(emu: Emulator, i: ins.B, pc: int) -> int:
+    return pc + i.offset
+
+
+def _h_bl(emu: Emulator, i: ins.Bl, pc: int) -> int:
+    emu.r[30] = pc + 4
+    return pc + i.offset
+
+
+def _h_bcond(emu: Emulator, i: ins.BCond, pc: int) -> int:
+    return pc + i.offset if emu._cond(i.cond) else pc + 4
+
+
+def _h_cbz(emu: Emulator, i: ins.Cbz, pc: int) -> int:
+    value = emu._read_reg(i.rt)
+    if not i.sf:
+        value &= _MASK32
+    return pc + i.offset if value == 0 else pc + 4
+
+
+def _h_cbnz(emu: Emulator, i: ins.Cbnz, pc: int) -> int:
+    value = emu._read_reg(i.rt)
+    if not i.sf:
+        value &= _MASK32
+    return pc + i.offset if value != 0 else pc + 4
+
+
+def _h_tbz(emu: Emulator, i: ins.Tbz, pc: int) -> int:
+    return pc + i.offset if not (emu._read_reg(i.rt) >> i.bit) & 1 else pc + 4
+
+
+def _h_tbnz(emu: Emulator, i: ins.Tbnz, pc: int) -> int:
+    return pc + i.offset if (emu._read_reg(i.rt) >> i.bit) & 1 else pc + 4
+
+
+def _h_br(emu: Emulator, i: ins.Br, pc: int) -> int:
+    return emu._read_reg(i.rn)
+
+
+def _h_blr(emu: Emulator, i: ins.Blr, pc: int) -> int:
+    target = emu._read_reg(i.rn)
+    emu.r[30] = pc + 4
+    return target
+
+
+def _h_ret(emu: Emulator, i: ins.Ret, pc: int) -> int:
+    return emu._read_reg(i.rn)
+
+
+def _h_nop(emu: Emulator, i: ins.Nop, pc: int) -> int:
+    return pc + 4
+
+
+def _h_brk(emu: Emulator, i: ins.Brk, pc: int) -> int:
+    raise GuestTrap("brk", f"#{i.imm16:#x} at {pc:#x}")
+
+
+_DISPATCH: dict[type, Callable[[Emulator, ins.Instruction, int], int]] = {
+    ins.MoveWide: _h_movewide,
+    ins.AddSubImm: _h_addsub_imm,
+    ins.AddSubReg: _h_addsub_reg,
+    ins.LogicalReg: _h_logical,
+    ins.MAdd: _h_madd,
+    ins.SDiv: _h_sdiv,
+    ins.ShiftVar: _h_shiftvar,
+    ins.CSel: _h_csel,
+    ins.LoadStoreImm: _h_loadstore,
+    ins.LoadStorePair: _h_pair,
+    ins.LoadLiteral: _h_literal,
+    ins.Adr: _h_adr,
+    ins.Adrp: _h_adrp,
+    ins.B: _h_b,
+    ins.Bl: _h_bl,
+    ins.BCond: _h_bcond,
+    ins.Cbz: _h_cbz,
+    ins.Cbnz: _h_cbnz,
+    ins.Tbz: _h_tbz,
+    ins.Tbnz: _h_tbnz,
+    ins.Br: _h_br,
+    ins.Blr: _h_blr,
+    ins.Ret: _h_ret,
+    ins.Nop: _h_nop,
+    ins.Brk: _h_brk,
+}
+
+#: Conditional branches (predicted by the bimodal table).
+_CONDITIONAL = frozenset({ins.BCond, ins.Cbz, ins.Cbnz, ins.Tbz, ins.Tbnz})
+
+
+def _cost_table(model: CycleModel) -> dict[type, int]:
+    """Static per-class issue cost (loads and stores share the load/store
+    pair distinction at class granularity — a documented simplification)."""
+    return {
+        ins.LoadStoreImm: model.load,
+        ins.LoadStorePair: model.load_pair,
+        ins.LoadLiteral: model.load,
+        ins.MAdd: model.mul,
+        ins.SDiv: model.div,
+    }
+
+
+def _transfer_table(model: CycleModel) -> dict[type, int]:
+    """Extra cost charged when the instruction actually transfers control."""
+    return {
+        ins.Bl: model.call,
+        ins.Blr: model.call,
+        ins.Ret: model.ret,
+        ins.Br: model.ret,
+        ins.B: model.branch_taken,
+        ins.BCond: model.branch_taken,
+        ins.Cbz: model.branch_taken,
+        ins.Cbnz: model.branch_taken,
+        ins.Tbz: model.branch_taken,
+        ins.Tbnz: model.branch_taken,
+    }

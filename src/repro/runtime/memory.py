@@ -1,0 +1,143 @@
+"""Sparse guest memory with page-residency tracking.
+
+Backing store is a dict of 4 KiB page frames allocated on first touch
+(zero-filled, like anonymous mappings).  Guard ranges turn accesses into
+:class:`MemoryFault` — the mechanism behind the null page and the stack
+guard band that the stack overflow checking pattern probes.
+
+Residency tracking records every page touched (the set of resident
+pages), which is what the Table 5 memory-usage experiment measures: a
+smaller text segment touches fewer code pages during the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oat.layout import PAGE_SIZE
+
+__all__ = ["GuardRange", "Memory", "MemoryFault"]
+
+
+class MemoryFault(RuntimeError):
+    """Access to a guarded or invalid range."""
+
+    def __init__(self, kind: str, address: int):
+        super().__init__(f"{kind} at {address:#x}")
+        self.kind = kind
+        self.address = address
+
+
+@dataclass(frozen=True)
+class GuardRange:
+    start: int
+    end: int
+    kind: str
+
+
+class Memory:
+    """Byte-addressable sparse memory."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+        self._guards: list[GuardRange] = []
+        #: Pages touched by loads/stores (page numbers).
+        self.touched_pages: set[int] = set()
+        self._last_page = -1
+
+    def add_guard(self, start: int, end: int, kind: str) -> None:
+        self._guards.append(GuardRange(start=start, end=end, kind=kind))
+
+    def _check_guards(self, address: int) -> None:
+        for guard in self._guards:
+            if guard.start <= address < guard.end:
+                raise MemoryFault(guard.kind, address)
+
+    def _touch(self, address: int) -> None:
+        page = address >> 12
+        if page != self._last_page:
+            self._last_page = page
+            self.touched_pages.add(page)
+
+    def _page(self, page_number: int) -> bytearray:
+        frame = self._pages.get(page_number)
+        if frame is None:
+            frame = bytearray(PAGE_SIZE)
+            self._pages[page_number] = frame
+        return frame
+
+    # -- bulk (loader) access: no guards, no residency accounting ---------
+
+    def load_image(self, base: int, blob: bytes) -> None:
+        """Map ``blob`` at ``base`` (loader path — not counted as touched)."""
+        offset = 0
+        while offset < len(blob):
+            address = base + offset
+            page_number = address >> 12
+            in_page = address & (PAGE_SIZE - 1)
+            chunk = min(PAGE_SIZE - in_page, len(blob) - offset)
+            self._page(page_number)[in_page : in_page + chunk] = blob[offset : offset + chunk]
+            offset += chunk
+
+    def read_bytes_raw(self, address: int, size: int) -> bytes:
+        """Unchecked read (loader/debug path)."""
+        out = bytearray()
+        while size:
+            page_number = address >> 12
+            in_page = address & (PAGE_SIZE - 1)
+            chunk = min(PAGE_SIZE - in_page, size)
+            out += self._page(page_number)[in_page : in_page + chunk]
+            address += chunk
+            size -= chunk
+        return bytes(out)
+
+    # -- guest access: guarded + tracked ------------------------------------
+
+    def read_u64(self, address: int) -> int:
+        self._check_guards(address)
+        self._touch(address)
+        page = self._page(address >> 12)
+        in_page = address & (PAGE_SIZE - 1)
+        if in_page <= PAGE_SIZE - 8:
+            return int.from_bytes(page[in_page : in_page + 8], "little")
+        return int.from_bytes(self.read_bytes_raw(address, 8), "little")
+
+    def read_u32(self, address: int) -> int:
+        self._check_guards(address)
+        self._touch(address)
+        page = self._page(address >> 12)
+        in_page = address & (PAGE_SIZE - 1)
+        if in_page <= PAGE_SIZE - 4:
+            return int.from_bytes(page[in_page : in_page + 4], "little")
+        return int.from_bytes(self.read_bytes_raw(address, 4), "little")
+
+    def write_u64(self, address: int, value: int) -> None:
+        self._check_guards(address)
+        self._touch(address)
+        blob = (value & ((1 << 64) - 1)).to_bytes(8, "little")
+        page = self._page(address >> 12)
+        in_page = address & (PAGE_SIZE - 1)
+        if in_page <= PAGE_SIZE - 8:
+            page[in_page : in_page + 8] = blob
+        else:
+            self.load_image(address, blob)
+
+    def write_u32(self, address: int, value: int) -> None:
+        self._check_guards(address)
+        self._touch(address)
+        blob = (value & ((1 << 32) - 1)).to_bytes(4, "little")
+        page = self._page(address >> 12)
+        in_page = address & (PAGE_SIZE - 1)
+        if in_page <= PAGE_SIZE - 4:
+            page[in_page : in_page + 4] = blob
+        else:
+            self.load_image(address, blob)
+
+    def resident_pages_in(self, start: int, end: int) -> int:
+        """Count touched pages within ``[start, end)``."""
+        lo, hi = start >> 12, (end + PAGE_SIZE - 1) >> 12
+        return sum(1 for p in self.touched_pages if lo <= p < hi)
+
+    def reset_residency(self) -> None:
+        self.touched_pages.clear()
+        self._last_page = -1

@@ -1,0 +1,23 @@
+"""Suffix tree substrate: Ukkonen construction, repeat enumeration and
+the group-parallel execution helpers backing PlOpti."""
+
+from repro.suffixtree.parallel import available_parallelism, map_over_groups, partition_evenly
+from repro.suffixtree.repeats import (
+    Repeat,
+    brute_force_repeats,
+    enumerate_repeats,
+    select_nonoverlapping,
+)
+from repro.suffixtree.ukkonen import TERMINAL, SuffixTree
+
+__all__ = [
+    "Repeat",
+    "SuffixTree",
+    "TERMINAL",
+    "available_parallelism",
+    "brute_force_repeats",
+    "enumerate_repeats",
+    "map_over_groups",
+    "partition_evenly",
+    "select_nonoverlapping",
+]

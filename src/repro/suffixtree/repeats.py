@@ -1,0 +1,108 @@
+"""Repeated-sequence enumeration on top of the suffix tree.
+
+Two extra pieces live here beyond raw tree traversal:
+
+* :func:`select_nonoverlapping` — the "small modification ... to
+  selectively skip" overlapping occurrences the paper mentions in
+  Section 2.1.2 ("ana" overlaps itself in "banana"): occurrences claimed
+  for outlining must not overlap, or the same bytes would be outlined
+  twice.
+* :func:`brute_force_repeats` — an O(n^2·L) reference used only by the
+  test suite to validate the Ukkonen construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.suffixtree.ukkonen import SuffixTree
+
+__all__ = ["Repeat", "brute_force_repeats", "enumerate_repeats", "select_nonoverlapping"]
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """A repeated sequence found in the tree.
+
+    ``count`` is the raw number of (possibly overlapping) occurrences —
+    the suffix-tree leaf count.  Non-overlap filtering happens later,
+    when the outliner claims concrete positions.
+    """
+
+    node: int
+    length: int
+    count: int
+
+    def positions(self, tree: SuffixTree) -> list[int]:
+        """Sorted start positions of all occurrences (possibly overlapping)."""
+        return tree.occurrences(self.node)
+
+
+def enumerate_repeats(
+    tree: SuffixTree,
+    min_length: int = 2,
+    min_count: int = 2,
+    max_length: int | None = None,
+) -> list[Repeat]:
+    """Enumerate internal nodes as candidate repeats.
+
+    Every internal node of depth >= ``min_length`` with >= ``min_count``
+    descendant leaves is a repeat (paper Section 2.2 step 3).  Nested
+    nodes yield nested candidates (e.g. both "na" and "ana"); the benefit
+    model decides which to outline.
+    """
+    out = []
+    for node in tree.internal_nodes():
+        length = tree.string_depth(node)
+        count = tree.leaf_count(node)
+        if length < min_length or count < min_count:
+            continue
+        if max_length is not None and length > max_length:
+            continue
+        out.append(Repeat(node=node, length=length, count=count))
+    return out
+
+
+def select_nonoverlapping(positions: Sequence[int], length: int) -> list[int]:
+    """Greedy left-to-right maximum selection of non-overlapping occurrences.
+
+    For equal-length intervals, taking the leftmost compatible occurrence
+    first is optimal (it is the classic activity-selection argument), so
+    this computes the true maximum number of non-overlapping occurrences.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    chosen: list[int] = []
+    last_end = None
+    for pos in sorted(positions):
+        if last_end is None or pos >= last_end:
+            chosen.append(pos)
+            last_end = pos + length
+    return chosen
+
+
+def brute_force_repeats(
+    sequence: Sequence[int], min_length: int = 2, min_count: int = 2
+) -> dict[tuple[int, ...], int]:
+    """All repeated subsequences by exhaustive search (test oracle only).
+
+    Returns ``{subsequence: occurrence_count}`` for every subsequence of
+    length >= ``min_length`` occurring >= ``min_count`` times.
+    """
+    seq = tuple(sequence)
+    n = len(seq)
+    counts: dict[tuple[int, ...], int] = {}
+    for length in range(min_length, n + 1):
+        seen: dict[tuple[int, ...], int] = {}
+        for i in range(n - length + 1):
+            sub = seq[i : i + length]
+            seen[sub] = seen.get(sub, 0) + 1
+        any_repeat = False
+        for sub, c in seen.items():
+            if c >= min_count:
+                counts[sub] = c
+                any_repeat = True
+        if not any_repeat:
+            break
+    return counts

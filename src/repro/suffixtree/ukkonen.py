@@ -1,0 +1,285 @@
+"""Online suffix tree construction with Ukkonen's algorithm.
+
+The paper (Section 2.2) builds a suffix tree over the unsigned-integer
+sequence obtained by mapping each machine instruction, using Ukkonen's
+O(n) online algorithm [Ukkonen 1995], then traverses the internal nodes
+to enumerate repeated sequences.
+
+This implementation works over arbitrary sequences of non-negative
+integers (the instruction mapping of :mod:`repro.core.detect` produces
+exactly that).  Negative integers are reserved: ``-1`` is the internal
+end-of-sequence terminal, and callers may use other negative values as
+per-occurrence separators (see :func:`repro.core.detect.map_method`) —
+they are accepted as ordinary symbols but, being unique per occurrence,
+can never take part in a repeated substring.
+
+Nodes are stored in parallel arrays (struct-of-arrays) rather than
+objects: with millions of symbols this halves memory and noticeably
+speeds up construction in CPython, which matters for the build-time
+experiments (Table 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+__all__ = ["SuffixTree", "TERMINAL"]
+
+#: Internal end-of-sequence terminal appended to every input.
+TERMINAL = -1
+
+#: Sentinel stored in ``_end`` marking leaves (their edge runs to the
+#: current global end during construction, and to ``len(symbols)`` after).
+_LEAF = -1
+
+#: Root node index.
+_ROOT = 0
+
+
+class SuffixTree:
+    """Suffix tree over an integer sequence.
+
+    >>> tree = SuffixTree([2, 1, 3, 1, 3, 1])       # "banana" renamed
+    >>> sorted(tree.repeated_substrings(min_length=2))[0]
+    (2, 2)
+    """
+
+    def __init__(self, sequence: Sequence[int]):
+        symbols = list(sequence)
+        symbols.append(TERMINAL)
+        self._symbols = symbols
+        #: Length of the input, excluding the internal terminal.
+        self.sequence_length = len(symbols) - 1
+        self._start: list[int] = [-1]
+        self._end: list[int] = [-1]
+        self._slink: list[int] = [_ROOT]
+        self._children: list[dict[int, int]] = [{}]
+        self._build()
+        self._string_depth: list[int] | None = None
+        self._leaf_count: list[int] | None = None
+        self._parent: list[int] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def _new_node(self, start: int, end: int) -> int:
+        self._start.append(start)
+        self._end.append(end)
+        self._slink.append(_ROOT)
+        self._children.append({})
+        return len(self._start) - 1
+
+    def _build(self) -> None:
+        symbols = self._symbols
+        n = len(symbols)
+        start = self._start
+        end = self._end
+        slink = self._slink
+        children = self._children
+
+        active_node = _ROOT
+        active_edge = 0  # index into symbols of the active edge's first symbol
+        active_len = 0
+        remainder = 0
+
+        for i in range(n):
+            current = symbols[i]
+            remainder += 1
+            last_internal = _ROOT
+            while remainder:
+                if active_len == 0:
+                    active_edge = i
+                child = children[active_node].get(symbols[active_edge])
+                if child is None:
+                    # Rule 2: new leaf hanging off the active node.
+                    leaf = self._new_node(i, _LEAF)
+                    children[active_node][symbols[active_edge]] = leaf
+                    if last_internal != _ROOT:
+                        slink[last_internal] = active_node
+                        last_internal = _ROOT
+                else:
+                    child_end = end[child]
+                    edge_len = (i + 1 if child_end == _LEAF else child_end) - start[child]
+                    if active_len >= edge_len:
+                        # Walk down the edge (canonicalisation).
+                        active_node = child
+                        active_edge += edge_len
+                        active_len -= edge_len
+                        continue
+                    if symbols[start[child] + active_len] == current:
+                        # Rule 3: symbol already present; extend implicitly.
+                        active_len += 1
+                        if last_internal != _ROOT:
+                            slink[last_internal] = active_node
+                        break
+                    # Rule 2 with split: break the edge, add a leaf.
+                    split = self._new_node(start[child], start[child] + active_len)
+                    children[active_node][symbols[active_edge]] = split
+                    leaf = self._new_node(i, _LEAF)
+                    children[split][current] = leaf
+                    start[child] += active_len
+                    children[split][symbols[start[child]]] = child
+                    if last_internal != _ROOT:
+                        slink[last_internal] = split
+                    last_internal = split
+                remainder -= 1
+                if active_node == _ROOT and active_len:
+                    active_len -= 1
+                    active_edge = i - remainder + 1
+                else:
+                    active_node = slink[active_node]
+
+        # Freeze leaf edge ends at the final global end.
+        for node in range(len(end)):
+            if end[node] == _LEAF:
+                end[node] = n
+
+    # -- structural queries --------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes, including the root and leaves."""
+        return len(self._start)
+
+    def is_leaf(self, node: int) -> bool:
+        return not self._children[node]
+
+    def children_of(self, node: int) -> dict[int, int]:
+        """First-symbol → child-node mapping (read-only use)."""
+        return self._children[node]
+
+    def edge_label(self, node: int) -> tuple[int, int]:
+        """``(start, end)`` slice of the symbol array labelling the edge
+        into ``node``."""
+        return self._start[node], self._end[node]
+
+    def _annotate(self) -> None:
+        """Compute string depth, leaf counts and parents in one iterative
+        post-order traversal (the sequences here reach 10^5+ symbols, so
+        recursion is out)."""
+        if self._string_depth is not None:
+            return
+        n_nodes = len(self._start)
+        depth = [0] * n_nodes
+        leaves = [0] * n_nodes
+        parent = [-1] * n_nodes
+        stack: list[tuple[int, bool]] = [(_ROOT, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                if not self._children[node]:
+                    leaves[node] = 1
+                else:
+                    leaves[node] = sum(leaves[c] for c in self._children[node].values())
+                continue
+            stack.append((node, True))
+            for child in self._children[node].values():
+                parent[child] = node
+                depth[child] = depth[node] + (self._end[child] - self._start[child])
+                stack.append((child, False))
+        self._string_depth = depth
+        self._leaf_count = leaves
+        self._parent = parent
+
+    def string_depth(self, node: int) -> int:
+        """Length of the path label from the root to ``node``."""
+        self._annotate()
+        assert self._string_depth is not None
+        return self._string_depth[node]
+
+    def leaf_count(self, node: int) -> int:
+        """Number of leaves in the subtree of ``node`` — i.e. how many
+        suffixes begin with the node's path label."""
+        self._annotate()
+        assert self._leaf_count is not None
+        return self._leaf_count[node]
+
+    def internal_nodes(self) -> Iterator[int]:
+        """All internal nodes except the root."""
+        for node in range(1, len(self._start)):
+            if self._children[node]:
+                yield node
+
+    def path_label(self, node: int) -> list[int]:
+        """The symbol sequence spelled by the path from the root."""
+        self._annotate()
+        assert self._parent is not None
+        parts: list[list[int]] = []
+        cur = node
+        while cur != _ROOT:
+            s, e = self._start[cur], self._end[cur]
+            parts.append(self._symbols[s:e])
+            cur = self._parent[cur]
+        out: list[int] = []
+        for part in reversed(parts):
+            out.extend(part)
+        return out
+
+    def occurrences(self, node: int) -> list[int]:
+        """Start positions in the input where the node's path label occurs.
+
+        Each descendant leaf represents one suffix; the suffix index is
+        recovered from the leaf's string depth.
+        """
+        self._annotate()
+        assert self._string_depth is not None
+        total = len(self._symbols)
+        label_len = self._string_depth[node]
+        positions: list[int] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            kids = self._children[cur]
+            if kids:
+                stack.extend(kids.values())
+            else:
+                positions.append(total - self._string_depth[cur])
+        positions.sort()
+        # The terminal-only suffix can never reach an internal node, so
+        # every position is a genuine occurrence of length `label_len`.
+        assert all(p + label_len <= self.sequence_length for p in positions)
+        return positions
+
+    # -- convenience ---------------------------------------------------------
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        """True if ``pattern`` occurs in the indexed sequence."""
+        return self.count_occurrences(pattern) > 0
+
+    def count_occurrences(self, pattern: Sequence[int]) -> int:
+        """Number of (possibly overlapping) occurrences of ``pattern``."""
+        if not pattern:
+            raise ValueError("empty pattern")
+        node = self._locate(list(pattern))
+        if node is None:
+            return 0
+        return self.leaf_count(node)
+
+    def _locate(self, pattern: list[int]) -> int | None:
+        """Find the node at or below which ``pattern`` ends."""
+        node = _ROOT
+        i = 0
+        while i < len(pattern):
+            child = self._children[node].get(pattern[i])
+            if child is None:
+                return None
+            s, e = self._start[child], self._end[child]
+            for j in range(s, e):
+                if i == len(pattern):
+                    break
+                if self._symbols[j] != pattern[i]:
+                    return None
+                i += 1
+            node = child
+        return node
+
+    def repeated_substrings(self, min_length: int = 1, min_count: int = 2) -> Iterator[tuple[int, int]]:
+        """Yield ``(length, count)`` for every internal node whose path
+        label is at least ``min_length`` long and occurs at least
+        ``min_count`` times (paper Section 2.2 step 3)."""
+        self._annotate()
+        assert self._string_depth is not None and self._leaf_count is not None
+        for node in self.internal_nodes():
+            length = self._string_depth[node]
+            count = self._leaf_count[node]
+            if length >= min_length and count >= min_count:
+                yield length, count

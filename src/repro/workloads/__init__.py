@@ -1,0 +1,28 @@
+"""Workload substrate: the synthetic-app generator and the six
+paper-app profiles."""
+
+from repro.workloads.appgen import AppSpec, GeneratedApp, UiScript, generate_app
+from repro.workloads.oracle import Mismatch, OracleResult, default_configs, verify_app
+from repro.workloads.apps import (
+    APP_NAMES,
+    PAPER_BASELINE_MB,
+    app_spec,
+    default_suite,
+    generate_suite,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "AppSpec",
+    "GeneratedApp",
+    "Mismatch",
+    "OracleResult",
+    "PAPER_BASELINE_MB",
+    "UiScript",
+    "app_spec",
+    "default_suite",
+    "generate_app",
+    "default_configs",
+    "generate_suite",
+    "verify_app",
+]

@@ -1,0 +1,457 @@
+"""Synthetic Android-app generator.
+
+The paper evaluates on six commercial apps from the OPPO App Market;
+those APKs (and the phone to run them) are not available, so this module
+generates mini-DEX applications whose *binary code shape* reproduces the
+properties the paper measures:
+
+* every method is built from a small library of **idioms** (ALU chains,
+  loops, field shuffles, array walks, callers, branchy validators, ...)
+  — app code is idiomatic, and idiom instances compiled by a
+  template-driven code generator are where binary redundancy comes from;
+* idiom **variants** are drawn from a Zipf distribution, so a few
+  variants dominate (short, frequent repeats — the Fig. 3 law) with a
+  long tail of rarer ones;
+* every method makes ART-pattern-generating operations (invokes,
+  allocations, implicit checks), so the three Fig. 4 patterns appear at
+  realistic relative frequencies;
+* a fraction of methods carry ``packed-switch`` (indirect jumps) or are
+  JNI natives — the populations LTBO must exclude;
+* call graphs are layered DAGs with designated hot entry loops, giving
+  the profile skew HfOpti needs.
+
+All generated methods take two integer arguments and return an integer,
+which keeps the call graph trivially type-safe while the method *bodies*
+exercise objects, arrays, strings and exceptions internally.  Reference
+semantics are defined by :class:`repro.dex.interp.Interpreter`; the
+oracle tests run every generated app through interpreter and emulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dex.builder import MethodBuilder
+from repro.dex.method import DexClass, DexFile, DexMethod
+from repro.dex.verifier import verify_dexfile
+
+__all__ = ["AppSpec", "GeneratedApp", "UiScript", "generate_app"]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Knobs for one generated application."""
+
+    name: str
+    seed: int
+    num_methods: int = 300
+    methods_per_class: int = 12
+    #: Zipf-ish skew: variant k is drawn with weight 1/(k+1)**zipf_s.
+    zipf_s: float = 1.05
+    #: Number of distinct variants per idiom family.
+    variants_per_idiom: int = 40
+    switch_fraction: float = 0.04
+    native_fraction: float = 0.03
+    string_count: int = 24
+    entry_points: int = 6
+    #: Iterations hot entries run their inner call loops for.
+    hot_loop: int = 12
+
+    def scaled(self, factor: float) -> "AppSpec":
+        return AppSpec(
+            name=self.name,
+            seed=self.seed,
+            num_methods=max(20, int(self.num_methods * factor)),
+            methods_per_class=self.methods_per_class,
+            zipf_s=self.zipf_s,
+            variants_per_idiom=self.variants_per_idiom,
+            switch_fraction=self.switch_fraction,
+            native_fraction=self.native_fraction,
+            string_count=self.string_count,
+            entry_points=self.entry_points,
+            hot_loop=self.hot_loop,
+        )
+
+
+@dataclass
+class UiScript:
+    """The uiautomator substitute: a fixed sequence of entry-point calls
+    ("a series of specified operations", §4.3) replayed N times."""
+
+    calls: list[tuple[str, tuple[int, int]]] = field(default_factory=list)
+    repetitions: int = 1
+
+    def iterate(self):
+        for _ in range(self.repetitions):
+            yield from self.calls
+
+
+@dataclass
+class GeneratedApp:
+    """A generated application plus everything needed to run it."""
+
+    spec: AppSpec
+    dexfile: DexFile
+    entry_points: list[str]
+    ui_script: UiScript
+    native_handlers: dict[str, Callable[[list[int]], int]]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+# -- idiom emitters --------------------------------------------------------------
+#
+# Each emitter writes a method body into a MethodBuilder.  `variant`
+# selects the body shape deterministically — methods sharing a variant
+# compile to (near-)identical binary code, which is the redundancy source.
+
+_ALU_OPS = (
+    "add", "sub", "mul", "xor", "and", "or",
+    "shl", "shr", "ushr", "min", "max",
+)
+
+
+def _variant_rng(family: str, variant: int, seed: int) -> random.Random:
+    """Deterministic per-(family, variant) randomness: two methods using
+    the same variant get the *same* body shape regardless of where they
+    appear in the app."""
+    return random.Random((hash((family, variant)) ^ seed) & 0xFFFFFFFF)
+
+
+def _emit_alu_chain(b: MethodBuilder, rng: random.Random, base: int, salt: int) -> None:
+    """A straight-line arithmetic chain over the two inputs.
+
+    ``base`` shifts the working registers (per-method register
+    assignment, as a real allocator would produce) and ``salt`` injects
+    one method-unique literal — together they give same-variant methods
+    *similar but not identical* code, which is what production binaries
+    look like."""
+    acc = base
+    length = rng.randint(4, 10)
+    salt_at = rng.randrange(length)
+    b.move(acc, 0)
+    for k in range(length):
+        op = rng.choice(_ALU_OPS)
+        if k == salt_at:
+            b.binop_lit("xor", acc, acc, salt)
+        elif rng.random() < 0.35:
+            b.binop_lit(op, acc, acc, rng.randint(1, 63))
+        else:
+            b.binop(op, acc, acc, rng.choice([0, 1]))
+    b.ret(acc)
+
+
+def _emit_loop_sum(b: MethodBuilder, rng: random.Random, base: int, salt: int) -> None:
+    """Bounded loop accumulating a variant-specific kernel."""
+    acc, cnt = base, base + 1
+    bound = rng.randint(5, 17)
+    ops = [rng.choice(_ALU_OPS[:4]) for _ in range(rng.randint(1, 3))]
+    loop = b.new_label()
+    done = b.new_label()
+    b.binop_lit("and", cnt, 0, 15)        # trip count = (a & 15) + bound
+    b.binop_lit("add", cnt, cnt, bound)
+    b.const(acc, salt)
+    b.bind(loop)
+    b.if_z("eq", cnt, done)
+    for op in ops:
+        b.binop(op, acc, acc, 1)
+    b.binop_lit("add", acc, acc, 1)
+    b.binop_lit("sub", cnt, cnt, 1)
+    b.goto(loop)
+    b.bind(done)
+    b.ret(acc)
+
+
+def _emit_field_shuffle(b: MethodBuilder, rng: random.Random, base: int, salt: int) -> None:
+    """Allocate an object, store/load/recombine fields."""
+    obj, tmp, lo, hi = base, base + 1, base + 2, base + 3
+    nf = rng.randint(3, 6)
+    class_idx = rng.randint(1, 40)
+    b.new_instance(obj, class_idx=class_idx, num_fields=nf)
+    b.iput(0, obj, 0)
+    b.iput(1, obj, 1)
+    b.binop("add", tmp, 0, 1)
+    b.binop_lit("xor", tmp, tmp, salt)
+    b.iput(tmp, obj, nf - 1)
+    b.iget(lo, obj, 0)
+    b.iget(hi, obj, nf - 1)
+    op = rng.choice(_ALU_OPS)
+    b.binop(op, lo, lo, hi)
+    b.ret(lo)
+
+
+def _emit_array_walk(b: MethodBuilder, rng: random.Random, base: int, salt: int) -> None:
+    """Allocate an array, fill it, fold it."""
+    n, arr, i, tmp, acc = base, base + 1, base + 2, base + 3, base + 4
+    size = rng.randint(4, 12)
+    b.const(n, size)
+    b.new_array(arr, n)
+    fill = b.new_label()
+    fold = b.new_label()
+    b.const(i, 0)
+    b.bind(fill)
+    b.if_cmp("ge", i, n, fold)
+    b.binop("add", tmp, 0, i)
+    b.aput(tmp, arr, i)
+    b.binop_lit("add", i, i, 1)
+    b.goto(fill)
+    b.bind(fold)
+    b.const(i, 0)
+    b.const(acc, salt)
+    loop2 = b.new_label()
+    out = b.new_label()
+    b.bind(loop2)
+    b.if_cmp("ge", i, n, out)
+    b.aget(tmp, arr, i)
+    b.binop("xor", acc, acc, tmp)
+    b.binop_lit("add", i, i, 1)
+    b.goto(loop2)
+    b.bind(out)
+    b.binop("add", acc, acc, 1)
+    b.ret(acc)
+
+
+def _emit_branchy(b: MethodBuilder, rng: random.Random, base: int, salt: int) -> None:
+    """Validator-style compare ladder with several returns (exercises
+    return merging and conditional-branch patching)."""
+    res = base
+    arms = rng.randint(2, 4)
+    cmps = [rng.choice(("lt", "gt", "eq", "ne", "le", "ge")) for _ in range(arms)]
+    end_labels = [b.new_label() for _ in range(arms)]
+    for i, cmp in enumerate(cmps):
+        b.if_cmp(cmp, 0, 1, end_labels[i])
+    b.binop("sub", res, 0, 1)
+    b.binop_lit("xor", res, res, salt)
+    b.ret(res)
+    for i, label in enumerate(end_labels):
+        b.bind(label)
+        b.const(res, (i + 1) * 17)
+        b.binop("add", res, res, 0)
+        b.ret(res)
+
+
+def _emit_string_user(
+    b: MethodBuilder, rng: random.Random, base: int, salt: int, string_count: int
+) -> None:
+    """Touch the string table (adrp/add relocations) without letting the
+    address influence the result (``s ^ s == 0``)."""
+    s, res = base, base + 1
+    idx = rng.randrange(max(1, string_count))
+    b.const_string(s, idx)
+    b.binop("xor", res, s, s)              # always 0, address-independent
+    b.binop("add", res, res, 0)
+    b.binop_lit("xor", res, res, salt)
+    op = rng.choice(_ALU_OPS)
+    b.binop(op, res, res, 1)
+    b.ret(res)
+
+
+def _emit_switcher(b: MethodBuilder, rng: random.Random) -> None:
+    """A packed-switch state machine — compiles to a ``br`` jump table,
+    flagging the method as non-outlinable."""
+    n_arms = rng.randint(3, 6)
+    arm_labels = [b.new_label() for _ in range(n_arms)]
+    done = b.new_label()
+    b.binop_lit("and", 2, 0, 7)
+    b.packed_switch(2, 0, arm_labels[: min(n_arms, 8)])
+    b.const(3, 999)                       # default
+    b.goto(done)
+    for i, label in enumerate(arm_labels):
+        b.bind(label)
+        b.const(3, i * 31 + 5)
+        b.binop("add", 3, 3, 1)
+        b.goto(done)
+    b.bind(done)
+    b.ret(3)
+
+
+def _emit_trivial(b: MethodBuilder, rng: random.Random) -> None:
+    """Getter/setter-class bodies: tiny, drawn from a handful of shapes
+    with *no* per-method salt — real apps are full of bit-identical
+    accessors, the population Identical Code Folding exists for."""
+    shape = rng.randrange(6)
+    if shape == 0:
+        b.ret(0)
+    elif shape == 1:
+        b.ret(1)
+    elif shape == 2:
+        b.binop("add", 2, 0, 1)
+        b.ret(2)
+    elif shape == 3:
+        b.binop("xor", 2, 0, 1)
+        b.ret(2)
+    elif shape == 4:
+        b.binop_lit("add", 2, 0, 1)
+        b.ret(2)
+    else:
+        b.const(2, 1)
+        b.ret(2)
+
+
+def _emit_caller(
+    b: MethodBuilder, rng: random.Random, callees: list[str]
+) -> None:
+    """Fan-out to previously generated methods (Java calling patterns)."""
+    picks = rng.sample(callees, k=min(len(callees), rng.randint(2, 4)))
+    b.const(2, 0)
+    for callee in picks:
+        b.invoke_static(callee, args=(0, 1), dst=3)
+        b.binop("add", 2, 2, 3)
+        b.binop_lit("xor", 0, 0, rng.randint(1, 31))
+    b.ret(2)
+
+
+# -- generator ---------------------------------------------------------------------
+
+
+def _zipf_choice(rng: random.Random, n: int, s: float) -> int:
+    weights = [1.0 / (k + 1) ** s for k in range(n)]
+    total = sum(weights)
+    x = rng.random() * total
+    acc = 0.0
+    for k, w in enumerate(weights):
+        acc += w
+        if x <= acc:
+            return k
+    return n - 1
+
+
+#: (family name, weight, needs_callees)
+_IDIOMS = (
+    ("alu", 0.20, False),
+    ("loop", 0.15, False),
+    ("field", 0.13, False),
+    ("array", 0.10, False),
+    ("branchy", 0.10, False),
+    ("string", 0.08, False),
+    ("trivial", 0.08, False),
+    ("caller", 0.16, True),
+)
+
+
+def generate_app(spec: AppSpec) -> GeneratedApp:
+    """Generate one application from its spec (deterministic in seed)."""
+    rng = random.Random(spec.seed)
+    strings = [f"{spec.name}/res/string_{i:03d}" for i in range(spec.string_count)]
+
+    methods: list[DexMethod] = []
+    method_names: list[str] = []
+    native_handlers: dict[str, Callable[[list[int]], int]] = {}
+
+    def class_name(i: int) -> str:
+        return f"L{spec.name}/C{i // spec.methods_per_class:03d};"
+
+    for i in range(spec.num_methods):
+        name = f"{class_name(i)}->m{i:04d}"
+        roll = rng.random()
+        if roll < spec.native_fraction:
+            methods.append(
+                DexMethod(name=name, num_registers=2, num_inputs=2, is_native=True)
+            )
+            salt = rng.randint(1, 1 << 20)
+            native_handlers[name] = _make_native(salt)
+            method_names.append(name)
+            continue
+        # Per-method register-file size: varies the frame layout and the
+        # callee-saved save/restore sequences, like real allocation does.
+        num_registers = rng.randint(7, 14)
+        b = MethodBuilder(name, num_inputs=2, num_registers=num_registers)
+        if roll < spec.native_fraction + spec.switch_fraction:
+            _emit_switcher(b, rng)
+        else:
+            family_roll = rng.random()
+            acc = 0.0
+            family = "alu"
+            needs_callees = False
+            for fam, weight, needs in _IDIOMS:
+                acc += weight
+                if family_roll <= acc:
+                    family, needs_callees = fam, needs
+                    break
+            if needs_callees and len(method_names) >= 4:
+                _emit_caller(b, rng, method_names)
+            else:
+                variant = _zipf_choice(rng, spec.variants_per_idiom, spec.zipf_s)
+                vrng = _variant_rng(family, variant, spec.seed)
+                # Per-method diversity: register-assignment shift and a
+                # unique literal (see _emit_alu_chain's docstring).
+                base = rng.randint(2, min(4, num_registers - 5))
+                salt = rng.randint(1, 4095)
+                if family == "loop":
+                    _emit_loop_sum(b, vrng, base, salt)
+                elif family == "field":
+                    _emit_field_shuffle(b, vrng, base, salt)
+                elif family == "array":
+                    _emit_array_walk(b, vrng, base, salt)
+                elif family == "branchy":
+                    _emit_branchy(b, vrng, base, salt)
+                elif family == "string":
+                    _emit_string_user(b, vrng, base, salt, spec.string_count)
+                elif family == "trivial":
+                    _emit_trivial(b, vrng)
+                else:
+                    _emit_alu_chain(b, vrng, base, salt)
+        methods.append(b.build())
+        method_names.append(name)
+
+    # Entry points: loops over a hot subset plus one-shot cold calls.
+    entries: list[str] = []
+    hot_pool = rng.sample(method_names, k=min(len(method_names), 8))
+    for e in range(spec.entry_points):
+        name = f"L{spec.name}/Main;->entry{e}"
+        b = MethodBuilder(name, num_inputs=2, num_registers=12)
+        loop = b.new_label()
+        done = b.new_label()
+        b.const(2, 0)                       # acc
+        b.const(3, spec.hot_loop)           # hot loop counter
+        b.bind(loop)
+        b.if_z("eq", 3, done)
+        for hot in rng.sample(hot_pool, k=min(3, len(hot_pool))):
+            b.invoke_static(hot, args=(0, 3), dst=4)
+            b.binop("add", 2, 2, 4)
+        b.binop_lit("sub", 3, 3, 1)
+        b.goto(loop)
+        b.bind(done)
+        for cold in rng.sample(method_names, k=min(6, len(method_names))):
+            b.invoke_static(cold, args=(1, 0), dst=4)
+            b.binop("xor", 2, 2, 4)
+        b.ret(2)
+        methods.append(b.build())
+        entries.append(name)
+
+    classes: dict[str, DexClass] = {}
+    for method in methods:
+        cname = method.name.split("->")[0]
+        classes.setdefault(cname, DexClass(name=cname)).methods.append(method)
+
+    dexfile = DexFile(classes=list(classes.values()), string_table=strings)
+    verify_dexfile(dexfile)
+
+    script = UiScript(
+        calls=[
+            (entry, (rng.randint(0, 99), rng.randint(0, 99)))
+            for entry in entries
+            for _ in range(2)
+        ],
+        repetitions=1,
+    )
+    return GeneratedApp(
+        spec=spec,
+        dexfile=dexfile,
+        entry_points=entries,
+        ui_script=script,
+        native_handlers=native_handlers,
+    )
+
+
+def _make_native(salt: int) -> Callable[[list[int]], int]:
+    def handler(args: list[int]) -> int:
+        a = args[0] if args else 0
+        b = args[1] if len(args) > 1 else 0
+        return (a * 31 + b) ^ salt
+
+    return handler

@@ -1,0 +1,63 @@
+"""Section 2.2 redundancy analysis (Table 1 / Figure 3)."""
+
+from __future__ import annotations
+
+from repro.analysis import estimate_redundancy, length_census
+from repro.compiler import dex2oat
+
+
+def test_estimate_in_plausible_band(small_app):
+    result = dex2oat(small_app.dexfile, cto=False)
+    report = estimate_redundancy(result.methods, small_app.name)
+    # Paper Table 1: 24.3%-27.7%; generated workloads sit somewhat higher
+    # (reduced ISA diversity) but must stay in a sane band.
+    assert 0.15 < report.estimated_ratio < 0.60
+    assert report.total_instructions > 0
+    assert report.instructions_saved > 0
+
+
+def test_estimate_exceeds_realised_reduction(small_app, baseline_build, ltbo_build):
+    """Observation 1 vs Table 4: the potential estimate upper-bounds the
+    realised (safety-constrained) reduction."""
+    result = dex2oat(small_app.dexfile, cto=False)
+    report = estimate_redundancy(result.methods, small_app.name)
+    realised = 1 - ltbo_build.text_size / baseline_build.text_size
+    assert report.estimated_ratio > realised
+
+
+def test_census_shape_matches_figure3(small_app):
+    """Observation 2: short sequences dominate, frequency decays with
+    length."""
+    result = dex2oat(small_app.dexfile, cto=False)
+    report = estimate_redundancy(result.methods, small_app.name)
+    by_len = report.census_by_length()
+    assert by_len
+    short = sum(v for k, v in by_len.items() if k <= 8)
+    long = sum(v for k, v in by_len.items() if k > 16)
+    assert short > long
+
+
+def test_length_census_buckets(small_app):
+    result = dex2oat(small_app.dexfile, cto=False)
+    report = estimate_redundancy(result.methods, small_app.name)
+    buckets = length_census(report)
+    assert sum(buckets.values()) == sum(c for _, c in report.census)
+    assert "2-3" in buckets and ">=64" in buckets
+
+
+def test_claimed_repeats_are_beneficial(small_app):
+    from repro.core.benefit import evaluate
+
+    result = dex2oat(small_app.dexfile, cto=False)
+    report = estimate_redundancy(result.methods, small_app.name)
+    for length, count in report.claimed:
+        assert count >= 2 and evaluate(length, count) >= 1
+    assert report.instructions_saved == sum(
+        evaluate(length, count) for length, count in report.claimed
+    )
+
+
+def test_empty_input():
+    report = estimate_redundancy([], "empty")
+    assert report.total_instructions == 0
+    assert report.estimated_ratio == 0.0

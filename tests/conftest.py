@@ -1,0 +1,51 @@
+"""Shared fixtures: a small generated app and its builds.
+
+Session-scoped because compiling an app once and reusing it across test
+modules keeps the suite fast; tests never mutate these objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CalibroConfig, build_app
+from repro.dex import Interpreter
+from repro.workloads import app_spec, generate_app
+
+
+@pytest.fixture(scope="session")
+def small_app():
+    """A small but fully featured generated app (has natives, switches,
+    strings, entry loops)."""
+    return generate_app(app_spec("Taobao", scale=0.25))
+
+
+@pytest.fixture(scope="session")
+def small_app_expected(small_app):
+    """Reference results for the app's UI script, from the interpreter."""
+    interp = Interpreter(
+        small_app.dexfile,
+        native_handlers=small_app.native_handlers,
+        max_steps=100_000_000,
+    )
+    return [interp.call(m, list(a)) for m, a in small_app.ui_script.iterate()]
+
+
+@pytest.fixture(scope="session")
+def baseline_build(small_app):
+    return build_app(small_app.dexfile, CalibroConfig.baseline())
+
+
+@pytest.fixture(scope="session")
+def cto_build(small_app):
+    return build_app(small_app.dexfile, CalibroConfig.cto())
+
+
+@pytest.fixture(scope="session")
+def ltbo_build(small_app):
+    return build_app(small_app.dexfile, CalibroConfig.cto_ltbo())
+
+
+@pytest.fixture(scope="session")
+def plopti_build(small_app):
+    return build_app(small_app.dexfile, CalibroConfig.cto_ltbo_plopti(4))

@@ -1,0 +1,58 @@
+"""The Figure 2 benefit model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitModel, estimate_reduction_ratio, evaluate
+
+
+def test_paper_equations():
+    m = BenefitModel(length=2, repeats=1006_000)  # the Fig. 4a champion
+    assert m.original_size == 2 * 1006_000
+    assert m.optimized_size == 1006_000 + 1 + 2
+    assert m.saved == m.original_size - m.optimized_size
+    assert m.saved_bytes == 4 * m.saved
+
+
+def test_not_profitable_cases():
+    # Two occurrences of length 2: 4 original vs 2+1+2=5 optimized.
+    assert evaluate(2, 2) == -1
+    assert not BenefitModel(length=2, repeats=2).profitable()
+    # Three occurrences of length 2: 6 vs 6 — break even, not profitable.
+    assert evaluate(2, 3) == 0
+    # Four occurrences: saves 1.
+    assert evaluate(2, 4) == 1
+    assert BenefitModel(length=2, repeats=4).profitable()
+
+
+def test_long_sequence_two_repeats_profitable():
+    # length 4, 2 repeats: 8 vs 2+1+4=7 -> saves 1.
+    assert evaluate(4, 2) == 1
+
+
+@given(length=st.integers(1, 200), repeats=st.integers(1, 10_000))
+def test_model_consistency(length, repeats):
+    m = BenefitModel(length=length, repeats=repeats)
+    assert m.saved == evaluate(length, repeats)
+    assert m.original_size - m.saved == m.optimized_size
+    if m.saved > 0:
+        assert 0 < m.reduction_ratio < 1
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        BenefitModel(length=0, repeats=2)
+    with pytest.raises(ValueError):
+        BenefitModel(length=2, repeats=0)
+
+
+def test_estimate_reduction_ratio():
+    # 10 instructions; one repeat of length 3 x 3 = 9 original, 3+1+3=7 -> saves 2.
+    assert estimate_reduction_ratio([(3, 3)], 10) == pytest.approx(0.2)
+    # losses are clamped to zero
+    assert estimate_reduction_ratio([(2, 2)], 10) == 0.0
+    with pytest.raises(ValueError):
+        estimate_reduction_ratio([], 0)

@@ -1,0 +1,51 @@
+"""Candidate method selection (§3.3.1)."""
+
+from __future__ import annotations
+
+from repro.compiler import dex2oat
+from repro.compiler.compiled import CompiledMethod
+from repro.core.candidates import select_candidates
+from repro.core.metadata import MethodMetadata
+from repro.isa import encode_all, instructions as ins
+
+
+def _m(name: str, **meta_kw) -> CompiledMethod:
+    code = encode_all([ins.Ret()])
+    return CompiledMethod(
+        name=name,
+        code=code,
+        metadata=MethodMetadata(method_name=name, code_size=4, terminators=[0], **meta_kw),
+    )
+
+
+def test_partition_rules():
+    methods = [
+        _m("plain"),
+        _m("switchy", has_indirect_jump=True),
+        _m("jni", is_native=True),
+        CompiledMethod(name="bare", code=encode_all([ins.Ret()])),
+    ]
+    sel = select_candidates(methods)
+    assert [m.name for _, m in sel.candidates] == ["plain"]
+    assert sel.excluded_indirect == ["switchy"]
+    assert sel.excluded_native == ["jni"]
+    assert sel.excluded_no_metadata == ["bare"]
+    assert sel.candidate_count == 1
+
+
+def test_indices_point_into_original_list():
+    methods = [_m("a"), _m("b", is_native=True), _m("c")]
+    sel = select_candidates(methods)
+    for index, method in sel.candidates:
+        assert methods[index] is method
+
+
+def test_workload_populations(small_app):
+    """Generated apps must exercise every exclusion class."""
+    result = dex2oat(small_app.dexfile, cto=True)
+    sel = select_candidates(result.methods)
+    assert sel.candidates
+    assert sel.excluded_native, "workload should contain JNI methods"
+    assert sel.excluded_indirect, "workload should contain switch methods + thunks"
+    # CTO thunks end in `br`, so they are excluded by construction.
+    assert any(n.startswith("__cto$") for n in sel.excluded_indirect)

@@ -1,0 +1,133 @@
+"""Symbol mapping and separator rules (§3.3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import dex2oat
+from repro.compiler.compiled import CompiledMethod
+from repro.core.detect import SymbolMapper, map_group, touches_lr, writes_sp
+from repro.core.metadata import DataExtent, MethodMetadata
+from repro.isa import asm, encode_all, instructions as ins, registers as regs
+
+
+def _meta(name: str, code: bytes, **kw) -> MethodMetadata:
+    return MethodMetadata(method_name=name, code_size=len(code), **kw)
+
+
+class TestClassifiers:
+    def test_touches_lr_cases(self):
+        assert touches_lr(asm.ldr(regs.LR, 0, 0x20))          # writes x30
+        assert touches_lr(asm.stp_pre(regs.FP, regs.LR, regs.SP, -16))  # reads x30
+        assert touches_lr(ins.Ret())
+        assert touches_lr(asm.mov(regs.LR, 5))
+        assert not touches_lr(asm.add_reg(1, 2, 3))
+        assert not touches_lr(asm.ldr(5, 6, 8))
+
+    def test_writes_sp_cases(self):
+        assert writes_sp(ins.AddSubImm(op="sub", rd=31, rn=31, imm12=16))
+        assert writes_sp(asm.stp_pre(regs.FP, regs.LR, regs.SP, -16))
+        assert writes_sp(asm.ldr_pair_post(regs.FP, regs.LR, regs.SP, 16))
+        assert not writes_sp(asm.cmp_imm(3, 0))               # subs w/ rd=31 = cmp
+        assert not writes_sp(
+            ins.LoadStorePair(op="stp", rt=1, rt2=2, rn=regs.SP, offset=16)
+        )
+
+
+class TestMapping:
+    def test_plain_alu_is_outlinable(self):
+        code = encode_all([asm.add_reg(1, 2, 3), asm.mul(4, 5, 6), ins.Ret()])
+        symbols, outlinable = SymbolMapper().map_method(
+            code, _meta("m", code, terminators=[8])
+        )
+        assert outlinable == [True, True, False]
+        assert symbols[0] >= 0 and symbols[1] >= 0 and symbols[2] < 0
+
+    def test_identical_words_map_to_same_symbol(self):
+        instr = asm.add_reg(1, 2, 3)
+        code = encode_all([instr, instr, ins.Ret()])
+        symbols, _ = SymbolMapper().map_method(code, _meta("m", code, terminators=[8]))
+        assert symbols[0] == symbols[1]
+
+    def test_separators_are_unique(self):
+        code = encode_all([ins.Ret(), ins.Ret(), ins.Ret()])
+        symbols, _ = SymbolMapper().map_method(
+            code, _meta("m", code, terminators=[0, 4, 8])
+        )
+        assert len(set(symbols)) == 3
+
+    def test_calls_and_pcrel_are_separators(self):
+        code = encode_all([
+            ins.Bl(offset=0),
+            ins.Blr(rn=5),
+            ins.Adr(rd=1, offset=8),
+            ins.LoadLiteral(rt=2, offset=8),
+            ins.Ret(),
+        ])
+        _, outlinable = SymbolMapper().map_method(
+            code, _meta("m", code, terminators=[16])
+        )
+        assert outlinable == [False] * 5
+
+    def test_embedded_data_is_separator(self):
+        code = encode_all([asm.add_reg(1, 2, 3), ins.Ret()]) + b"\xff\xff\xff\xff"
+        meta = _meta("m", code, terminators=[4],
+                     embedded_data=[DataExtent(start=8, size=4)])
+        _, outlinable = SymbolMapper().map_method(code, meta)
+        assert outlinable == [True, False, False]
+
+    def test_undecodable_word_outside_data_raises(self):
+        code = b"\xff\xff\xff\xff"
+        with pytest.raises(ValueError, match="undecodable"):
+            SymbolMapper().map_method(code, _meta("m", code))
+
+    def test_slowpath_only_mask(self):
+        body = [asm.add_reg(1, 2, 3)] * 4 + [ins.Ret()]
+        code = encode_all(body)
+        from repro.core.metadata import SlowpathExtent
+
+        meta = _meta("m", code, terminators=[16],
+                     slowpaths=[SlowpathExtent(start=8, end=16)])
+        _, outlinable = SymbolMapper().map_method(code, meta, slowpath_only=True)
+        assert outlinable == [False, False, True, True, False]
+
+    def test_reloc_offsets_are_separators(self):
+        code = encode_all([asm.add_imm(1, 1, 0), asm.add_reg(1, 2, 3), ins.Ret()])
+        _, outlinable = SymbolMapper().map_method(
+            code, _meta("m", code, terminators=[8]),
+            reloc_offsets=frozenset([0]),
+        )
+        assert outlinable == [False, True, False]
+
+
+class TestGroupSequence:
+    def test_locate_roundtrip(self, small_app):
+        result = dex2oat(small_app.dexfile, cto=True)
+        from repro.core.candidates import select_candidates
+
+        sel = select_candidates(result.methods)
+        group = map_group(sel.candidates[:10])
+        for span in group.spans:
+            for w in (0, span.words - 1):
+                mi, off = group.locate(span.start + w)
+                assert mi == span.method_index
+                assert off == 4 * w
+
+    def test_locate_rejects_boundary_separator(self, small_app):
+        result = dex2oat(small_app.dexfile, cto=True)
+        from repro.core.candidates import select_candidates
+
+        sel = select_candidates(result.methods)
+        group = map_group(sel.candidates[:2])
+        boundary = group.spans[0].start + group.spans[0].words
+        with pytest.raises(IndexError):
+            group.locate(boundary)
+
+    def test_group_symbol_count(self, small_app):
+        result = dex2oat(small_app.dexfile, cto=True)
+        from repro.core.candidates import select_candidates
+
+        sel = select_candidates(result.methods)
+        group = map_group(sel.candidates)
+        words = sum(m.size // 4 for _, m in sel.candidates)
+        assert len(group.symbols) == words + len(sel.candidates)  # + boundaries

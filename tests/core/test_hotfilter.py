@@ -1,0 +1,58 @@
+"""Hot function filtering (§3.4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hotfilter import HotFunctionFilter
+
+
+def test_80_percent_coverage_selection():
+    profile = {"hot1": 500, "hot2": 300, "warm": 150, "cold": 50}
+    f = HotFunctionFilter.from_profile(profile, coverage=0.80)
+    # 500 (50%) -> 800 (80%): two functions reach the target.
+    assert f.hot_names == frozenset({"hot1", "hot2"})
+    assert f.covered_cycles == 800 and f.total_cycles == 1000
+    assert f.is_hot("hot1") and not f.is_hot("cold")
+    assert len(f) == 2
+
+
+def test_full_coverage_takes_everything():
+    profile = {"a": 1, "b": 1}
+    f = HotFunctionFilter.from_profile(profile, coverage=1.0)
+    assert f.hot_names == frozenset({"a", "b"})
+
+
+def test_zero_coverage_empty():
+    f = HotFunctionFilter.from_profile({"a": 10}, coverage=0.0)
+    assert not f.hot_names
+
+
+def test_empty_profile():
+    f = HotFunctionFilter.from_profile({}, coverage=0.8)
+    assert not f.hot_names and f.total_cycles == 0
+
+
+def test_deterministic_tie_break():
+    profile = {"b": 10, "a": 10, "c": 10}
+    f1 = HotFunctionFilter.from_profile(profile, coverage=0.5)
+    f2 = HotFunctionFilter.from_profile(dict(reversed(list(profile.items()))), coverage=0.5)
+    assert f1.hot_names == f2.hot_names  # name-ordered ties
+
+
+def test_invalid_coverage_rejected():
+    with pytest.raises(ValueError):
+        HotFunctionFilter.from_profile({"a": 1}, coverage=1.5)
+
+
+def test_skewed_profile_selects_few(small_app, baseline_build):
+    """On the generated workloads the 80% hot set is a small fraction of
+    all methods — the premise that makes HfOpti cheap (§3.4.2)."""
+    from repro.profiling import profile_app
+
+    report = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers,
+    )
+    f = report.hot_filter(0.80)
+    assert 0 < len(f) < len(report.cycles) / 2

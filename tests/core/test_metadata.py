@@ -1,0 +1,53 @@
+"""LTBO.1 metadata records and offset remapping."""
+
+from __future__ import annotations
+
+from repro.core.metadata import DataExtent, MethodMetadata, PcRelativeRef, SlowpathExtent
+
+
+def test_extent_queries():
+    e = DataExtent(start=8, size=8)
+    assert e.end == 16
+    assert e.contains(8) and e.contains(12) and not e.contains(16) and not e.contains(4)
+
+    s = SlowpathExtent(start=20, end=28)
+    assert s.contains(20) and not s.contains(28)
+
+
+def test_outlining_candidate_rules():
+    assert MethodMetadata(method_name="m").outlining_candidate
+    assert not MethodMetadata(method_name="m", is_native=True).outlining_candidate
+    assert not MethodMetadata(method_name="m", has_indirect_jump=True).outlining_candidate
+
+
+def test_in_embedded_data_and_slowpath():
+    meta = MethodMetadata(
+        method_name="m",
+        embedded_data=[DataExtent(start=0, size=4), DataExtent(start=16, size=8)],
+        slowpaths=[SlowpathExtent(start=8, end=16)],
+    )
+    assert meta.in_embedded_data(0) and meta.in_embedded_data(20)
+    assert not meta.in_embedded_data(8)
+    assert meta.in_slowpath(8) and not meta.in_slowpath(16)
+
+
+def test_remapped_total_map():
+    meta = MethodMetadata(
+        method_name="m",
+        code_size=24,
+        embedded_data=[DataExtent(start=16, size=8)],
+        pc_relative=[PcRelativeRef(offset=0, target=12)],
+        terminators=[12],
+        slowpaths=[SlowpathExtent(start=12, end=16)],
+    )
+    # Words at 4 and 8 outlined into one bl at 4: interiors map to 8.
+    offset_map = {0: 0, 4: 4, 8: 8, 12: 8, 16: 12, 20: 16, 24: 20}
+    new = meta.remapped(offset_map, new_size=20)
+    assert new.code_size == 20
+    assert new.pc_relative == [PcRelativeRef(offset=0, target=8)]
+    assert new.terminators == [8]
+    assert new.embedded_data == [DataExtent(start=12, size=8)]
+    assert new.slowpaths == [SlowpathExtent(start=8, end=12)]
+    # flags carried through
+    assert new.has_indirect_jump == meta.has_indirect_jump
+    assert new.is_native == meta.is_native

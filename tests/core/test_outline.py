@@ -1,0 +1,108 @@
+"""The outliner (§3.3.3): rewrite mechanics and invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import dex2oat
+from repro.compiler.compiled import CompiledMethod, RelocKind
+from repro.core.candidates import select_candidates
+from repro.core.metadata import MethodMetadata
+from repro.core.outline import outline_group
+from repro.isa import asm, decode_all, encode_all, instructions as ins
+
+
+def _method(name: str, body: list[ins.Instruction]) -> CompiledMethod:
+    code = encode_all(body)
+    terms = [4 * i for i, x in enumerate(body) if x.is_terminator]
+    return CompiledMethod(
+        name=name,
+        code=code,
+        metadata=MethodMetadata(method_name=name, code_size=len(code), terminators=terms),
+    )
+
+
+_SEQ = [asm.add_reg(1, 2, 3), asm.mul(4, 1, 1), asm.sub_reg(5, 4, 2)]
+
+
+def test_outlines_shared_sequence_across_methods():
+    ms = [
+        _method(f"m{i}", _SEQ + [asm.add_imm(6, 6, i + 1), ins.Ret()]) for i in range(4)
+    ]
+    result = outline_group(list(enumerate(ms)), min_length=2, min_saved=1)
+    assert result.stats.repeats_outlined >= 1
+    assert result.stats.occurrences_replaced >= 4
+    total_before = sum(m.size for m in ms)
+    total_after = sum(m.size for m in result.rewritten.values()) + sum(
+        f.size for f in result.outlined
+    )
+    assert total_after < total_before
+    assert result.stats.instructions_saved == (total_before - total_after) // 4
+
+
+def test_outlined_function_shape():
+    ms = [_method(f"m{i}", _SEQ + [ins.Ret()]) for i in range(3)]
+    result = outline_group(list(enumerate(ms)), min_length=3, min_saved=1)
+    fn = result.outlined[0]
+    instrs = decode_all(fn.code)
+    assert isinstance(instrs[-1], ins.Br) and instrs[-1].rn == 30
+    assert fn.metadata.has_indirect_jump  # never re-outlined
+    assert fn.metadata.terminators == [len(fn.code) - 4]
+
+
+def test_rewritten_method_calls_outlined_function():
+    ms = [_method(f"m{i}", _SEQ + [ins.Ret()]) for i in range(3)]
+    result = outline_group(list(enumerate(ms)), min_length=3, min_saved=1)
+    for new in result.rewritten.values():
+        (bl_reloc,) = [r for r in new.relocations if r.kind == RelocKind.CALL26]
+        instrs = decode_all(new.code)
+        assert isinstance(instrs[bl_reloc.offset // 4], ins.Bl)
+        assert bl_reloc.symbol == result.outlined[0].name
+        assert bl_reloc.symbol in new.callees
+
+
+def test_non_overlap_across_repeats():
+    """A word claimed by one repeat is never outlined again by another."""
+    ms = [
+        _method(f"m{i}", _SEQ + _SEQ + [ins.Ret()]) for i in range(4)
+    ]
+    result = outline_group(list(enumerate(ms)), min_length=2, min_saved=1)
+    for new in result.rewritten.values():
+        # decodes cleanly and has no overlapping artifacts
+        decode_all(new.code)
+
+
+def test_min_saved_threshold_respected():
+    # Only 2 occurrences of a length-2 sequence: never profitable.
+    short = [asm.add_reg(1, 2, 3), asm.mul(4, 1, 1)]
+    ms = [_method(f"m{i}", short + [ins.Ret()]) for i in range(2)]
+    result = outline_group(list(enumerate(ms)), min_length=2, min_saved=1)
+    assert result.stats.repeats_outlined == 0
+    assert not result.rewritten
+
+
+def test_hot_mask_prevents_outlining(small_app):
+    compiled = dex2oat(small_app.dexfile, cto=True)
+    sel = select_candidates(compiled.methods)
+    free = outline_group(sel.candidates)
+    all_hot = frozenset(m.name for _, m in sel.candidates)
+    masked = outline_group(sel.candidates, hot_names=all_hot)
+    # With every method hot, only slowpaths remain outlinable.
+    assert masked.stats.occurrences_replaced < free.stats.occurrences_replaced
+    assert masked.stats.bytes_after >= free.stats.bytes_after
+
+
+def test_stats_timings_populated(small_app):
+    compiled = dex2oat(small_app.dexfile, cto=True)
+    sel = select_candidates(compiled.methods)
+    result = outline_group(sel.candidates)
+    st = result.stats
+    assert st.candidate_methods == len(sel.candidates)
+    assert st.sequence_symbols > 0 and st.tree_nodes > 0
+    assert st.build_seconds >= 0 and st.search_seconds >= 0 and st.rewrite_seconds >= 0
+    assert st.bytes_after <= st.bytes_before
+
+
+def test_empty_candidates():
+    result = outline_group([])
+    assert result.rewritten == {} and result.outlined == []

@@ -1,0 +1,87 @@
+"""Cross-cutting outliner invariants on real workload builds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import RelocKind, dex2oat
+from repro.core import compile_stage, outline_stage, select_candidates
+from repro.core.benefit import evaluate
+from repro.core.outline import outline_group
+
+
+@pytest.fixture(scope="module")
+def result(small_app):
+    compiled = dex2oat(small_app.dexfile, cto=True)
+    selection = select_candidates(compiled.methods)
+    return outline_group(selection.candidates), selection
+
+
+def test_every_outlined_function_called_at_least_twice(result):
+    """An outlined function with fewer than two call sites could never
+    have passed the benefit model."""
+    group, selection = result
+    call_counts: dict[str, int] = {}
+    for method in group.rewritten.values():
+        for reloc in method.relocations:
+            if reloc.kind == RelocKind.CALL26 and reloc.symbol.startswith("MethodOutliner"):
+                call_counts[reloc.symbol] = call_counts.get(reloc.symbol, 0) + 1
+    assert set(call_counts) == {f.name for f in group.outlined}
+    for fn in group.decisions:
+        assert call_counts[fn.name] == len(fn.occurrences) >= 2
+
+
+def test_every_decision_is_profitable(result):
+    group, _ = result
+    for fn in group.decisions:
+        assert evaluate(fn.length, len(fn.occurrences)) >= 1
+
+
+def test_occurrences_disjoint_within_method(result):
+    group, _ = result
+    by_method: dict[int, list[tuple[int, int]]] = {}
+    for fn in group.decisions:
+        for mi, off in fn.occurrences:
+            by_method.setdefault(mi, []).append((off, off + 4 * fn.length))
+    for spans in by_method.values():
+        spans.sort()
+        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+            assert e0 <= s1, "outlined regions overlap"
+
+
+def test_rewritten_metadata_consistent(result):
+    group, _ = result
+    for method in group.rewritten.values():
+        meta = method.metadata
+        assert meta.code_size == len(method.code)
+        for t in meta.terminators:
+            assert 0 <= t < meta.code_size
+        for ref in meta.pc_relative:
+            assert 0 <= ref.offset < meta.code_size
+            assert 0 <= ref.target <= meta.code_size
+        for extent in meta.embedded_data:
+            assert extent.end <= meta.code_size
+
+
+def test_outlined_words_match_an_occurrence(result, small_app):
+    """The outlined body must be byte-identical to what was removed."""
+    group, selection = result
+    original = {index: method for index, method in selection.candidates}
+    for fn in group.decisions:
+        mi, off = fn.occurrences[0]
+        source = original[mi].code[off : off + 4 * fn.length]
+        body = b"".join(w.to_bytes(4, "little") for w in fn.words)
+        assert source == body
+
+
+def test_staged_hot_filter(small_app):
+    from repro.core.hotfilter import HotFunctionFilter
+
+    package = compile_stage(small_app.dexfile)
+    # Mark every generated method hot: only slowpaths stay outlinable.
+    profile = {m.name: 1 for m in package.methods if not m.name.startswith("__cto")}
+    hot = HotFunctionFilter.from_profile(profile, coverage=1.0)
+    protected = outline_stage(package, hot_filter=hot)
+    free = outline_stage(package)
+    assert protected.text_size >= free.text_size
+    assert protected.annotations["outline"]["hot_filtered"] == len(profile)

@@ -1,0 +1,98 @@
+"""Replay of the paper's Table 2 worked example, end to end.
+
+Code 1 (original)::
+
+    0x138320: cbz w0, #+0xc (addr 0x13832c)
+    0x138324: ldr w2, [x0]        <- outlined
+    0x138328: cmp w2, w1          <- outlined
+    0x13832c: mov x3, x4
+    0x138330: ldr x3, [x0]
+
+Code 2 (outlined function): ldr w2, [x0]; cmp w2, w1; br x30
+Code 4 (patched): the cbz offset shrinks from +0xc to +0x8.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.compiled import CompiledMethod, RelocKind
+from repro.core.metadata import MethodMetadata, PcRelativeRef
+from repro.core.outline import outline_group
+from repro.isa import asm, decode_all, disassemble, encode_all, instructions as ins
+
+
+def _table2_method() -> CompiledMethod:
+    body = [
+        ins.Cbz(rt=0, offset=0xC, sf=False),
+        ins.LoadStoreImm(op="ldr", rt=2, rn=0, offset=0, size=4),
+        ins.AddSubReg(op="sub", rd=31, rn=2, rm=1, set_flags=True, sf=False),  # cmp w2, w1
+        asm.mov(3, 4),
+        ins.LoadStoreImm(op="ldr", rt=3, rn=0, offset=0, size=8),
+        ins.Ret(),
+    ]
+    code = encode_all(body)
+    meta = MethodMetadata(
+        method_name="table2",
+        code_size=len(code),
+        pc_relative=[PcRelativeRef(offset=0, target=0xC)],
+        terminators=[0, len(code) - 4],
+    )
+    return CompiledMethod(name="table2", code=code, metadata=meta)
+
+
+def _second_occurrence() -> CompiledMethod:
+    """A second method containing the same two-instruction pair three
+    more times (Table 2 shows one site; by the Fig. 2 model a length-2
+    sequence needs four occurrences before outlining pays off)."""
+    pair = [
+        ins.LoadStoreImm(op="ldr", rt=2, rn=0, offset=0, size=4),
+        ins.AddSubReg(op="sub", rd=31, rn=2, rm=1, set_flags=True, sf=False),
+    ]
+    body = pair * 3 + [ins.Ret()]
+    code = encode_all(body)
+    meta = MethodMetadata(
+        method_name="other", code_size=len(code), terminators=[len(code) - 4]
+    )
+    return CompiledMethod(name="other", code=code, metadata=meta)
+
+
+def test_table2_outline_and_patch():
+    m1 = _table2_method()
+    m2 = _second_occurrence()
+    result = outline_group([(0, m1), (1, m2)], min_length=2, min_saved=1)
+    assert result.stats.repeats_outlined == 1
+    outlined = result.outlined[0]
+
+    # Code 2: the outlined function is the pair plus `br x30`.
+    out_instrs = decode_all(outlined.code)
+    assert isinstance(out_instrs[0], ins.LoadStoreImm) and out_instrs[0].size == 4
+    assert isinstance(out_instrs[1], ins.AddSubReg) and out_instrs[1].set_flags
+    assert isinstance(out_instrs[2], ins.Br) and out_instrs[2].rn == 30
+
+    # Codes 3+4: the caller shrank by one word and the cbz was re-patched
+    # from +0xc to +0x8.
+    new_m1 = result.rewritten[0]
+    new_instrs = decode_all(new_m1.code)
+    assert len(new_instrs) == len(decode_all(m1.code)) - 1
+    cbz = new_instrs[0]
+    assert isinstance(cbz, ins.Cbz)
+    assert cbz.offset == 0x8  # was 0xc — exactly the paper's patch
+    assert isinstance(new_instrs[1], ins.Bl)
+    # the bl carries a relocation to the outlined function, not a target
+    reloc = next(r for r in new_m1.relocations if r.kind == RelocKind.CALL26)
+    assert reloc.offset == 4 and reloc.symbol == outlined.name
+
+    # The paper's rendering reproduces:
+    lines = disassemble(new_m1.code, 0x138320)
+    assert lines[0] == "0x138320: cbz w0, #+0x8 (addr 0x138328)"
+
+
+def test_table2_metadata_remapped():
+    m1 = _table2_method()
+    m2 = _second_occurrence()
+    result = outline_group([(0, m1), (1, m2)], min_length=2, min_saved=1)
+    new_meta = result.rewritten[0].metadata
+    assert new_meta.code_size == len(result.rewritten[0].code)
+    (ref,) = new_meta.pc_relative
+    assert ref.offset == 0 and ref.target == 0x8
+    # the ret terminator moved up by 4 bytes
+    assert new_meta.terminators == [0, new_meta.code_size - 4]

@@ -1,0 +1,100 @@
+"""PC-relative patching (§3.3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metadata import MethodMetadata, PcRelativeRef
+from repro.core.patch import PatchError, patch_pc_relative
+from repro.isa import decode, encode_all, instructions as ins
+
+
+def _identity_map(size: int) -> dict[int, int]:
+    return {off: off for off in range(0, size + 4, 4)}
+
+
+def test_noop_when_layout_unchanged():
+    body = [ins.B(offset=8), ins.Nop(), ins.Ret()]
+    code = bytearray(encode_all(body))
+    meta = MethodMetadata(
+        method_name="m", code_size=len(code),
+        pc_relative=[PcRelativeRef(offset=0, target=8)],
+    )
+    assert patch_pc_relative(code, meta, _identity_map(len(code))) == 0
+
+
+def test_forward_branch_shrinks():
+    # b +12 over two nops; remove one nop => b +8
+    body = [ins.B(offset=12), ins.Nop(), ins.Nop(), ins.Ret()]
+    code_old = encode_all(body)
+    new = bytearray(code_old[:4] + code_old[8:])  # drop the first nop
+    offset_map = {0: 0, 4: 4, 8: 4, 12: 8, 16: 12}
+    meta = MethodMetadata(
+        method_name="m", code_size=len(code_old),
+        pc_relative=[PcRelativeRef(offset=0, target=12)],
+    )
+    assert patch_pc_relative(new, meta, offset_map) == 1
+    patched = decode(int.from_bytes(new[0:4], "little"))
+    assert isinstance(patched, ins.B) and patched.offset == 8
+
+
+def test_backward_branch_patches():
+    body = [ins.Nop(), ins.Nop(), ins.B(offset=-8), ins.Ret()]
+    code_old = encode_all(body)
+    new = bytearray(code_old[:4] + code_old[8:])  # drop second nop
+    offset_map = {0: 0, 4: 4, 8: 4, 12: 8, 16: 12}
+    meta = MethodMetadata(
+        method_name="m", code_size=len(code_old),
+        pc_relative=[PcRelativeRef(offset=8, target=0)],
+    )
+    assert patch_pc_relative(new, meta, offset_map) == 1
+    patched = decode(int.from_bytes(new[4:8], "little"))
+    assert isinstance(patched, ins.B) and patched.offset == -4
+
+
+def test_all_pcrel_kinds_patchable():
+    cases = [
+        ins.B(offset=8),
+        ins.Bl(offset=8),
+        ins.BCond(cond=ins.Cond.NE, offset=8),
+        ins.Cbz(rt=3, offset=8),
+        ins.Cbnz(rt=3, offset=8),
+        ins.Tbz(rt=3, bit=5, offset=8),
+        ins.Tbnz(rt=3, bit=5, offset=8),
+        ins.Adr(rd=3, offset=8),
+        ins.LoadLiteral(rt=3, offset=8),
+    ]
+    for instr in cases:
+        body = [instr, ins.Nop(), ins.Ret()]
+        code = bytearray(encode_all(body))
+        meta = MethodMetadata(
+            method_name="m", code_size=len(code),
+            pc_relative=[PcRelativeRef(offset=0, target=8)],
+        )
+        # pretend the target moved 4 bytes closer
+        offset_map = {0: 0, 4: 4, 8: 4, 12: 8}
+        assert patch_pc_relative(code, meta, offset_map) == 1
+        patched = decode(int.from_bytes(code[0:4], "little"))
+        assert patched.target_offset == 4
+
+
+def test_metadata_pointing_at_non_pcrel_raises():
+    code = bytearray(encode_all([ins.Nop(), ins.Ret()]))
+    meta = MethodMetadata(
+        method_name="m", code_size=len(code),
+        pc_relative=[PcRelativeRef(offset=0, target=4)],
+    )
+    with pytest.raises(PatchError, match="non-PC-relative"):
+        patch_pc_relative(code, meta, _identity_map(len(code)))
+
+
+def test_out_of_range_patch_raises():
+    code = bytearray(encode_all([ins.Tbz(rt=0, bit=0, offset=8), ins.Nop(), ins.Ret()]))
+    meta = MethodMetadata(
+        method_name="m", code_size=len(code),
+        pc_relative=[PcRelativeRef(offset=0, target=8)],
+    )
+    # map the target absurdly far away (tbz range is ±32 KiB)
+    offset_map = {0: 0, 4: 4, 8: 1 << 20, 12: (1 << 20) + 4}
+    with pytest.raises(PatchError):
+        patch_pc_relative(code, meta, offset_map)

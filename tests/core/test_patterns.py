@@ -1,0 +1,93 @@
+"""The three ART patterns and the CTO thunk cache (§2.3.3, §3.1)."""
+
+from __future__ import annotations
+
+from repro.core.patterns import (
+    ThunkCache,
+    count_pattern_occurrences,
+    java_call_pattern,
+    runtime_call_pattern,
+    stack_check_pattern,
+)
+from repro.isa import decode_all, encode_all, instructions as ins
+from repro.oat import layout
+
+
+class TestPatternShapes:
+    def test_java_call_pattern_matches_fig4a(self):
+        ldr, blr = java_call_pattern()
+        assert ldr.render() == "ldr x30, [x0, #0x20]"
+        assert blr.render() == "blr x30"
+
+    def test_runtime_call_pattern_matches_fig4b(self):
+        ldr, blr = runtime_call_pattern("pAllocObjectResolved")
+        off = layout.ENTRYPOINT_OFFSETS["pAllocObjectResolved"]
+        assert ldr.render() == f"ldr x30, [x19, #{off:#x}]"
+        assert blr.render() == "blr x30"
+
+    def test_stack_check_pattern_matches_fig4c(self):
+        sub, probe = stack_check_pattern()
+        # sub x16, sp, #0x2000 (encoded as #2, lsl #12)
+        assert sub.rd == 16 and sub.rn == 31 and sub.imm12 == 2 and sub.shift12
+        assert probe.rt == 31 and probe.rn == 16 and probe.size == 4
+
+
+class TestThunkCache:
+    def test_label_cached_once(self):
+        cache = ThunkCache()
+        l1 = cache.java_call()
+        l2 = cache.java_call()
+        assert l1 == l2
+        assert len(cache.compiled_thunks()) == 1
+        assert cache.hits[l1] == 2 and cache.total_sites == 2
+
+    def test_distinct_entrypoints_distinct_thunks(self):
+        cache = ThunkCache()
+        a = cache.runtime_call("pAllocObjectResolved")
+        b = cache.runtime_call("pAllocArrayResolved")
+        assert a != b
+        assert len(cache.compiled_thunks()) == 2
+
+    def test_call_thunks_are_tail_calls(self):
+        """The calling patterns cannot clobber x30 before returning, so
+        their thunks tail-call through x16 (see module docstring)."""
+        cache = ThunkCache()
+        cache.java_call()
+        (thunk,) = cache.compiled_thunks()
+        instrs = decode_all(thunk.code)
+        assert isinstance(instrs[0], ins.LoadStoreImm) and instrs[0].rt == 16
+        assert isinstance(instrs[1], ins.Br) and instrs[1].rn == 16
+
+    def test_stack_check_thunk_returns_via_x30(self):
+        cache = ThunkCache()
+        cache.stack_check()
+        (thunk,) = cache.compiled_thunks()
+        instrs = decode_all(thunk.code)
+        assert isinstance(instrs[-1], ins.Br) and instrs[-1].rn == 30
+
+    def test_thunks_excluded_from_ltbo(self):
+        cache = ThunkCache()
+        cache.java_call()
+        cache.stack_check()
+        for thunk in cache.compiled_thunks():
+            assert not thunk.metadata.outlining_candidate
+
+
+class TestPatternCensus:
+    def test_counts_patterns_in_stream(self):
+        code = encode_all(
+            java_call_pattern()
+            + stack_check_pattern()
+            + runtime_call_pattern("pThrowDivZero")
+            + java_call_pattern()
+            + [ins.Ret()]
+        )
+        counts = count_pattern_occurrences(code)
+        assert counts == {"java_call": 2, "stack_check": 1, "runtime_call": 1}
+
+    def test_java_call_dominates_in_workload(self, baseline_build):
+        """Observation 3: Java calling pattern is the most frequent of
+        the three in real apps (1006k vs 173k vs 217k in WeChat)."""
+        counts = count_pattern_occurrences(baseline_build.oat.text)
+        assert counts["java_call"] > counts["stack_check"]
+        assert counts["java_call"] > 0 and counts["runtime_call"] > 0

@@ -1,0 +1,107 @@
+"""MethodBuilder: label resolution and emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dex import MethodBuilder, bytecode as bc
+
+
+def test_forward_label_resolution():
+    b = MethodBuilder("LT;->f", num_inputs=1, num_registers=3)
+    done = b.new_label()
+    b.if_z("ge", 0, done)
+    b.const(1, 0)
+    b.binop("sub", 0, 1, 0)
+    b.bind(done)
+    b.ret(0)
+    m = b.build()
+    assert isinstance(m.code[0], bc.IfZ)
+    assert m.code[0].target == 3
+
+
+def test_backward_label_resolution():
+    b = MethodBuilder("LT;->loop", num_inputs=1, num_registers=3)
+    top = b.new_label()
+    done = b.new_label()
+    b.bind(top)
+    b.if_z("eq", 0, done)
+    b.binop_lit("sub", 0, 0, 1)
+    b.goto(top)
+    b.bind(done)
+    b.ret(0)
+    m = b.build()
+    assert m.code[2].target == 0
+
+
+def test_switch_labels():
+    b = MethodBuilder("LT;->sw", num_inputs=1, num_registers=3)
+    arms = [b.new_label() for _ in range(3)]
+    out = b.new_label()
+    b.packed_switch(0, 0, arms)
+    b.const(1, 99)
+    b.goto(out)
+    for i, arm in enumerate(arms):
+        b.bind(arm)
+        b.const(1, i)
+        b.goto(out)
+    b.bind(out)
+    b.ret(1)
+    m = b.build()
+    sw = m.code[0]
+    assert isinstance(sw, bc.PackedSwitch)
+    assert sw.targets == (3, 5, 7)
+
+
+def test_unbound_label_raises():
+    b = MethodBuilder("LT;->bad", num_inputs=0, num_registers=2)
+    dangling = b.new_label()
+    b.goto(dangling)
+    b.ret_void()
+    with pytest.raises(ValueError, match="unbound label"):
+        b.build()
+
+
+def test_double_bind_raises():
+    b = MethodBuilder("LT;->bad2", num_inputs=0, num_registers=1)
+    label = b.new_label()
+    b.bind(label)
+    with pytest.raises(ValueError, match="already bound"):
+        b.bind(label)
+
+
+def test_fluent_chaining():
+    m = (
+        MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+        .binop("add", 2, 0, 1)
+        .binop_lit("mul", 2, 2, 3)
+        .ret(2)
+        .build()
+    )
+    assert len(m.code) == 3
+
+
+def test_method_properties():
+    b = MethodBuilder("LT;->leafy", num_inputs=1, num_registers=2)
+    b.ret(0)
+    m = b.build()
+    assert m.is_leaf and not m.has_switch
+
+    b = MethodBuilder("LT;->caller", num_inputs=1, num_registers=3)
+    b.invoke_static("LT;->leafy", args=(0,), dst=1)
+    b.ret(1)
+    m2 = b.build()
+    assert not m2.is_leaf
+    assert m2.invoked_methods == ["LT;->leafy"]
+
+
+def test_literal_range_enforced():
+    with pytest.raises(ValueError):
+        bc.BinOpLit(op="add", dst=0, lhs=0, literal=4096)
+
+
+def test_unknown_ops_rejected():
+    with pytest.raises(ValueError):
+        bc.BinOp(op="pow", dst=0, lhs=0, rhs=1)
+    with pytest.raises(ValueError):
+        bc.If(cmp="weird", lhs=0, rhs=1, target=0)

@@ -1,0 +1,191 @@
+"""Reference interpreter semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dex import DexClass, DexError, DexFile, DexMethod, Interpreter, MethodBuilder, wrap64
+
+
+def _single(method: DexMethod, extra: list[DexMethod] | None = None) -> Interpreter:
+    return Interpreter(DexFile(classes=[DexClass("LT;", [method] + (extra or []))]))
+
+
+def _binop_method(op: str) -> DexMethod:
+    b = MethodBuilder(f"LT;->{op}", num_inputs=2, num_registers=3)
+    b.binop(op, 2, 0, 1)
+    b.ret(2)
+    return b.build()
+
+
+class TestArithmetic:
+    @given(a=st.integers(-(2**63), 2**63 - 1), b=st.integers(-(2**63), 2**63 - 1))
+    @settings(max_examples=100)
+    def test_add_wraps(self, a, b):
+        it = _single(_binop_method("add"))
+        assert it.call("LT;->add", [a, b]) == wrap64(a + b)
+
+    @given(a=st.integers(-(2**63), 2**63 - 1), b=st.integers(-(2**63), 2**63 - 1))
+    @settings(max_examples=100)
+    def test_mul_wraps(self, a, b):
+        it = _single(_binop_method("mul"))
+        assert it.call("LT;->mul", [a, b]) == wrap64(a * b)
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3), (0, 5, 0)],
+    )
+    def test_div_truncates_toward_zero(self, a, b, expected):
+        """AArch64 sdiv semantics, not Python floor division."""
+        it = _single(_binop_method("div"))
+        assert it.call("LT;->div", [a, b]) == expected
+
+    def test_div_by_zero_throws(self):
+        it = _single(_binop_method("div"))
+        with pytest.raises(DexError) as exc:
+            it.call("LT;->div", [1, 0])
+        assert exc.value.kind == "div-zero"
+
+    @given(a=st.integers(-(2**63), 2**63 - 1), b=st.integers(-(2**63), 2**63 - 1))
+    @settings(max_examples=60)
+    def test_bitwise(self, a, b):
+        for op, fn in (("and", int.__and__), ("or", int.__or__), ("xor", int.__xor__)):
+            it = _single(_binop_method(op))
+            assert it.call(f"LT;->{op}", [a, b]) == wrap64(fn(a, b))
+
+
+class TestObjectsAndArrays:
+    def test_field_roundtrip(self):
+        b = MethodBuilder("LT;->f", num_inputs=1, num_registers=4)
+        b.new_instance(1, class_idx=3, num_fields=2)
+        b.iput(0, 1, 1)
+        b.iget(2, 1, 1)
+        b.ret(2)
+        assert _single(b.build()).call("LT;->f", [42]) == 42
+
+    def test_null_pointer(self):
+        b = MethodBuilder("LT;->n", num_inputs=1, num_registers=3)
+        b.iget(1, 0, 0)
+        b.ret(1)
+        with pytest.raises(DexError) as exc:
+            _single(b.build()).call("LT;->n", [0])
+        assert exc.value.kind == "null-pointer"
+
+    def test_array_bounds(self):
+        b = MethodBuilder("LT;->a", num_inputs=1, num_registers=4)
+        b.const(1, 3)
+        b.new_array(2, 1)
+        b.aget(3, 2, 0)
+        b.ret(3)
+        it = _single(b.build())
+        assert it.call("LT;->a", [2]) == 0
+        with pytest.raises(DexError) as exc:
+            it.call("LT;->a", [5])
+        assert exc.value.kind == "array-bounds"
+        with pytest.raises(DexError) as exc:
+            it.call("LT;->a", [-1])
+        assert exc.value.kind == "array-bounds"
+
+    def test_negative_array_size(self):
+        b = MethodBuilder("LT;->neg", num_inputs=1, num_registers=3)
+        b.new_array(1, 0)
+        b.array_length(2, 1)
+        b.ret(2)
+        it = _single(b.build())
+        assert it.call("LT;->neg", [4]) == 4
+        with pytest.raises(DexError) as exc:
+            it.call("LT;->neg", [-2])
+        assert exc.value.kind == "negative-array-size"
+
+
+class TestControlFlow:
+    def test_switch_dispatch(self):
+        b = MethodBuilder("LT;->sw", num_inputs=1, num_registers=3)
+        arms = [b.new_label() for _ in range(3)]
+        out = b.new_label()
+        b.packed_switch(0, 10, arms)
+        b.const(1, -1)  # default
+        b.goto(out)
+        for i, arm in enumerate(arms):
+            b.bind(arm)
+            b.const(1, 100 + i)
+            b.goto(out)
+        b.bind(out)
+        b.ret(1)
+        it = _single(b.build())
+        assert it.call("LT;->sw", [10]) == 100
+        assert it.call("LT;->sw", [12]) == 102
+        assert it.call("LT;->sw", [13]) == -1
+        assert it.call("LT;->sw", [0]) == -1
+
+    def test_recursion_and_stack_overflow(self):
+        b = MethodBuilder("LT;->r", num_inputs=1, num_registers=4)
+        stop = b.new_label()
+        b.if_z("le", 0, stop)
+        b.binop_lit("sub", 1, 0, 1)
+        b.invoke_static("LT;->r", args=(1,), dst=2)
+        b.binop("add", 2, 2, 0)
+        b.ret(2)
+        b.bind(stop)
+        b.const(2, 0)
+        b.ret(2)
+        it = _single(b.build())
+        assert it.call("LT;->r", [10]) == 55
+        with pytest.raises(DexError) as exc:
+            it.call("LT;->r", [10_000])
+        assert exc.value.kind == "stack-overflow"
+
+
+class TestNativeAndVirtual:
+    def test_native_dispatch(self):
+        nat = DexMethod(name="LT;->nat", num_registers=2, num_inputs=2, is_native=True)
+        b = MethodBuilder("LT;->c", num_inputs=2, num_registers=3)
+        b.invoke_static("LT;->nat", args=(0, 1), dst=2)
+        b.ret(2)
+        it = Interpreter(
+            DexFile(classes=[DexClass("LT;", [b.build(), nat])]),
+            native_handlers={"LT;->nat": lambda args: args[0] - args[1]},
+        )
+        assert it.call("LT;->c", [9, 4]) == 5
+
+    def test_unregistered_native_returns_zero(self):
+        nat = DexMethod(name="LT;->nat", num_registers=1, num_inputs=1, is_native=True)
+        b = MethodBuilder("LT;->c", num_inputs=1, num_registers=2)
+        b.invoke_static("LT;->nat", args=(0,), dst=1)
+        b.ret(1)
+        it = Interpreter(DexFile(classes=[DexClass("LT;", [b.build(), nat])]))
+        assert it.call("LT;->c", [3]) == 0
+
+    def test_virtual_null_receiver(self):
+        callee = MethodBuilder("LT;->m", num_inputs=1, num_registers=2)
+        callee.ret(0)
+        b = MethodBuilder("LT;->c", num_inputs=1, num_registers=3)
+        b.invoke_virtual("LT;->m", receiver=0, dst=1)
+        b.ret(1)
+        it = _single(b.build(), [callee.build()])
+        with pytest.raises(DexError) as exc:
+            it.call("LT;->c", [0])
+        assert exc.value.kind == "null-pointer"
+
+    def test_step_budget(self):
+        b = MethodBuilder("LT;->spin", num_inputs=0, num_registers=2)
+        top = b.new_label()
+        b.bind(top)
+        b.goto(top)
+        m = b.build()
+        # append unreachable return to satisfy the verifier-ish shape
+        it = Interpreter(
+            DexFile(classes=[DexClass("LT;", [m])]), max_steps=1000
+        )
+        with pytest.raises(DexError) as exc:
+            it.call("LT;->spin")
+        assert exc.value.kind == "step-budget-exhausted"
+
+    def test_wrong_arity_rejected(self):
+        b = MethodBuilder("LT;->two", num_inputs=2, num_registers=3)
+        b.ret(0)
+        it = _single(b.build())
+        with pytest.raises(ValueError, match="expects 2"):
+            it.call("LT;->two", [1])

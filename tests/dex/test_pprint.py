@@ -1,0 +1,54 @@
+"""Dex pretty-printer."""
+
+from __future__ import annotations
+
+from repro.dex import DexClass, DexFile, MethodBuilder
+from repro.dex.method import DexMethod
+from repro.dex.pprint import format_dexfile, format_method
+
+
+def test_method_listing_contains_all_instructions(small_app):
+    for method in small_app.dexfile.all_methods()[:10]:
+        text = format_method(method)
+        if method.is_native:
+            assert "native" in text
+            continue
+        # one line per instruction plus the header
+        assert len(text.splitlines()) == len(method.code) + 1
+
+
+def test_branch_targets_get_labels():
+    b = MethodBuilder("LT;->l", num_inputs=1, num_registers=3)
+    top = b.new_label()
+    done = b.new_label()
+    b.bind(top)
+    b.if_z("eq", 0, done)
+    b.binop_lit("sub", 0, 0, 1)
+    b.goto(top)
+    b.bind(done)
+    b.ret(0)
+    text = format_method(b.build())
+    assert ":0" in text and ":3" in text
+    assert "if-eqz v0, :3" in text
+    assert "goto :0" in text
+
+
+def test_invoke_rendering():
+    b = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+    b.invoke_static("LT;->x", args=(0, 1), dst=2)
+    b.invoke_virtual("LT;->y", receiver=2, args=(0,), dst=3)
+    b.ret(3)
+    text = format_method(b.build())
+    assert "invoke-static {v0, v1}, LT;->x -> v2" in text
+    assert "invoke-virtual {v2, v0}, LT;->y -> v3" in text
+
+
+def test_file_listing_includes_strings_and_classes(small_app):
+    text = format_dexfile(small_app.dexfile)
+    assert ".strings" in text
+    assert all(f".class {cls.name}" in text for cls in small_app.dexfile.classes[:3])
+
+
+def test_native_method_one_liner():
+    m = DexMethod(name="LT;->n", num_registers=2, num_inputs=2, is_native=True)
+    assert format_method(m).endswith("native)")

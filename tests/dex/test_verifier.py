@@ -1,0 +1,121 @@
+"""Structural verifier rejection cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dex import (
+    DexClass,
+    DexFile,
+    DexMethod,
+    MethodBuilder,
+    VerificationError,
+    bytecode as bc,
+    verify_dexfile,
+    verify_method,
+)
+
+
+def _file_with(method: DexMethod, extra: list[DexMethod] | None = None) -> DexFile:
+    return DexFile(classes=[DexClass("LT;", [method] + (extra or []))])
+
+
+def test_register_out_of_range():
+    m = DexMethod(
+        name="LT;->bad", num_registers=2, num_inputs=0,
+        code=[bc.Const(dst=5, value=1), bc.Return(src=0)],
+    )
+    with pytest.raises(VerificationError, match="v5 out of range"):
+        verify_method(m)
+
+
+def test_branch_target_out_of_range():
+    m = DexMethod(
+        name="LT;->bad", num_registers=2, num_inputs=0,
+        code=[bc.Goto(target=99), bc.ReturnVoid()],
+    )
+    with pytest.raises(VerificationError, match="branch target"):
+        verify_method(m)
+
+
+def test_fall_off_end():
+    m = DexMethod(
+        name="LT;->bad", num_registers=2, num_inputs=0,
+        code=[bc.Const(dst=0, value=1)],
+    )
+    with pytest.raises(VerificationError, match="fall off"):
+        verify_method(m)
+
+
+def test_empty_body():
+    m = DexMethod(name="LT;->bad", num_registers=1, num_inputs=0, code=[])
+    with pytest.raises(VerificationError, match="empty"):
+        verify_method(m)
+
+
+def test_unknown_callee():
+    b = MethodBuilder("LT;->c", num_inputs=0, num_registers=2)
+    b.invoke_static("LT;->ghost", dst=0)
+    b.ret(0)
+    with pytest.raises(VerificationError, match="unknown callee"):
+        verify_dexfile(_file_with(b.build()))
+
+
+def test_too_many_args():
+    m = DexMethod(
+        name="LT;->bad", num_registers=8, num_inputs=7,
+        code=[bc.InvokeStatic(method="LT;->bad", args=(0, 1, 2, 3, 4, 5, 6)), bc.ReturnVoid()],
+        returns_value=False,
+    )
+    with pytest.raises(VerificationError, match="more than 6"):
+        verify_method(m)
+
+
+def test_more_inputs_than_registers():
+    with pytest.raises(ValueError, match="more inputs"):
+        DexMethod(name="LT;->bad", num_registers=1, num_inputs=2)
+
+
+def test_native_with_code_rejected():
+    with pytest.raises(ValueError, match="native"):
+        DexMethod(
+            name="LT;->bad", num_registers=1, num_inputs=0,
+            code=[bc.ReturnVoid()], is_native=True,
+        )
+
+
+def test_string_index_out_of_range():
+    b = MethodBuilder("LT;->s", num_inputs=0, num_registers=2)
+    b.const_string(0, 3)
+    b.ret(0)
+    dex = DexFile(classes=[DexClass("LT;", [b.build()])], string_table=["only-one"])
+    with pytest.raises(VerificationError, match="string index"):
+        verify_dexfile(dex)
+
+
+def test_void_callee_result_rejected():
+    void = MethodBuilder("LT;->v", num_inputs=0, num_registers=1, returns_value=False)
+    void.ret_void()
+    caller = MethodBuilder("LT;->c", num_inputs=0, num_registers=2)
+    caller.invoke_static("LT;->v", dst=0)
+    caller.ret(0)
+    with pytest.raises(VerificationError, match="expects a result"):
+        verify_dexfile(_file_with(caller.build(), [void.build()]))
+
+
+def test_duplicate_method_names():
+    a = MethodBuilder("LT;->x", num_inputs=0, num_registers=1)
+    a.ret(0)
+    b = MethodBuilder("LT;->x", num_inputs=0, num_registers=1)
+    b.ret(0)
+    with pytest.raises(VerificationError, match="duplicate"):
+        verify_dexfile(_file_with(a.build(), [b.build()]))
+
+
+def test_valid_file_passes(small_app):
+    verify_dexfile(small_app.dexfile)  # must not raise
+
+
+def test_native_methods_skip_body_checks():
+    m = DexMethod(name="LT;->nat", num_registers=2, num_inputs=2, is_native=True)
+    verify_method(m)  # no code, no complaints

@@ -1,0 +1,110 @@
+"""Dex → HGraph construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dex import MethodBuilder, DexMethod
+from repro.hgraph import build_hgraph, IRValidationError
+
+
+def _loop_method() -> DexMethod:
+    b = MethodBuilder("LT;->loop", num_inputs=1, num_registers=4)
+    top = b.new_label()
+    done = b.new_label()
+    b.const(1, 0)
+    b.bind(top)
+    b.if_z("eq", 0, done)
+    b.binop("add", 1, 1, 0)
+    b.binop_lit("sub", 0, 0, 1)
+    b.goto(top)
+    b.bind(done)
+    b.ret(1)
+    return b.build()
+
+
+def test_loop_block_structure():
+    g = build_hgraph(_loop_method())
+    g.validate()
+    # entry, loop header, body, exit
+    assert len(g.blocks) == 4
+    header = next(b for b in g.blocks.values() if b.terminator.kind == "if")
+    assert len(header.successors) == 2
+    body = g.blocks[header.successors[1]]
+    assert body.terminator.kind == "goto"
+    assert body.successors == [header.block_id]
+
+
+def test_predecessors_computed():
+    g = build_hgraph(_loop_method())
+    header = next(b for b in g.blocks.values() if b.terminator.kind == "if")
+    # reached from entry and from loop body
+    assert len(header.predecessors) == 2
+
+
+def test_fallthrough_gets_explicit_goto():
+    b = MethodBuilder("LT;->ft", num_inputs=1, num_registers=3)
+    skip = b.new_label()
+    b.if_z("eq", 0, skip)
+    b.const(1, 1)
+    b.bind(skip)
+    b.ret(0)
+    g = build_hgraph(b.build())
+    mid = next(
+        blk for blk in g.blocks.values()
+        if blk.instructions and blk.instructions[0].kind == "const"
+    )
+    assert mid.terminator.kind == "goto"
+
+
+def test_switch_successors_include_default():
+    b = MethodBuilder("LT;->sw", num_inputs=1, num_registers=3)
+    arms = [b.new_label() for _ in range(2)]
+    out = b.new_label()
+    b.packed_switch(0, 0, arms)
+    b.const(1, 9)
+    b.goto(out)
+    for arm in arms:
+        b.bind(arm)
+        b.const(1, 1)
+        b.goto(out)
+    b.bind(out)
+    b.ret(1)
+    g = build_hgraph(b.build())
+    sw_block = next(blk for blk in g.blocks.values() if blk.terminator.kind == "switch")
+    assert len(sw_block.successors) == 3  # two arms + default
+
+
+def test_native_method_rejected():
+    m = DexMethod(name="LT;->n", num_registers=2, num_inputs=2, is_native=True)
+    with pytest.raises(ValueError, match="native"):
+        build_hgraph(m)
+
+
+def test_block_order_starts_at_entry():
+    g = build_hgraph(_loop_method())
+    assert g.block_order()[0] == g.entry_id
+    assert set(g.block_order()) == set(g.blocks)
+
+
+def test_nop_dropped():
+    b = MethodBuilder("LT;->n", num_inputs=0, num_registers=1)
+    b.nop()
+    b.const(0, 1)
+    b.ret(0)
+    g = build_hgraph(b.build())
+    kinds = [i.kind for blk in g.blocks.values() for i in blk.instructions]
+    assert "nop" not in kinds
+
+
+def test_instruction_count():
+    g = build_hgraph(_loop_method())
+    assert g.instruction_count() == sum(len(b.instructions) for b in g.blocks.values())
+
+
+def test_validate_catches_bad_successor():
+    g = build_hgraph(_loop_method())
+    first = g.blocks[g.entry_id]
+    first.successors = [999]
+    with pytest.raises(IRValidationError):
+        g.validate()

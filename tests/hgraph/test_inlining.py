@@ -1,0 +1,129 @@
+"""Small-method inlining pass."""
+
+from __future__ import annotations
+
+import random
+
+from repro.compiler import dex2oat
+from repro.dex import DexClass, DexFile, Interpreter, MethodBuilder
+from repro.hgraph import build_hgraph
+from repro.hgraph.passes import inline_small_methods
+
+
+def _graphs(dex: DexFile) -> dict:
+    return {m.name: build_hgraph(m) for m in dex.all_methods() if not m.is_native}
+
+
+def _tiny_add() -> MethodBuilder:
+    b = MethodBuilder("LT;->tiny", num_inputs=2, num_registers=3)
+    b.binop("add", 2, 0, 1)
+    b.ret(2)
+    return b
+
+
+def test_inlines_single_block_static_callee():
+    caller = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+    caller.invoke_static("LT;->tiny", args=(0, 1), dst=2)
+    caller.binop_lit("mul", 2, 2, 3)
+    caller.ret(2)
+    dex = DexFile(classes=[DexClass("LT;", [_tiny_add().build(), caller.build()])])
+    graphs = _graphs(dex)
+    n = inline_small_methods(graphs["LT;->c"], graphs.get)
+    assert n == 1
+    kinds = [
+        i.kind for bid in graphs["LT;->c"].block_order()
+        for i in graphs["LT;->c"].blocks[bid].instructions
+    ]
+    assert "invoke-static" not in kinds
+
+
+def test_virtual_calls_not_inlined():
+    caller = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+    caller.invoke_virtual("LT;->tiny", receiver=0, args=(1,), dst=2)
+    caller.ret(2)
+    dex = DexFile(classes=[DexClass("LT;", [_tiny_add().build(), caller.build()])])
+    graphs = _graphs(dex)
+    assert inline_small_methods(graphs["LT;->c"], graphs.get) == 0
+
+
+def test_multiblock_callee_not_inlined():
+    callee = MethodBuilder("LT;->branchy", num_inputs=2, num_registers=4)
+    t = callee.new_label()
+    callee.if_z("eq", 0, t)
+    callee.ret(1)
+    callee.bind(t)
+    callee.ret(0)
+    caller = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+    caller.invoke_static("LT;->branchy", args=(0, 1), dst=2)
+    caller.ret(2)
+    dex = DexFile(classes=[DexClass("LT;", [callee.build(), caller.build()])])
+    graphs = _graphs(dex)
+    assert inline_small_methods(graphs["LT;->c"], graphs.get) == 0
+
+
+def test_recursive_site_not_inlined():
+    b = MethodBuilder("LT;->r", num_inputs=1, num_registers=4)
+    b.invoke_static("LT;->r", args=(0,), dst=1)
+    b.ret(1)
+    dex = DexFile(classes=[DexClass("LT;", [b.build()])])
+    graphs = _graphs(dex)
+    assert inline_small_methods(graphs["LT;->r"], graphs.get) == 0
+
+
+def test_site_cap_respected():
+    caller = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+    for _ in range(6):
+        caller.invoke_static("LT;->tiny", args=(0, 1), dst=2)
+    caller.ret(2)
+    dex = DexFile(classes=[DexClass("LT;", [_tiny_add().build(), caller.build()])])
+    graphs = _graphs(dex)
+    assert inline_small_methods(graphs["LT;->c"], graphs.get, max_inline_sites=2) == 2
+
+
+def test_large_callee_not_inlined():
+    big = MethodBuilder("LT;->big", num_inputs=2, num_registers=4)
+    for _ in range(12):
+        big.binop("add", 2, 0, 1)
+    big.ret(2)
+    caller = MethodBuilder("LT;->c", num_inputs=2, num_registers=4)
+    caller.invoke_static("LT;->big", args=(0, 1), dst=2)
+    caller.ret(2)
+    dex = DexFile(classes=[DexClass("LT;", [big.build(), caller.build()])])
+    graphs = _graphs(dex)
+    assert inline_small_methods(graphs["LT;->c"], graphs.get) == 0
+
+
+def test_inlined_semantics_preserved():
+    """End to end: inlined builds behave identically on random inputs."""
+    from repro.core import CalibroConfig, build_app
+    from repro.runtime import Emulator
+    from repro.workloads import app_spec, generate_app
+    import dataclasses
+
+    app = generate_app(app_spec("Fanqie", 0.12))
+    interp = Interpreter(
+        app.dexfile, native_handlers=app.native_handlers, max_steps=100_000_000
+    )
+    cfg = dataclasses.replace(CalibroConfig.cto_ltbo(), inlining=True)
+    build = build_app(app.dexfile, cfg)
+    assert build.dex2oat.inlined_sites > 0
+    emu = Emulator(build.oat, app.dexfile, native_handlers=app.native_handlers)
+    rng = random.Random(5)
+    for name in rng.sample(app.dexfile.method_names(), k=25):
+        args = [rng.randint(0, 300), rng.randint(0, 300)]
+        want = interp.call(name, args)
+        got = emu.call(name, args)
+        assert got.trap is None and got.value == want, name
+
+
+def test_void_callee_result_handling():
+    callee = MethodBuilder("LT;->v", num_inputs=1, num_registers=2, returns_value=False)
+    callee.ret_void()
+    caller = MethodBuilder("LT;->c", num_inputs=1, num_registers=3)
+    caller.invoke_static("LT;->v", args=(0,))
+    caller.ret(0)
+    dex = DexFile(classes=[DexClass("LT;", [callee.build(), caller.build()])])
+    graphs = _graphs(dex)
+    assert inline_small_methods(graphs["LT;->c"], graphs.get) == 1
+    interp = Interpreter(dex)
+    assert interp.call("LT;->c", [7]) == 7  # dex-level semantics unchanged

@@ -1,0 +1,141 @@
+"""Loop-invariant code motion: dominators, loops, hoisting safety."""
+
+from __future__ import annotations
+
+from repro.dex import DexClass, DexFile, Interpreter, MethodBuilder
+from repro.hgraph import build_hgraph
+from repro.hgraph.passes import dominators, hoist_loop_invariants, natural_loops
+
+
+def _loop_method(body_ops):
+    b = MethodBuilder("LT;->m", num_inputs=2, num_registers=8)
+    top = b.new_label()
+    done = b.new_label()
+    b.const(2, 0)
+    b.bind(top)
+    b.if_z("eq", 0, done)
+    body_ops(b)
+    b.binop_lit("sub", 0, 0, 1)
+    b.goto(top)
+    b.bind(done)
+    b.ret(2)
+    return b.build()
+
+
+def _loop_kinds(graph):
+    """Instruction kinds inside natural-loop bodies."""
+    out = []
+    for header, body in natural_loops(graph).items():
+        for bid in body:
+            out.extend(
+                (i.kind, i.extra.get("op")) for i in graph.blocks[bid].instructions
+            )
+    return out
+
+
+class TestAnalysis:
+    def test_dominators_straight_line(self):
+        b = MethodBuilder("LT;->s", num_inputs=1, num_registers=2)
+        b.const(1, 1)
+        b.ret(1)
+        g = build_hgraph(b.build())
+        dom = dominators(g)
+        assert dom[g.entry_id] == {g.entry_id}
+
+    def test_loop_detected(self):
+        g = build_hgraph(_loop_method(lambda b: b.binop("add", 2, 2, 0)))
+        loops = natural_loops(g)
+        assert len(loops) == 1
+        (body,) = loops.values()
+        assert len(body) == 2  # header + latch body
+
+    def test_no_loops_in_dag(self):
+        b = MethodBuilder("LT;->d", num_inputs=1, num_registers=3)
+        t = b.new_label()
+        b.if_z("eq", 0, t)
+        b.const(1, 1)
+        b.ret(1)
+        b.bind(t)
+        b.const(1, 2)
+        b.ret(1)
+        g = build_hgraph(b.build())
+        assert natural_loops(g) == {}
+
+
+class TestHoisting:
+    def test_invariant_hoisted(self):
+        g = build_hgraph(
+            _loop_method(
+                lambda b: (b.binop("mul", 3, 1, 1), b.binop("add", 2, 2, 3))
+            )
+        )
+        assert hoist_loop_invariants(g)
+        assert ("binop", "mul") not in _loop_kinds(g)
+
+    def test_variant_not_hoisted(self):
+        # v3 depends on the loop counter v0: must stay.
+        g = build_hgraph(
+            _loop_method(
+                lambda b: (b.binop("mul", 3, 0, 1), b.binop("add", 2, 2, 3))
+            )
+        )
+        hoist_loop_invariants(g)
+        assert ("binop", "mul") in _loop_kinds(g)
+
+    def test_live_in_blocks_hoist(self):
+        # v3 is read before written in the loop (carried from outside):
+        # hoisting would clobber the first-iteration read.
+        b = MethodBuilder("LT;->m", num_inputs=2, num_registers=8)
+        top = b.new_label()
+        done = b.new_label()
+        b.const(2, 0)
+        b.const(3, 99)                  # pre-loop value of v3
+        b.bind(top)
+        b.if_z("eq", 0, done)
+        b.binop("add", 2, 2, 3)         # reads v3 (old value on iter 1)
+        b.binop("mul", 3, 1, 1)         # then writes it
+        b.binop_lit("sub", 0, 0, 1)
+        b.goto(top)
+        b.bind(done)
+        b.ret(2)
+        g = build_hgraph(b.build())
+        hoist_loop_invariants(g)
+        assert ("binop", "mul") in _loop_kinds(g)
+
+    def test_throwing_instruction_not_hoisted(self):
+        # div can throw: hoisting would throw on the zero-trip path.
+        g = build_hgraph(
+            _loop_method(
+                lambda b: (b.binop("div", 3, 1, 1), b.binop("add", 2, 2, 3))
+            )
+        )
+        hoist_loop_invariants(g)
+        assert ("binop", "div") in _loop_kinds(g)
+
+    def test_semantics_preserved_on_zero_trip_loop(self):
+        """Hoisted code must not change a loop that never runs."""
+        dex_method = _loop_method(
+            lambda b: (b.binop("mul", 3, 1, 1), b.binop("add", 2, 2, 3))
+        )
+        dex = DexFile(classes=[DexClass("LT;", [dex_method])])
+        interp = Interpreter(dex)
+        for n, m in [(0, 7), (5, 3), (1, -2)]:
+            want = interp.call("LT;->m", [n, m])
+            # compile through the full (LICM-enabled) pipeline and emulate
+            from repro.core import CalibroConfig, build_app
+            from repro.runtime import Emulator
+
+            build = build_app(dex, CalibroConfig.baseline())
+            got = Emulator(build.oat, dex).call("LT;->m", [n, m])
+            assert got.trap is None and got.value == want, (n, m)
+
+    def test_idempotent_preheader(self):
+        g = build_hgraph(
+            _loop_method(
+                lambda b: (b.binop("mul", 3, 1, 1), b.binop("add", 2, 2, 3))
+            )
+        )
+        hoist_loop_invariants(g)
+        n_blocks = len(g.blocks)
+        assert not hoist_loop_invariants(g)  # nothing more to do
+        assert len(g.blocks) == n_blocks     # no preheader churn

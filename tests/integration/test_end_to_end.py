@@ -1,0 +1,102 @@
+"""System-level oracle: every Calibro configuration must preserve the
+observable behaviour of every generated app.
+
+Reference semantics: the dex interpreter.  Execution under test: the
+emulator running the linked OAT.  This is the strongest correctness
+statement the repository makes about the outliner + patcher + linker.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CalibroConfig, build_app
+from repro.dex import Interpreter
+from repro.profiling import profile_app
+from repro.runtime import Emulator
+from repro.workloads import app_spec, generate_app
+
+
+def _expected(app):
+    interp = Interpreter(
+        app.dexfile, native_handlers=app.native_handlers, max_steps=200_000_000
+    )
+    return [interp.call(m, list(a)) for m, a in app.ui_script.iterate()]
+
+
+def _run(build, app):
+    emu = Emulator(build.oat, app.dexfile, native_handlers=app.native_handlers)
+    return [emu.call(m, list(a)) for m, a in app.ui_script.iterate()]
+
+
+CONFIGS = [
+    CalibroConfig.baseline(),
+    CalibroConfig.cto(),
+    CalibroConfig.cto_ltbo(),
+    CalibroConfig.cto_ltbo_plopti(4),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_ui_script_preserved(small_app, small_app_expected, config):
+    build = build_app(small_app.dexfile, config)
+    results = _run(build, small_app)
+    assert all(r.trap is None for r in results)
+    assert [r.value for r in results] == small_app_expected
+
+
+def test_hot_filter_config_preserved(small_app, small_app_expected, baseline_build):
+    report = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers,
+    )
+    build = build_app(small_app.dexfile, CalibroConfig.full(report.cycles, groups=4))
+    results = _run(build, small_app)
+    assert [r.value for r in results] == small_app_expected
+
+
+@pytest.mark.parametrize("name,scale,seed_args", [
+    ("Toutiao", 0.15, 11),
+    ("Kuaishou", 0.12, 22),
+    ("Fanqie", 0.15, 33),
+])
+def test_other_apps_preserved(name, scale, seed_args):
+    """Different app populations (different seeds/sizes) through the
+    most aggressive config."""
+    app = generate_app(app_spec(name, scale))
+    interp = Interpreter(
+        app.dexfile, native_handlers=app.native_handlers, max_steps=200_000_000
+    )
+    build = build_app(app.dexfile, CalibroConfig.cto_ltbo())
+    emu = Emulator(build.oat, app.dexfile, native_handlers=app.native_handlers)
+    rng = random.Random(seed_args)
+    for method in rng.sample(app.dexfile.method_names(), k=30):
+        args = [rng.randint(0, 1000), rng.randint(0, 1000)]
+        want = interp.call(method, args)
+        got = emu.call(method, args)
+        assert got.trap is None and got.value == want, method
+
+
+def test_every_method_individually_preserved(small_app, ltbo_build):
+    """Not just the UI script: call *every* method with fixed args."""
+    interp = Interpreter(
+        small_app.dexfile, native_handlers=small_app.native_handlers,
+        max_steps=200_000_000,
+    )
+    emu = Emulator(ltbo_build.oat, small_app.dexfile,
+                   native_handlers=small_app.native_handlers)
+    for method in small_app.dexfile.method_names():
+        want = interp.call(method, [17, 5])
+        got = emu.call(method, [17, 5])
+        assert got.trap is None and got.value == want, method
+
+
+def test_outlining_reduces_size_but_adds_cycles(small_app, baseline_build, ltbo_build):
+    """The paper's fundamental trade-off (Tables 4 vs 7): smaller text,
+    more executed transfers."""
+    base = _run(baseline_build, small_app)
+    out = _run(ltbo_build, small_app)
+    assert ltbo_build.text_size < baseline_build.text_size
+    assert sum(r.steps for r in out) >= sum(r.steps for r in base)

@@ -1,0 +1,59 @@
+"""Assembler convenience constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import asm, decode, instructions as ins
+
+
+def test_mov_imm_single_chunk():
+    (i,) = asm.mov_imm(3, 0xBEEF)
+    assert isinstance(i, ins.MoveWide) and i.op == "movz" and i.imm16 == 0xBEEF
+
+
+def test_mov_imm_multi_chunk():
+    seq = asm.mov_imm(3, 0x1234_0000_BEEF)
+    assert [i.op for i in seq] == ["movz", "movk"]
+    assert seq[0].hw == 0 and seq[1].hw == 2
+    # Zero chunks are skipped.
+    assert len(asm.mov_imm(3, 0x1_0000)) == 2  # movz #0 + movk hw=1
+
+
+def test_mov_imm_rejects_negative_and_oversized():
+    with pytest.raises(ValueError):
+        asm.mov_imm(0, -1)
+    with pytest.raises(ValueError):
+        asm.mov_imm(0, 1 << 32, sf=False)
+
+
+def test_mov_imm_32bit():
+    seq = asm.mov_imm(1, 0xAABB_CCDD, sf=False)
+    assert all(not i.sf for i in seq)
+    assert len(seq) == 2
+
+
+def test_cmp_aliases_set_flags_discard_result():
+    c = asm.cmp_imm(5, 10)
+    assert c.set_flags and c.rd == 31
+    c = asm.cmp_reg(5, 6)
+    assert c.set_flags and c.rd == 31
+
+
+def test_memory_helpers_roundtrip():
+    for instr in [
+        asm.ldr(1, 2, 16),
+        asm.str_(1, 2, 16, size=4),
+        asm.stp_pre(29, 30, 31, -32),
+        asm.ldr_pair_post(29, 30, 31, 32),
+    ]:
+        assert decode(instr.encode()) == instr
+
+
+def test_alu_helpers():
+    assert asm.add_imm(1, 2, 3).op == "add"
+    assert asm.sub_imm(1, 2, 3).op == "sub"
+    assert asm.add_reg(1, 2, 3).op == "add"
+    assert asm.sub_reg(1, 2, 3).op == "sub"
+    assert isinstance(asm.mul(1, 2, 3), ins.MAdd)
+    assert isinstance(asm.sdiv(1, 2, 3), ins.SDiv)

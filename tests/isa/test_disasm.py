@@ -1,0 +1,49 @@
+"""Disassembler rendering, including the paper's Table 2 format."""
+
+from __future__ import annotations
+
+from repro.isa import asm, disassemble, format_instruction
+from repro.isa import instructions as ins
+
+
+def test_table2_style_rendering():
+    """`0x138320: cbz w0, #+0xc (addr 0x13832c)` — the paper's listing."""
+    instr = ins.Cbz(rt=0, offset=0xC, sf=False)
+    assert format_instruction(instr, 0x138320) == "0x138320: cbz w0, #+0xc (addr 0x13832c)"
+
+
+def test_plain_rendering_without_address():
+    assert format_instruction(ins.Ret()) == "ret"
+    assert format_instruction(asm.mov(3, 4)) == "mov x3, x4"
+
+
+def test_embedded_data_becomes_word_directive():
+    code = ins.Nop().encode_bytes() + b"\xff\xff\xff\xff"
+    lines = disassemble(code, 0x1000)
+    assert lines[0] == "0x1000: nop"
+    assert lines[1] == "0x1004: .word 0xffffffff"
+
+
+def test_cmp_alias_rendering():
+    assert asm.cmp_imm(3, 5).render() == "cmp x3, #0x5"
+    assert asm.cmp_reg(1, 2).render() == "cmp x1, x2"
+
+
+def test_mov_alias_rendering():
+    assert asm.mov(7, 9).render() == "mov x7, x9"
+
+
+def test_pair_rendering_modes():
+    pre = asm.stp_pre(29, 30, 31, -32)
+    post = asm.ldr_pair_post(29, 30, 31, 32)
+    assert pre.render() == "stp x29, x30, [sp, #-32]!"
+    assert post.render() == "ldp x29, x30, [sp], #32"
+
+
+def test_bcond_rendering():
+    assert ins.BCond(cond=ins.Cond.HS, offset=8).render() == "b.hs #+0x8"
+
+
+def test_tbz_uses_w_or_x_view_by_bit():
+    assert ins.Tbz(rt=1, bit=3, offset=4).render().startswith("tbz w1")
+    assert ins.Tbnz(rt=1, bit=40, offset=4).render().startswith("tbnz x1")

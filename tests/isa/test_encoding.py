@@ -1,0 +1,200 @@
+"""Encoder/decoder: golden A64 encodings and round-trip properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import DecodeError, asm, decode, decode_all, encode_all
+from repro.isa import instructions as ins
+from repro.isa._bits import FieldRangeError
+
+
+class TestGoldenEncodings:
+    """Bit-exact values checked against the ARMv8 reference."""
+
+    @pytest.mark.parametrize(
+        "instr,expected",
+        [
+            (ins.Ret(), 0xD65F03C0),
+            (ins.Nop(), 0xD503201F),
+            (ins.Bl(offset=8), 0x94000002),
+            (ins.B(offset=-4), 0x17FFFFFF),
+            (ins.Br(rn=16), 0xD61F0200),
+            (ins.Blr(rn=30), 0xD63F03C0),
+            (ins.MoveWide(op="movz", rd=0, imm16=0), 0xD2800000),
+            (ins.MoveWide(op="movk", rd=0, imm16=0, hw=1), 0xF2A00000),
+            (ins.LoadStoreImm(op="ldr", rt=30, rn=0, offset=0x20), 0xF940101E),
+            (ins.LoadStoreImm(op="ldr", rt=31, rn=16, offset=0, size=4), 0xB940021F),
+            (ins.AddSubImm(op="sub", rd=16, rn=31, imm12=2, shift12=True), 0xD1400BF0),
+            (ins.LoadStorePair(op="stp", rt=29, rt2=30, rn=31, offset=-16, mode="pre"), 0xA9BF7BFD),
+            (ins.LoadStorePair(op="ldp", rt=29, rt2=30, rn=31, offset=16, mode="post"), 0xA8C17BFD),
+            (ins.Cbz(rt=0, offset=0xC, sf=False), 0x34000060),
+            (ins.Brk(imm16=0), 0xD4200000),
+        ],
+    )
+    def test_known_words(self, instr, expected):
+        assert instr.encode() == expected
+
+    def test_stack_check_pattern_words(self):
+        """The paper's Fig. 4c sequence encodes to valid A64."""
+        from repro.core.patterns import stack_check_pattern
+
+        sub, probe = stack_check_pattern()
+        assert decode(sub.encode()) == sub
+        assert decode(probe.encode()) == probe
+        assert "sub x16, sp, #0x2" in sub.render()
+        assert "ldr wzr, [x16]" == probe.render()
+
+
+_REG = st.integers(0, 30)
+_REG31 = st.integers(0, 31)
+
+
+def _roundtrip(instr: ins.Instruction) -> None:
+    assert decode(instr.encode()) == instr
+
+
+class TestRoundTrip:
+    @given(op=st.sampled_from(["movz", "movk", "movn"]), rd=_REG31,
+           imm=st.integers(0, 0xFFFF), hw=st.integers(0, 3))
+    def test_movewide(self, op, rd, imm, hw):
+        _roundtrip(ins.MoveWide(op=op, rd=rd, imm16=imm, hw=hw))
+
+    @given(op=st.sampled_from(["add", "sub"]), rd=_REG31, rn=_REG31,
+           imm=st.integers(0, 4095), sh=st.booleans(), flags=st.booleans(),
+           sf=st.booleans())
+    def test_addsub_imm(self, op, rd, rn, imm, sh, flags, sf):
+        _roundtrip(ins.AddSubImm(op=op, rd=rd, rn=rn, imm12=imm, shift12=sh,
+                                 set_flags=flags, sf=sf))
+
+    @given(op=st.sampled_from(["add", "sub"]), rd=_REG31, rn=_REG31, rm=_REG31,
+           flags=st.booleans(), sf=st.booleans())
+    def test_addsub_reg(self, op, rd, rn, rm, flags, sf):
+        _roundtrip(ins.AddSubReg(op=op, rd=rd, rn=rn, rm=rm, set_flags=flags, sf=sf))
+
+    @given(op=st.sampled_from(["and", "orr", "eor"]), rd=_REG31, rn=_REG31, rm=_REG31)
+    def test_logical(self, op, rd, rn, rm):
+        _roundtrip(ins.LogicalReg(op=op, rd=rd, rn=rn, rm=rm))
+
+    @given(rd=_REG31, rn=_REG31, rm=_REG31, ra=_REG31)
+    def test_madd(self, rd, rn, rm, ra):
+        _roundtrip(ins.MAdd(rd=rd, rn=rn, rm=rm, ra=ra))
+
+    @given(op=st.sampled_from(["ldr", "str"]), rt=_REG31, rn=_REG31,
+           idx=st.integers(0, 4095), size=st.sampled_from([4, 8]))
+    def test_loadstore(self, op, rt, rn, idx, size):
+        _roundtrip(ins.LoadStoreImm(op=op, rt=rt, rn=rn, offset=idx * size, size=size))
+
+    @given(op=st.sampled_from(["ldp", "stp"]), rt=_REG31, rt2=_REG31, rn=_REG31,
+           idx=st.integers(-64, 63), mode=st.sampled_from(["offset", "pre", "post"]))
+    def test_pair(self, op, rt, rt2, rn, idx, mode):
+        _roundtrip(ins.LoadStorePair(op=op, rt=rt, rt2=rt2, rn=rn, offset=idx * 8, mode=mode))
+
+    @given(rt=_REG31, idx=st.integers(-(1 << 18), (1 << 18) - 1))
+    def test_literal(self, rt, idx):
+        _roundtrip(ins.LoadLiteral(rt=rt, offset=idx * 4))
+
+    @given(rd=_REG31, off=st.integers(-(1 << 20), (1 << 20) - 1))
+    def test_adr(self, rd, off):
+        _roundtrip(ins.Adr(rd=rd, offset=off))
+
+    @given(rd=_REG31, pages=st.integers(-(1 << 20), (1 << 20) - 1))
+    def test_adrp(self, rd, pages):
+        _roundtrip(ins.Adrp(rd=rd, page_offset=pages))
+
+    @given(idx=st.integers(-(1 << 25), (1 << 25) - 1))
+    def test_b(self, idx):
+        _roundtrip(ins.B(offset=idx * 4))
+
+    @given(idx=st.integers(-(1 << 25), (1 << 25) - 1))
+    def test_bl(self, idx):
+        _roundtrip(ins.Bl(offset=idx * 4))
+
+    @given(cond=st.integers(0, 15), idx=st.integers(-(1 << 18), (1 << 18) - 1))
+    def test_bcond(self, cond, idx):
+        _roundtrip(ins.BCond(cond=cond, offset=idx * 4))
+
+    @given(rt=_REG31, idx=st.integers(-(1 << 18), (1 << 18) - 1),
+           sf=st.booleans(), nz=st.booleans())
+    def test_cb(self, rt, idx, sf, nz):
+        cls = ins.Cbnz if nz else ins.Cbz
+        _roundtrip(cls(rt=rt, offset=idx * 4, sf=sf))
+
+    @given(rt=_REG31, bit=st.integers(0, 63), idx=st.integers(-(1 << 13), (1 << 13) - 1),
+           nz=st.booleans())
+    def test_tb(self, rt, bit, idx, nz):
+        cls = ins.Tbnz if nz else ins.Tbz
+        _roundtrip(cls(rt=rt, bit=bit, offset=idx * 4))
+
+    @given(rn=_REG31)
+    def test_branch_reg(self, rn):
+        _roundtrip(ins.Br(rn=rn))
+        _roundtrip(ins.Blr(rn=rn))
+        _roundtrip(ins.Ret(rn=rn))
+
+    @given(imm=st.integers(0, 0xFFFF))
+    def test_brk(self, imm):
+        _roundtrip(ins.Brk(imm16=imm))
+
+
+class TestFieldValidation:
+    def test_branch_offset_must_be_aligned(self):
+        with pytest.raises(FieldRangeError):
+            ins.B(offset=2).encode()
+
+    def test_branch_offset_range(self):
+        with pytest.raises(FieldRangeError):
+            ins.BCond(cond=0, offset=1 << 21).encode()
+
+    def test_load_offset_alignment(self):
+        with pytest.raises(FieldRangeError):
+            ins.LoadStoreImm(op="ldr", rt=0, rn=1, offset=3).encode()
+
+    def test_pair_offset_range(self):
+        with pytest.raises(FieldRangeError):
+            ins.LoadStorePair(op="stp", rt=0, rt2=1, rn=31, offset=8 * 64, mode="pre").encode()
+
+    def test_movewide_hw_range_32bit(self):
+        with pytest.raises(FieldRangeError):
+            ins.MoveWide(op="movz", rd=0, imm16=1, hw=2, sf=False).encode()
+
+    def test_adrp_patch_requires_page_alignment(self):
+        with pytest.raises(FieldRangeError):
+            ins.Adrp(rd=0, page_offset=0).with_target_offset(100)
+
+
+class TestDecoder:
+    def test_unknown_word_raises(self):
+        with pytest.raises(DecodeError):
+            decode(0xFFFFFFFF)
+
+    def test_zero_word_raises(self):
+        with pytest.raises(DecodeError):
+            decode(0)
+
+    def test_decode_all_and_encode_all_inverse(self):
+        stream = [ins.Nop(), ins.Ret(), asm.mov(1, 2), asm.ldr(3, 4, 8)]
+        blob = encode_all(stream)
+        assert decode_all(blob) == stream
+
+    def test_decode_all_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            decode_all(b"\x00\x00\x00")
+
+    @given(word=st.integers(0, (1 << 32) - 1))
+    @settings(max_examples=300)
+    def test_decode_never_misencodes(self, word):
+        """Anything that decodes must re-encode to the same word."""
+        try:
+            instr = decode(word)
+        except DecodeError:
+            return
+        assert instr.encode() == word
+
+    def test_non_pc_relative_has_no_target(self):
+        with pytest.raises(AttributeError):
+            _ = ins.Nop().target_offset
+        with pytest.raises(AttributeError):
+            ins.Ret().with_target_offset(4)

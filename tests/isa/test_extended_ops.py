@@ -1,0 +1,56 @@
+"""Variable shifts and conditional select: encodings + round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import decode, instructions as ins
+
+_REG = st.integers(0, 31)
+
+
+class TestGolden:
+    def test_lslv(self):
+        assert ins.ShiftVar(op="lsl", rd=1, rn=2, rm=3).encode() == 0x9AC32041
+
+    def test_csel(self):
+        assert ins.CSel(rd=1, rn=2, rm=3, cond=ins.Cond.LT).encode() == 0x9A83B041
+
+    def test_cset_alias_rendering(self):
+        cset = ins.CSel(rd=1, rn=31, rm=31, cond=ins.Cond.NE, increment=True)
+        assert cset.render() == "cset x1, eq"
+
+    def test_shift_rendering(self):
+        assert ins.ShiftVar(op="asr", rd=4, rn=5, rm=6, sf=False).render() == "asr w4, w5, w6"
+
+
+class TestRoundTrip:
+    @given(op=st.sampled_from(["lsl", "lsr", "asr"]), rd=_REG, rn=_REG, rm=_REG,
+           sf=st.booleans())
+    def test_shiftvar(self, op, rd, rn, rm, sf):
+        i = ins.ShiftVar(op=op, rd=rd, rn=rn, rm=rm, sf=sf)
+        assert decode(i.encode()) == i
+
+    @given(rd=_REG, rn=_REG, rm=_REG, cond=st.integers(0, 15),
+           inc=st.booleans(), sf=st.booleans())
+    def test_csel(self, rd, rn, rm, cond, inc, sf):
+        i = ins.CSel(rd=rd, rn=rn, rm=rm, cond=cond, increment=inc, sf=sf)
+        assert decode(i.encode()) == i
+
+
+class TestClassification:
+    def test_not_terminators_or_calls(self):
+        s = ins.ShiftVar(op="lsl", rd=1, rn=2, rm=3)
+        c = ins.CSel(rd=1, rn=2, rm=3, cond=0)
+        for i in (s, c):
+            assert not i.is_terminator and not i.is_call
+            assert not i.is_pc_relative and not i.is_indirect_jump
+
+    def test_lr_detection(self):
+        from repro.core.detect import touches_lr
+
+        assert touches_lr(ins.ShiftVar(op="lsl", rd=30, rn=2, rm=3))
+        assert touches_lr(ins.CSel(rd=1, rn=30, rm=3, cond=0))
+        assert not touches_lr(ins.ShiftVar(op="lsl", rd=1, rn=2, rm=3))

@@ -1,0 +1,46 @@
+"""Register naming and ART conventions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+def test_art_conventions_match_paper():
+    """Fig. 4: ArtMethod in x0, thread in x19, branch target in x30."""
+    assert regs.ART_METHOD_REG == 0
+    assert regs.ART_THREAD_REG == 19
+    assert regs.ART_BRANCH_REG == 30
+    assert regs.IP0 == 16  # the stack-check scratch register
+
+
+def test_reg_name_views():
+    assert regs.reg_name(0) == "x0"
+    assert regs.reg_name(0, sf=False) == "w0"
+    assert regs.reg_name(31) == "xzr"
+    assert regs.reg_name(31, sf=False) == "wzr"
+    assert regs.reg_name(31, sp=True) == "sp"
+    assert regs.reg_name(31, sf=False, sp=True) == "wsp"
+
+
+def test_reg_name_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        regs.reg_name(32)
+
+
+def test_x_constructor():
+    assert regs.x(19) == 19
+    with pytest.raises(ValueError):
+        regs.x(31)
+
+
+def test_thread_register_not_allocatable():
+    assert regs.ART_THREAD_REG not in regs.ALLOCATABLE
+    assert regs.ART_METHOD_REG not in regs.ALLOCATABLE
+    assert regs.IP0 not in regs.ALLOCATABLE
+
+
+def test_callee_saved_contains_fp_lr():
+    assert regs.FP in regs.CALLEE_SAVED
+    assert regs.LR in regs.CALLEE_SAVED

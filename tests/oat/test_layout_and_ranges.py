@@ -1,0 +1,108 @@
+"""Layout constants and linker range/error behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompiledMethod, Relocation, RelocKind
+from repro.core.metadata import MethodMetadata
+from repro.isa import encode_all, instructions as ins
+from repro.oat import LinkError, layout, link
+
+
+class TestLayoutConstants:
+    def test_address_spaces_disjoint(self):
+        regions = [
+            (layout.TEXT_BASE, layout.TEXT_BASE + 0x100_0000),
+            (layout.DATA_BASE, layout.DATA_BASE + 0x100_0000),
+            (layout.THREAD_BASE, layout.THREAD_BASE + 0x1_0000),
+            (layout.HEAP_BASE, layout.HEAP_BASE + layout.HEAP_SIZE),
+            (layout.STACK_TOP - layout.STACK_SIZE, layout.STACK_TOP),
+            (layout.NATIVE_STUB_BASE, layout.NATIVE_STUB_BASE + 0x1000),
+        ]
+        for i, (a0, a1) in enumerate(regions):
+            for b0, b1 in regions[i + 1 :]:
+                assert a1 <= b0 or b1 <= a0, "address regions overlap"
+
+    def test_entrypoint_offsets_unique_and_aligned(self):
+        offsets = list(layout.ENTRYPOINT_OFFSETS.values())
+        assert len(set(offsets)) == len(offsets)
+        assert all(off % 8 == 0 for off in offsets)
+
+    def test_stack_guard_is_the_paper_constant(self):
+        assert layout.STACK_GUARD_SIZE == 0x2000  # Fig. 4c's #0x2000
+
+    def test_unknown_entrypoint_raises(self):
+        with pytest.raises(KeyError):
+            layout.entrypoint_offset("pDoesNotExist")
+
+
+class TestLinkerErrors:
+    def _m(self, name, body, relocs=()):
+        code = encode_all(body)
+        return CompiledMethod(
+            name=name, code=code, relocations=list(relocs),
+            metadata=MethodMetadata(method_name=name, code_size=len(code)),
+        )
+
+    def test_call26_on_non_bl_rejected(self):
+        m = self._m(
+            "bad", [ins.Nop(), ins.Ret()],
+            relocs=[Relocation(offset=0, kind=RelocKind.CALL26, symbol="bad")],
+        )
+        with pytest.raises(LinkError, match="non-bl"):
+            link([m], check_stackmaps=False)
+
+    def test_page21_on_non_adrp_rejected(self):
+        m = self._m(
+            "bad", [ins.Nop(), ins.Ret()],
+            relocs=[Relocation(offset=0, kind=RelocKind.ADRP_PAGE21, symbol="bad")],
+        )
+        with pytest.raises(LinkError, match="non-adrp"):
+            link([m], check_stackmaps=False)
+
+    def test_lo12_on_non_add_rejected(self):
+        m = self._m(
+            "bad", [ins.Nop(), ins.Ret()],
+            relocs=[Relocation(offset=0, kind=RelocKind.ADD_LO12, symbol="bad")],
+        )
+        with pytest.raises(LinkError, match="non-add"):
+            link([m], check_stackmaps=False)
+
+    def test_unknown_reloc_kind_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="relocation kind"):
+            Relocation(offset=0, kind="weird", symbol="x")
+
+    def test_stackmap_outside_method_rejected(self):
+        from repro.compiler import StackMapTable
+
+        table = StackMapTable(method_name="bad")
+        table.add(native_pc=400, dex_pc=0)
+        m = self._m("bad", [ins.Ret()])
+        m.stackmaps = table
+        with pytest.raises(LinkError, match="outside method"):
+            link([m])
+
+
+class TestBitsHelpers:
+    def test_sext(self):
+        from repro.isa._bits import sext
+
+        assert sext(0b111, 3) == -1
+        assert sext(0b011, 3) == 3
+        assert sext(0x80, 8) == -128
+
+    def test_check_sint_bounds(self):
+        from repro.isa._bits import FieldRangeError, check_sint
+
+        assert check_sint(-1, 4, "x") == 0b1111
+        with pytest.raises(FieldRangeError):
+            check_sint(8, 4, "x")
+        with pytest.raises(FieldRangeError):
+            check_sint(-9, 4, "x")
+
+    def test_bits_extraction(self):
+        from repro.isa._bits import bits
+
+        assert bits(0b1011_0000, 7, 4) == 0b1011
+        assert bits(0xFFFFFFFF, 31, 31) == 1

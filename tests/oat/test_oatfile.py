@@ -1,0 +1,56 @@
+"""OAT file model: serialisation round-trip and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import dex2oat
+from repro.oat import OatFile, link
+
+
+def test_serialisation_roundtrip(small_app):
+    oat = link(dex2oat(small_app.dexfile, cto=True).methods, small_app.dexfile)
+    blob = oat.to_bytes()
+    back = OatFile.from_bytes(blob)
+    assert back.text == oat.text
+    assert back.data == oat.data
+    assert back.text_base == oat.text_base
+    assert set(back.methods) == set(oat.methods)
+    for name, record in oat.methods.items():
+        other = back.methods[name]
+        assert (other.offset, other.size, other.frame_size) == (
+            record.offset, record.size, record.frame_size,
+        )
+        original_pcs = [e.native_pc for e in record.stackmaps.entries] if record.stackmaps else []
+        assert [e.native_pc for e in other.stackmaps.entries] == original_pcs
+    assert back.data_symbols == oat.data_symbols
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError, match="magic"):
+        OatFile.from_bytes(b"NOTANOAT" + b"\x00" * 64)
+
+
+def test_disk_size_tracks_text_size(small_app, baseline_build, ltbo_build):
+    """Table 4's "size on disk": the serialised image's text segment is
+    what shrinks (side-table JSON overhead is scale-dependent, so the
+    comparison is on the deserialised segment, as `pm compile` + segment
+    measurement does in the paper)."""
+    base = OatFile.from_bytes(baseline_build.oat.to_bytes())
+    out = OatFile.from_bytes(ltbo_build.oat.to_bytes())
+    assert out.text_size < base.text_size
+
+
+def test_method_at_address(baseline_build):
+    oat = baseline_build.oat
+    name, record = next(iter(oat.methods.items()))
+    mid = oat.text_base + record.offset + (record.size // 8) * 4
+    found = oat.method_at_address(mid)
+    assert found is not None and found.name == name
+    assert oat.method_at_address(oat.text_base - 4) is None
+
+
+def test_text_and_data_sizes(baseline_build):
+    oat = baseline_build.oat
+    assert oat.text_size == len(oat.text) > 0
+    assert oat.data_size == len(oat.data) > 0

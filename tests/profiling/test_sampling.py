@@ -1,0 +1,63 @@
+"""Sampled profiling mode (simpleperf's -c N behaviour)."""
+
+from __future__ import annotations
+
+from repro.profiling import profile_app
+from repro.runtime import Emulator
+
+
+def test_sampled_profile_approximates_exact(small_app, baseline_build):
+    exact = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers,
+    )
+    sampled = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers, sample_period=200,
+    )
+    assert sampled.cycles
+    # Scaled sample mass is within a factor-2 band of exact attribution.
+    exact_total = exact.total_attributed
+    sampled_total = sum(sampled.cycles.values())
+    assert 0.5 * exact_total < sampled_total < 2.0 * exact_total
+
+
+def test_sampled_hot_set_overlaps_exact(small_app, baseline_build):
+    """The 80% hot set from a sampled profile must substantially agree
+    with the exact one — HfOpti works either way."""
+    exact = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers,
+    ).hot_filter(0.80)
+    sampled = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers, sample_period=100,
+    ).hot_filter(0.80)
+    assert sampled.hot_names
+    overlap = len(exact.hot_names & sampled.hot_names)
+    assert overlap >= len(exact.hot_names) // 2
+
+
+def test_sample_counts_accessible(small_app, baseline_build):
+    emu = Emulator(
+        baseline_build.oat, small_app.dexfile,
+        native_handlers=small_app.native_handlers,
+        profile=True, sample_period=500,
+    )
+    emu.call(small_app.entry_points[0], [9, 9])
+    counts = emu.sample_counts()
+    assert counts
+    assert all(v >= 1 for v in counts.values())
+    # profile() scales counts by the period
+    assert emu.profile() == {k: v * 500 for k, v in counts.items()}
+
+
+def test_reset_clears_samples(small_app, baseline_build):
+    emu = Emulator(
+        baseline_build.oat, small_app.dexfile,
+        native_handlers=small_app.native_handlers,
+        profile=True, sample_period=500,
+    )
+    emu.call(small_app.entry_points[0], [9, 9])
+    emu.reset_measurements()
+    assert not emu.sample_counts()

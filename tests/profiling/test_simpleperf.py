@@ -1,0 +1,52 @@
+"""The simpleperf substitute."""
+
+from __future__ import annotations
+
+from repro.profiling import profile_app
+
+
+def test_profile_report_shape(small_app, baseline_build):
+    report = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers,
+    )
+    assert report.cycles
+    assert report.total_run_cycles > 0
+    assert report.total_attributed <= report.total_run_cycles
+    assert all(r.trap is None for r in report.results)
+
+
+def test_top_is_sorted(small_app, baseline_build):
+    report = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers,
+    )
+    top = report.top(5)
+    assert len(top) <= 5
+    assert all(a[1] >= b[1] for a, b in zip(top, top[1:]))
+
+
+def test_hot_entries_dominate(small_app, baseline_build):
+    """Entry loops call a small hot pool repeatedly; the profile must
+    reflect that skew (the premise of Fig. 6)."""
+    report = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers,
+    )
+    f = report.hot_filter(0.80)
+    assert 0 < len(f.hot_names) < len(report.cycles)
+    # hot set covers at least the target share
+    assert f.covered_cycles >= 0.8 * f.total_cycles
+
+
+def test_repetitions_scale_cycles(small_app, baseline_build):
+    once = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers, repetitions=1,
+    )
+    twice = profile_app(
+        baseline_build.oat, small_app.dexfile, small_app.ui_script,
+        native_handlers=small_app.native_handlers, repetitions=2,
+    )
+    assert twice.total_run_cycles > once.total_run_cycles
+    assert len(twice.results) == 2 * len(once.results)

@@ -1,0 +1,50 @@
+"""Table/figure rendering helpers."""
+
+from __future__ import annotations
+
+from repro.reporting import ascii_bars, format_bytes, format_table, pct, ratio_row
+
+
+def test_pct():
+    assert pct(0.1519) == "15.19%"
+    assert pct(0.254, digits=1) == "25.4%"
+
+
+def test_format_bytes_units():
+    assert format_bytes(512) == "512B"
+    assert format_bytes(2048) == "2.0K"
+    assert format_bytes(3 * 1024 * 1024) == "3.0M"
+
+
+def test_format_table_alignment():
+    out = format_table(["App", "Size"], [["Toutiao", 357], ["Wechat", 388]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "App" in lines[1] and "Size" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert lines[3].startswith("Toutiao")
+    # columns aligned: separator as wide as rows
+    assert all(len(l) <= len(lines[2]) + 2 for l in lines[3:])
+
+
+def test_ratio_row_matches_paper_format():
+    baseline = {"A": 100.0, "B": 200.0}
+    values = {"A": 80.0, "B": 170.0}
+    row = ratio_row("CTO+LTBO", baseline, values)
+    assert row[0] == "CTO+LTBO"
+    assert row[1] == "20.00%" and row[2] == "15.00%"
+    assert row[3] == "17.50%"  # the AVG column
+
+
+def test_ratio_row_handles_zero_baseline():
+    row = ratio_row("x", {"A": 0.0}, {"A": 5.0})
+    assert row[1] == "0.00%"
+
+
+def test_ascii_bars():
+    out = ascii_bars({"2-3": 100, "4-7": 50, "8+": 0}, width=10, title="Fig3")
+    lines = out.splitlines()
+    assert lines[0] == "Fig3"
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+    assert lines[3].count("#") == 0

@@ -1,0 +1,139 @@
+"""ART runtime shim: heap layout, entrypoints, JNI bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompiledMethod, dex2oat
+from repro.core.metadata import MethodMetadata
+from repro.dex import DexClass, DexFile, DexMethod, MethodBuilder
+from repro.isa import asm, encode_all, instructions as ins, registers as regs
+from repro.oat import layout, link
+from repro.runtime import Emulator
+from repro.runtime.art import ArtRuntime, GuestTrap
+
+
+def _framed_call(entrypoint: str) -> list:
+    """Frame push + runtime call + frame pop: `blr` writes x30, so any
+    method that calls must save/restore the link register, exactly as
+    the real prologue/epilogue do."""
+    return [
+        asm.stp_pre(regs.FP, regs.LR, regs.SP, -16),
+        asm.ldr(regs.X9, regs.ART_THREAD_REG, layout.entrypoint_offset(entrypoint)),
+        ins.Blr(rn=regs.X9),
+        asm.ldr_pair_post(regs.FP, regs.LR, regs.SP, 16),
+        ins.Ret(),
+    ]
+
+
+def _oat_with(body):
+    code = encode_all(body)
+    m = CompiledMethod(
+        name="m", code=code,
+        metadata=MethodMetadata(method_name="m", code_size=len(code)),
+    )
+    return link([m], check_stackmaps=False)
+
+
+class TestEntrypointTable:
+    def test_thread_block_holds_stub_addresses(self):
+        oat = _oat_with([ins.Ret()])
+        rt = ArtRuntime(oat)
+        for name, offset in layout.ENTRYPOINT_OFFSETS.items():
+            stub = int.from_bytes(
+                rt.memory.read_bytes_raw(layout.THREAD_BASE + offset, 8), "little"
+            )
+            assert rt.is_native_address(stub), name
+
+    def test_alloc_object_layout(self):
+        """pAllocObjectResolved: header holds the class idx, fields zeroed."""
+        body = (
+            asm.mov_imm(regs.X0, 7)            # class idx
+            + asm.mov_imm(regs.X1, 3)          # fields
+            + _framed_call("pAllocObjectResolved")
+        )
+        oat = _oat_with(body)
+        emu = Emulator(oat)
+        result = emu.call("m")
+        addr = result.value
+        assert addr >= layout.HEAP_BASE
+        mem = emu.runtime.memory
+        assert mem.read_u64(addr) == 7                      # header
+        assert mem.read_u64(addr + 8) == 0                  # field 0 zeroed
+
+    def test_alloc_array_layout(self):
+        body = (
+            asm.mov_imm(regs.X0, 5)            # length
+            + _framed_call("pAllocArrayResolved")
+        )
+        emu = Emulator(_oat_with(body))
+        addr = emu.call("m").value
+        assert emu.runtime.memory.read_u64(addr + layout.ARRAY_LENGTH_OFFSET) == 5
+
+    def test_heap_is_bump_allocated(self):
+        oat = _oat_with([ins.Ret()])
+        rt = ArtRuntime(oat)
+        a = rt._bump(24)
+        b = rt._bump(8)
+        assert b >= a + 24 and b % 8 == 0
+
+    def test_throw_entrypoints_raise(self):
+        oat = _oat_with([ins.Ret()])
+        rt = ArtRuntime(oat)
+        for name, kind in [
+            ("pThrowNullPointerException", "null-pointer"),
+            ("pThrowArrayIndexOutOfBounds", "array-bounds"),
+            ("pThrowDivZero", "div-zero"),
+            ("pThrowStackOverflowError", "stack-overflow"),
+        ]:
+            offset = layout.entrypoint_offset(name)
+            stub = int.from_bytes(
+                rt.memory.read_bytes_raw(layout.THREAD_BASE + offset, 8), "little"
+            )
+            with pytest.raises(GuestTrap) as exc:
+                rt.dispatch_native(None, stub)
+            assert exc.value.kind == kind
+
+
+class TestJniBridge:
+    def _dex(self):
+        nat = DexMethod(name="LJ;->nat", num_registers=3, num_inputs=3, is_native=True)
+        b = MethodBuilder("LJ;->c", num_inputs=3, num_registers=4)
+        b.invoke_static("LJ;->nat", args=(0, 1, 2), dst=3)
+        b.ret(3)
+        return DexFile(classes=[DexClass("LJ;", [b.build(), nat])])
+
+    def test_arity_respected(self):
+        """The bridge passes exactly num_inputs args to the handler."""
+        dex = self._dex()
+        seen = []
+
+        def handler(args):
+            seen.append(list(args))
+            return len(args)
+
+        oat = link(dex2oat(dex).methods, dex)
+        emu = Emulator(oat, dex, native_handlers={"LJ;->nat": handler})
+        result = emu.call("LJ;->c", [10, 20, 30])
+        assert result.value == 3
+        assert seen == [[10, 20, 30]]
+
+    def test_negative_args_arrive_signed(self):
+        dex = self._dex()
+        oat = link(dex2oat(dex).methods, dex)
+        emu = Emulator(oat, dex, native_handlers={"LJ;->nat": lambda a: a[0]})
+        assert emu.call("LJ;->c", [-42, 0, 0]).value == -42
+
+    def test_handler_result_wraps(self):
+        dex = self._dex()
+        oat = link(dex2oat(dex).methods, dex)
+        emu = Emulator(oat, dex, native_handlers={"LJ;->nat": lambda a: 2**64 + 5})
+        assert emu.call("LJ;->c", [0, 0, 0]).value == 5
+
+    def test_bad_method_id_traps(self):
+        oat = _oat_with(
+            asm.mov_imm(regs.X17, 999)
+            + _framed_call("pJniBridge")
+        )
+        emu = Emulator(oat)  # no dexfile: id table empty
+        assert emu.call("m").trap == "bad-jni-method"

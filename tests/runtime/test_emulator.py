@@ -1,0 +1,223 @@
+"""Emulator semantics: per-instruction behaviour through tiny linked
+programs, plus traps and measurement channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompiledMethod, dex2oat
+from repro.core.metadata import MethodMetadata
+from repro.dex import DexClass, DexFile, MethodBuilder
+from repro.isa import asm, encode_all, instructions as ins, registers as regs
+from repro.oat import link
+from repro.runtime import CycleModel, Emulator
+
+
+def _raw_method(name: str, body: list[ins.Instruction]) -> CompiledMethod:
+    """Wrap a hand-written instruction list as a linkable method."""
+    code = encode_all(body)
+    return CompiledMethod(
+        name=name,
+        code=code,
+        metadata=MethodMetadata(method_name=name, code_size=len(code)),
+    )
+
+
+def _run_raw(body: list[ins.Instruction], args: list[int] | None = None):
+    oat = link([_raw_method("raw", body + [ins.Ret()])])
+    emu = Emulator(oat)
+    return emu.call("raw", args or [])
+
+
+class TestALUSemantics:
+    def test_movz_movk_builds_wide_constant(self):
+        r = _run_raw([
+            ins.MoveWide(op="movz", rd=0, imm16=0xBEEF),
+            ins.MoveWide(op="movk", rd=0, imm16=0xDEAD, hw=1),
+        ])
+        assert r.value == 0xDEADBEEF
+
+    def test_movn(self):
+        r = _run_raw([ins.MoveWide(op="movn", rd=0, imm16=0)])
+        assert r.value == -1
+
+    def test_add_sub_reg(self):
+        r = _run_raw([asm.add_reg(0, 1, 2)], [30, 12])
+        assert r.value == 42
+        r = _run_raw([asm.sub_reg(0, 1, 2)], [30, 12])
+        assert r.value == 18
+
+    def test_sub_wraps_unsigned(self):
+        r = _run_raw([asm.sub_reg(0, 1, 2)], [0, 1])
+        assert r.value == -1
+
+    def test_mul_and_div(self):
+        r = _run_raw([asm.mul(0, 1, 2)], [-6, 7])
+        assert r.value == -42
+        r = _run_raw([asm.sdiv(0, 1, 2)], [-7, 2])
+        assert r.value == -3  # truncation toward zero
+
+    def test_sdiv_by_zero_is_zero(self):
+        """ARM semantics: sdiv never traps; guards are explicit."""
+        r = _run_raw([asm.sdiv(0, 1, 2)], [99, 0])
+        assert r.value == 0
+
+    def test_logical_ops(self):
+        r = _run_raw([ins.LogicalReg(op="and", rd=0, rn=1, rm=2)], [0b1100, 0b1010])
+        assert r.value == 0b1000
+        r = _run_raw([ins.LogicalReg(op="eor", rd=0, rn=1, rm=2)], [0b1100, 0b1010])
+        assert r.value == 0b0110
+
+    def test_xzr_reads_zero_and_discards_writes(self):
+        r = _run_raw([
+            ins.MoveWide(op="movz", rd=31, imm16=7),  # write to xzr: dropped
+            asm.add_reg(0, 31, 1),
+        ], [5])
+        assert r.value == 5
+
+
+class TestFlagsAndBranches:
+    def _cmp_branch(self, cond: int, a: int, b: int) -> int:
+        body = [
+            asm.cmp_reg(1, 2),
+            ins.BCond(cond=cond, offset=12),
+            ins.MoveWide(op="movz", rd=0, imm16=0),
+            ins.Ret(),
+            ins.MoveWide(op="movz", rd=0, imm16=1),
+        ]
+        return _run_raw(body, [a, b]).value
+
+    @pytest.mark.parametrize(
+        "cond,a,b,taken",
+        [
+            (ins.Cond.EQ, 5, 5, 1), (ins.Cond.EQ, 5, 6, 0),
+            (ins.Cond.NE, 5, 6, 1),
+            (ins.Cond.LT, -1, 0, 1), (ins.Cond.LT, 0, -1, 0),
+            (ins.Cond.GE, 7, 7, 1),
+            (ins.Cond.GT, 8, 7, 1), (ins.Cond.LE, 7, 8, 1),
+            (ins.Cond.HS, 0, 0, 1),   # unsigned >=
+            (ins.Cond.LO, 0, 1, 1),   # unsigned <
+            (ins.Cond.HS, -1, 1, 1),  # -1 is huge unsigned
+        ],
+    )
+    def test_conditions(self, cond, a, b, taken):
+        assert self._cmp_branch(cond, a, b) == taken
+
+    def test_cbz_cbnz(self):
+        body = [
+            ins.Cbz(rt=1, offset=12),
+            ins.MoveWide(op="movz", rd=0, imm16=1),
+            ins.Ret(),
+            ins.MoveWide(op="movz", rd=0, imm16=2),
+        ]
+        assert _run_raw(body, [0]).value == 2
+        assert _run_raw(body, [9]).value == 1
+
+    def test_tbz_tests_single_bit(self):
+        body = [
+            ins.Tbnz(rt=1, bit=3, offset=12),
+            ins.MoveWide(op="movz", rd=0, imm16=0),
+            ins.Ret(),
+            ins.MoveWide(op="movz", rd=0, imm16=1),
+        ]
+        assert _run_raw(body, [0b1000]).value == 1
+        assert _run_raw(body, [0b0111]).value == 0
+
+    def test_adr_and_literal(self):
+        body = [
+            ins.LoadLiteral(rt=0, offset=12),
+            ins.Ret(),
+            ins.Nop(),  # padding so the literal is 8-aligned
+            ins.Nop(),
+        ]
+        # Replace the two nops with an 8-byte literal.
+        from repro.compiler import CompiledMethod
+        from repro.core.metadata import DataExtent, MethodMetadata
+
+        code = encode_all(body[:2]) + b"\x00\x00\x00\x00" + (777).to_bytes(8, "little")
+        m = CompiledMethod(
+            name="lit",
+            code=code,
+            metadata=MethodMetadata(
+                method_name="lit", code_size=len(code),
+                embedded_data=[DataExtent(start=8, size=12)],
+            ),
+        )
+        oat = link([m])
+        assert Emulator(oat).call("lit").value == 777
+
+
+class TestTrapsAndBudget:
+    def test_brk_traps(self):
+        r = _run_raw([ins.Brk(imm16=1)])
+        assert r.trap == "brk"
+
+    def test_step_budget(self):
+        body = [ins.B(offset=0)]  # tight infinite loop: b .
+        oat = link([_raw_method("spin", body)])
+        emu = Emulator(oat, max_steps=5000)
+        from repro.runtime import EmulationError
+
+        with pytest.raises(EmulationError, match="step budget"):
+            emu.call("spin")
+
+    def test_executing_embedded_data_detected(self):
+        code = b"\xff\xff\xff\xff"
+        m = CompiledMethod(
+            name="data",
+            code=code,
+            metadata=MethodMetadata(method_name="data", code_size=4),
+        )
+        oat = link([m], check_stackmaps=False)
+        from repro.runtime import EmulationError
+
+        with pytest.raises(EmulationError, match="embedded data"):
+            Emulator(oat).call("data")
+
+
+class TestMeasurement:
+    def test_cycles_accumulate(self, baseline_build, small_app):
+        emu = Emulator(baseline_build.oat, small_app.dexfile,
+                       native_handlers=small_app.native_handlers)
+        entry = small_app.entry_points[0]
+        r = emu.call(entry, [1, 2])
+        assert r.ok and r.cycles > r.steps > 0
+
+    def test_icache_can_be_disabled(self, baseline_build, small_app):
+        model = CycleModel(use_icache=False)
+        emu = Emulator(baseline_build.oat, small_app.dexfile,
+                       native_handlers=small_app.native_handlers, cycle_model=model)
+        r = emu.call(small_app.entry_points[0], [1, 2])
+        emu2 = Emulator(baseline_build.oat, small_app.dexfile,
+                        native_handlers=small_app.native_handlers)
+        r2 = emu2.call(small_app.entry_points[0], [1, 2])
+        assert r.steps == r2.steps
+        assert r.cycles < r2.cycles  # no miss penalties
+
+    def test_profile_attribution_sums(self, baseline_build, small_app):
+        emu = Emulator(baseline_build.oat, small_app.dexfile,
+                       native_handlers=small_app.native_handlers, profile=True)
+        r = emu.call(small_app.entry_points[0], [3, 4])
+        prof = emu.profile()
+        assert prof
+        # All attributed cycles come from this run; native handler time is
+        # not attributed to any method, so attributed <= total.
+        assert sum(prof.values()) <= r.cycles
+
+    def test_reset_measurements(self, baseline_build, small_app):
+        emu = Emulator(baseline_build.oat, small_app.dexfile,
+                       native_handlers=small_app.native_handlers, profile=True)
+        emu.call(small_app.entry_points[0], [3, 4])
+        emu.reset_measurements()
+        assert emu.total_cycles == 0 and emu.total_steps == 0 and not emu.profile()
+
+    def test_text_pages_tracked(self, baseline_build, small_app):
+        emu = Emulator(baseline_build.oat, small_app.dexfile,
+                       native_handlers=small_app.native_handlers)
+        emu.call(small_app.entry_points[0], [3, 4])
+        mem = emu.runtime.memory
+        text_pages = mem.resident_pages_in(
+            baseline_build.oat.text_base,
+            baseline_build.oat.text_base + baseline_build.oat.text_size,
+        )
+        assert text_pages >= 1

@@ -1,0 +1,116 @@
+"""Emulator edge cases: 32-bit views, flags, argument handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompiledMethod
+from repro.core.metadata import MethodMetadata
+from repro.isa import asm, encode_all, instructions as ins
+from repro.oat import link
+from repro.runtime import Emulator
+
+
+def _run(body, args=None):
+    code = encode_all(body + [ins.Ret()])
+    m = CompiledMethod(
+        name="edge", code=code,
+        metadata=MethodMetadata(method_name="edge", code_size=len(code)),
+    )
+    return Emulator(link([m])).call("edge", args or [])
+
+
+class Test32BitViews:
+    def test_w_register_ops_zero_extend(self):
+        # add w0, w1, w2 with 64-bit garbage in the sources
+        r = _run([ins.AddSubReg(op="add", rd=0, rn=1, rm=2, sf=False)],
+                 [0xFFFF_FFFF_0000_0001, 0x2])
+        assert r.value == 3  # upper halves ignored, result zero-extended
+
+    def test_w_sub_wraps_at_32(self):
+        r = _run([ins.AddSubReg(op="sub", rd=0, rn=1, rm=2, sf=False)], [0, 1])
+        assert r.value == 0xFFFF_FFFF  # not -1: w-result is zero-extended
+
+    def test_cbz_w_view(self):
+        # w view of x1 is zero even though the 64-bit value is not
+        body = [
+            ins.Cbz(rt=1, offset=12, sf=False),
+            ins.MoveWide(op="movz", rd=0, imm16=1),
+            ins.Ret(),
+            ins.MoveWide(op="movz", rd=0, imm16=2),
+        ]
+        assert _run(body, [0x1_0000_0000]).value == 2
+
+    def test_movewide_32bit_clears_upper(self):
+        body = [
+            asm.mov(0, 1),
+            ins.MoveWide(op="movk", rd=0, imm16=0xAAAA, sf=False),
+        ]
+        r = _run(body, [0xFFFF_FFFF_FFFF_0000])
+        assert r.value == 0xFFFF_AAAA  # 32-bit movk zero-extends
+
+    def test_flags_from_32bit_cmp(self):
+        # cmp w1, w2 where only the low words are equal
+        body = [
+            ins.AddSubReg(op="sub", rd=31, rn=1, rm=2, set_flags=True, sf=False),
+            ins.BCond(cond=ins.Cond.EQ, offset=12),
+            ins.MoveWide(op="movz", rd=0, imm16=0),
+            ins.Ret(),
+            ins.MoveWide(op="movz", rd=0, imm16=1),
+        ]
+        assert _run(body, [0x1_0000_0005, 0x2_0000_0005]).value == 1
+
+
+class TestFlagsOverflow:
+    def test_signed_overflow_sets_v(self):
+        # INT64_MAX - (-1) overflows: GT (signed) must NOT hold even
+        # though the raw subtraction result looks positive.
+        body = [
+            asm.cmp_reg(1, 2),
+            ins.BCond(cond=ins.Cond.GT, offset=12),
+            ins.MoveWide(op="movz", rd=0, imm16=0),
+            ins.Ret(),
+            ins.MoveWide(op="movz", rd=0, imm16=1),
+        ]
+        assert _run(body, [2**63 - 1, -1]).value == 1  # max > -1: taken
+        assert _run(body, [-(2**63), 1]).value == 0    # min > 1: not taken
+
+    def test_adds_carry(self):
+        body = [
+            ins.AddSubReg(op="add", rd=0, rn=1, rm=2, set_flags=True),
+            ins.BCond(cond=ins.Cond.HS, offset=12),  # carry set?
+            ins.MoveWide(op="movz", rd=0, imm16=0),
+            ins.Ret(),
+            ins.MoveWide(op="movz", rd=0, imm16=1),
+        ]
+        assert _run(body, [-1, 1]).value == 1  # unsigned wrap → carry
+        assert _run(body, [1, 1]).value == 0
+
+
+class TestCallArguments:
+    def test_too_many_args_rejected(self):
+        with pytest.raises(ValueError, match="at most 6"):
+            _run([ins.Nop()], [1, 2, 3, 4, 5, 6, 7])
+
+    def test_x0_carries_artmethod_on_entry(self):
+        # On entry x0 holds the called method's ArtMethod* (ART ABI).
+        code = encode_all([ins.Ret()])
+        m = CompiledMethod(
+            name="who", code=code,
+            metadata=MethodMetadata(method_name="who", code_size=len(code)),
+        )
+        oat = link([m])
+        emu = Emulator(oat)
+        assert emu.call("who").value == oat.artmethod_address("who")
+
+    def test_measurements_accumulate_across_calls(self):
+        code = encode_all([ins.Nop(), ins.Ret()])
+        m = CompiledMethod(
+            name="n", code=code,
+            metadata=MethodMetadata(method_name="n", code_size=len(code)),
+        )
+        emu = Emulator(link([m]))
+        emu.call("n")
+        first = emu.total_steps
+        emu.call("n")
+        assert emu.total_steps == 2 * first

@@ -1,0 +1,62 @@
+"""Guest memory: sparse pages, guards, residency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import Memory, MemoryFault
+
+
+def test_zero_fill_on_first_touch():
+    mem = Memory()
+    assert mem.read_u64(0x5000) == 0
+
+
+def test_write_read_roundtrip():
+    mem = Memory()
+    mem.write_u64(0x4000, 0xDEADBEEFCAFEF00D)
+    assert mem.read_u64(0x4000) == 0xDEADBEEFCAFEF00D
+    mem.write_u32(0x4010, 0x1234)
+    assert mem.read_u32(0x4010) == 0x1234
+
+
+def test_cross_page_access():
+    mem = Memory()
+    addr = 0x5000 - 4  # straddles two pages for a u64
+    mem.write_u64(addr, 0x1122334455667788)
+    assert mem.read_u64(addr) == 0x1122334455667788
+
+
+def test_guard_faults():
+    mem = Memory()
+    mem.add_guard(0, 4096, "null-pointer")
+    with pytest.raises(MemoryFault) as exc:
+        mem.read_u64(8)
+    assert exc.value.kind == "null-pointer"
+    with pytest.raises(MemoryFault):
+        mem.write_u32(100, 1)
+
+
+def test_load_image_and_raw_read():
+    mem = Memory()
+    mem.load_image(0x10000, b"hello world!")
+    assert mem.read_bytes_raw(0x10000, 12) == b"hello world!"
+    # loader path doesn't count as touched
+    assert not mem.touched_pages
+
+
+def test_residency_accounting():
+    mem = Memory()
+    mem.read_u64(0x10000)
+    mem.read_u64(0x10008)       # same page
+    mem.read_u64(0x20000)       # different page
+    assert mem.resident_pages_in(0x10000, 0x30000) == 2
+    mem.reset_residency()
+    assert mem.resident_pages_in(0, 1 << 32) == 0
+
+
+def test_residency_range_is_half_open():
+    mem = Memory()
+    mem.read_u64(0x3000)
+    assert mem.resident_pages_in(0x3000, 0x4000) == 1
+    assert mem.resident_pages_in(0x4000, 0x5000) == 0

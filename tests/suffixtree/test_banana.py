@@ -1,0 +1,55 @@
+"""The paper's Figure 1: the suffix tree of "banana"."""
+
+from __future__ import annotations
+
+from repro.suffixtree import SuffixTree
+
+# b=0, a=1, n=2
+BANANA = [0, 1, 2, 1, 2, 1]
+
+
+def _node_with_label(tree: SuffixTree, label: list[int]) -> int:
+    for node in tree.internal_nodes():
+        if tree.path_label(node) == label:
+            return node
+    raise AssertionError(f"no internal node labelled {label}")
+
+
+def test_na_occurs_twice():
+    """Fig. 1 discussion: "na" has two descendant leaves (suffixes
+    "na$" and "nana$")."""
+    tree = SuffixTree(BANANA)
+    node = _node_with_label(tree, [2, 1])
+    assert tree.leaf_count(node) == 2
+    assert tree.occurrences(node) == [2, 4]
+
+
+def test_ana_overlapping_occurrences():
+    """"ana" appears twice — but overlapping (positions 1 and 3)."""
+    tree = SuffixTree(BANANA)
+    node = _node_with_label(tree, [1, 2, 1])
+    assert tree.occurrences(node) == [1, 3]
+
+
+def test_non_overlapping_selection_skips_overlap():
+    """The "small modification ... to selectively skip" overlapping
+    repeats: only one of the two "ana" occurrences is claimable."""
+    from repro.suffixtree import select_nonoverlapping
+
+    assert select_nonoverlapping([1, 3], 3) == [1]
+    assert select_nonoverlapping([2, 4], 2) == [2, 4]
+
+
+def test_every_suffix_reachable():
+    tree = SuffixTree(BANANA)
+    for start in range(len(BANANA)):
+        assert tree.contains(BANANA[start:])
+
+
+def test_counts_match_figure():
+    tree = SuffixTree(BANANA)
+    assert tree.count_occurrences([1]) == 3        # "a"
+    assert tree.count_occurrences([2, 1]) == 2     # "na"
+    assert tree.count_occurrences([1, 2, 1]) == 2  # "ana"
+    assert tree.count_occurrences([0]) == 1        # "b"
+    assert tree.count_occurrences([2, 2]) == 0

@@ -1,0 +1,96 @@
+"""Ukkonen construction: properties against an exhaustive oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.suffixtree import SuffixTree, brute_force_repeats
+
+_SEQ = st.lists(st.integers(0, 6), min_size=1, max_size=48)
+
+
+@given(seq=_SEQ)
+@settings(max_examples=150)
+def test_internal_node_counts_match_bruteforce(seq):
+    """Every internal node's (label, leaf count) must equal the exact
+    occurrence count of that label."""
+    tree = SuffixTree(seq)
+    oracle = brute_force_repeats(seq, min_length=1, min_count=2)
+    for node in tree.internal_nodes():
+        label = tuple(tree.path_label(node))
+        assert oracle.get(label) == tree.leaf_count(node)
+
+
+@given(seq=_SEQ)
+@settings(max_examples=150)
+def test_every_bruteforce_repeat_found(seq):
+    tree = SuffixTree(seq)
+    for label, count in brute_force_repeats(seq, min_length=1, min_count=2).items():
+        assert tree.count_occurrences(list(label)) == count
+
+
+@given(seq=_SEQ)
+@settings(max_examples=100)
+def test_occurrences_are_real(seq):
+    tree = SuffixTree(seq)
+    for node in tree.internal_nodes():
+        label = tree.path_label(node)
+        for pos in tree.occurrences(node):
+            assert seq[pos : pos + len(label)] == label
+
+
+@given(seq=_SEQ)
+@settings(max_examples=100)
+def test_leaf_count_equals_node_count_invariant(seq):
+    """n leaves (one per suffix incl. terminal) and at most n-1 internal
+    nodes — the standard suffix-tree size bound."""
+    tree = SuffixTree(seq)
+    n = len(seq) + 1  # + terminal
+    leaves = sum(1 for node in range(tree.node_count) if tree.is_leaf(node))
+    assert leaves == n
+    internal = tree.node_count - leaves
+    assert internal <= n  # root included
+
+
+@given(seq=_SEQ, probe=st.lists(st.integers(0, 6), min_size=1, max_size=6))
+@settings(max_examples=150)
+def test_count_occurrences_arbitrary_probe(seq, probe):
+    tree = SuffixTree(seq)
+    expected = sum(
+        1 for i in range(len(seq) - len(probe) + 1) if seq[i : i + len(probe)] == probe
+    )
+    assert tree.count_occurrences(probe) == expected
+
+
+def test_single_symbol():
+    tree = SuffixTree([5])
+    assert tree.sequence_length == 1
+    assert tree.count_occurrences([5]) == 1
+    assert list(tree.repeated_substrings()) == []
+
+
+def test_all_same_symbol():
+    tree = SuffixTree([3] * 10)
+    assert tree.count_occurrences([3]) == 10
+    assert tree.count_occurrences([3] * 10) == 1
+    repeats = dict()
+    for length, count in tree.repeated_substrings():
+        repeats[length] = count
+    assert repeats[1] == 10 and repeats[9] == 2
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(ValueError):
+        SuffixTree([1, 2]).count_occurrences([])
+
+
+def test_negative_separators_never_repeat():
+    """Unique negative separators (the §3.3.2 device) cannot take part
+    in any repeat."""
+    seq = [7, 7, -2, 7, 7, -3, 7, 7]
+    tree = SuffixTree(seq)
+    for node in tree.internal_nodes():
+        label = tree.path_label(node)
+        assert all(s >= 0 for s in label)

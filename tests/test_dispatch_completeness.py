@@ -1,0 +1,106 @@
+"""Meta-invariants tying the ISA, emulator and detector together:
+every concrete instruction class must be decodable, executable and
+classifiable — adding an instruction without wiring it everywhere is a
+bug this test catches."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.isa import instructions as ins
+
+
+def _concrete_instruction_classes() -> list[type]:
+    out = []
+    for _, cls in inspect.getmembers(ins, inspect.isclass):
+        if issubclass(cls, ins.Instruction) and cls is not ins.Instruction:
+            out.append(cls)
+    return out
+
+
+def test_every_instruction_has_emulator_handler():
+    from repro.runtime.emulator import _DISPATCH
+
+    missing = [
+        cls.__name__
+        for cls in _concrete_instruction_classes()
+        # Cbnz/Tbnz subclass Cbz/Tbz: dispatch resolves via exact type,
+        # so they need their own entries.
+        if cls not in _DISPATCH
+    ]
+    assert not missing, f"no emulator handler for {missing}"
+
+
+def test_every_instruction_classification_is_consistent():
+    for cls in _concrete_instruction_classes():
+        assert isinstance(cls.is_terminator, bool)
+        assert isinstance(cls.is_call, bool)
+        assert isinstance(cls.is_pc_relative, bool)
+        assert isinstance(cls.is_indirect_jump, bool)
+        # indirect jumps are terminators; calls are not terminators
+        if cls.is_indirect_jump:
+            assert cls.is_terminator
+        if cls.is_call:
+            assert not cls.is_terminator
+
+
+def test_pc_relative_classes_implement_target_protocol():
+    samples = {
+        ins.B: ins.B(offset=8),
+        ins.Bl: ins.Bl(offset=8),
+        ins.BCond: ins.BCond(cond=0, offset=8),
+        ins.Cbz: ins.Cbz(rt=0, offset=8),
+        ins.Cbnz: ins.Cbnz(rt=0, offset=8),
+        ins.Tbz: ins.Tbz(rt=0, bit=0, offset=8),
+        ins.Tbnz: ins.Tbnz(rt=0, bit=0, offset=8),
+        ins.Adr: ins.Adr(rd=0, offset=8),
+        ins.Adrp: ins.Adrp(rd=0, page_offset=2),
+        ins.LoadLiteral: ins.LoadLiteral(rt=0, offset=8),
+    }
+    for cls in _concrete_instruction_classes():
+        if not cls.is_pc_relative:
+            continue
+        assert cls in samples, f"add a sample for PC-relative {cls.__name__}"
+        instance = samples[cls]
+        _ = instance.target_offset
+        retargeted = instance.with_target_offset(instance.target_offset)
+        assert retargeted == instance
+
+
+def test_every_instruction_roundtrips_a_sample():
+    from repro.isa import decode
+
+    samples = [
+        ins.MoveWide(op="movz", rd=1, imm16=2),
+        ins.AddSubImm(op="add", rd=1, rn=2, imm12=3),
+        ins.AddSubReg(op="sub", rd=1, rn=2, rm=3),
+        ins.LogicalReg(op="eor", rd=1, rn=2, rm=3),
+        ins.MAdd(rd=1, rn=2, rm=3),
+        ins.SDiv(rd=1, rn=2, rm=3),
+        ins.ShiftVar(op="lsr", rd=1, rn=2, rm=3),
+        ins.CSel(rd=1, rn=2, rm=3, cond=2),
+        ins.LoadStoreImm(op="ldr", rt=1, rn=2, offset=8),
+        ins.LoadStorePair(op="stp", rt=1, rt2=2, rn=31, offset=16),
+        ins.LoadLiteral(rt=1, offset=8),
+        ins.Adr(rd=1, offset=4),
+        ins.Adrp(rd=1, page_offset=1),
+        ins.B(offset=4),
+        ins.Bl(offset=4),
+        ins.BCond(cond=1, offset=4),
+        ins.Cbz(rt=1, offset=4),
+        ins.Cbnz(rt=1, offset=4),
+        ins.Tbz(rt=1, bit=2, offset=4),
+        ins.Tbnz(rt=1, bit=2, offset=4),
+        ins.Br(rn=1),
+        ins.Blr(rn=1),
+        ins.Ret(),
+        ins.Nop(),
+        ins.Brk(imm16=1),
+    ]
+    covered = {type(s) for s in samples}
+    missing = [c.__name__ for c in _concrete_instruction_classes() if c not in covered]
+    assert not missing, f"add round-trip samples for {missing}"
+    for sample in samples:
+        assert decode(sample.encode()) == sample

@@ -1,0 +1,53 @@
+"""Public API smoke: every package imports and every __all__ name
+resolves — the packaging-break canary."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.cli",
+    "repro.compiler",
+    "repro.core",
+    "repro.core.benefit",
+    "repro.core.candidates",
+    "repro.core.detect",
+    "repro.core.hotfilter",
+    "repro.core.metadata",
+    "repro.core.outline",
+    "repro.core.parallel",
+    "repro.core.patch",
+    "repro.core.patterns",
+    "repro.core.pipeline",
+    "repro.core.staged",
+    "repro.dex",
+    "repro.dex.pprint",
+    "repro.dex.serialize",
+    "repro.hgraph",
+    "repro.hgraph.passes",
+    "repro.isa",
+    "repro.oat",
+    "repro.profiling",
+    "repro.reporting",
+    "repro.runtime",
+    "repro.suffixtree",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_all_resolves(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert getattr(module, symbol, None) is not None, f"{name}.{symbol}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__

@@ -1,0 +1,89 @@
+"""Workload generator: structure, determinism, and the populations the
+evaluation depends on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dex import Interpreter, verify_dexfile
+from repro.workloads import (
+    APP_NAMES,
+    AppSpec,
+    PAPER_BASELINE_MB,
+    app_spec,
+    generate_app,
+    generate_suite,
+)
+
+
+def test_deterministic_generation():
+    a = generate_app(app_spec("Toutiao", 0.1))
+    b = generate_app(app_spec("Toutiao", 0.1))
+    assert a.dexfile.method_names() == b.dexfile.method_names()
+    assert [m.code for m in a.dexfile.all_methods()] == [
+        m.code for m in b.dexfile.all_methods()
+    ]
+    assert a.ui_script.calls == b.ui_script.calls
+
+
+def test_apps_differ_by_seed():
+    a = generate_app(app_spec("Toutiao", 0.1))
+    b = generate_app(app_spec("Wechat", 0.1))
+    assert [m.code for m in a.dexfile.all_methods()[:20]] != [
+        m.code for m in b.dexfile.all_methods()[:20]
+    ]
+
+
+def test_generated_apps_verify(small_app):
+    verify_dexfile(small_app.dexfile)
+
+
+def test_population_mix(small_app):
+    methods = small_app.dexfile.all_methods()
+    natives = [m for m in methods if m.is_native]
+    switches = [m for m in methods if m.has_switch]
+    assert natives, "native methods required (exclusion population)"
+    assert switches, "switch methods required (indirect-jump population)"
+    assert all(m.name in small_app.native_handlers for m in natives)
+
+
+def test_relative_sizes_follow_paper():
+    """Method counts track the paper's baseline OAT sizes (Table 4)."""
+    specs = {name: app_spec(name) for name in APP_NAMES}
+    assert specs["Kuaishou"].num_methods == max(s.num_methods for s in specs.values())
+    assert specs["Taobao"].num_methods == min(s.num_methods for s in specs.values())
+    ratio = specs["Kuaishou"].num_methods / specs["Taobao"].num_methods
+    paper_ratio = PAPER_BASELINE_MB["Kuaishou"] / PAPER_BASELINE_MB["Taobao"]
+    assert abs(ratio - paper_ratio) < 0.1
+
+
+def test_scaled_spec():
+    s = app_spec("Wechat", 0.5)
+    assert s.num_methods == pytest.approx(app_spec("Wechat").num_methods * 0.5, abs=1)
+    tiny = AppSpec(name="x", seed=1, num_methods=100).scaled(0.01)
+    assert tiny.num_methods == 20  # floor
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        app_spec("Instagram")
+
+
+def test_ui_script_runs_in_interpreter(small_app):
+    interp = Interpreter(
+        small_app.dexfile, native_handlers=small_app.native_handlers,
+        max_steps=100_000_000,
+    )
+    for method, args in small_app.ui_script.iterate():
+        interp.call(method, list(args))  # must not raise
+
+
+def test_entry_points_exist(small_app):
+    names = set(small_app.dexfile.method_names())
+    assert small_app.entry_points
+    assert set(small_app.entry_points) <= names
+
+
+def test_suite_generation():
+    suite = generate_suite(scale=0.05, names=("Taobao", "Wechat"))
+    assert [app.name for app in suite] == ["Taobao", "Wechat"]

@@ -1,0 +1,50 @@
+"""The differential oracle API."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cli import main
+from repro.core import CalibroConfig
+from repro.workloads import app_spec, generate_app, verify_app
+
+
+def test_all_default_configs_pass(small_app):
+    results = verify_app(small_app, method_sample=10, seed=1)
+    assert len(results) == 4
+    for result in results:
+        assert result.ok, result.mismatches[:3]
+        assert result.calls_checked > 10
+
+
+def test_trap_outcomes_compared_not_just_values():
+    """Probing with random args hits throwing paths; the oracle must
+    treat matching trap kinds as agreement."""
+    app = generate_app(app_spec("Taobao", 0.1))
+    results = verify_app(
+        app, configs=[CalibroConfig.cto_ltbo()], method_sample=60, seed=7
+    )
+    (result,) = results
+    assert result.ok
+
+
+def test_custom_config_list():
+    app = generate_app(app_spec("Toutiao", 0.08))
+    cfg = dataclasses.replace(CalibroConfig.cto_ltbo(), inlining=True)
+    (result,) = verify_app(app, configs=[cfg])
+    assert result.ok and result.config_name == "CTO+LTBO"
+
+
+def test_mismatch_rendering():
+    from repro.workloads import Mismatch
+
+    m = Mismatch(method="LX;->m", args=(1, 2), expected=3, actual=4)
+    assert "LX;->m(1, 2)" in str(m)
+    assert "interpreter=3" in str(m) and "emulator=4" in str(m)
+
+
+def test_cli_verify_passes(capsys):
+    rc = main(["verify", "--workload", "Fanqie", "--scale", "0.08", "--samples", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("PASS") == 4 and "FAIL" not in out
