@@ -11,8 +11,7 @@ rather than thread-level parallelism.
 
 from __future__ import annotations
 
-import time
-
+from repro import observability as obs
 from repro.core import CalibroConfig, build_app
 from repro.reporting import format_table, pct
 
@@ -27,12 +26,25 @@ _BUILD_SCALE = max(1.0, BENCH_SCALE)
 
 def _measure(dexfile, config) -> tuple[float, float]:
     """(total build seconds, ltbo phase seconds) — best of two runs, to
-    damp single-core container timing noise."""
+    damp single-core container timing noise.
+
+    Both numbers come from the observability spans (``build`` /
+    ``build.ltbo``) — the same source of truth ``calibro build --trace``
+    writes, so this table reconciles with user-facing traces.
+    """
     samples = []
     for _ in range(2):
-        start = time.perf_counter()
-        build = build_app(dexfile, config)
-        samples.append((time.perf_counter() - start, build.timings["ltbo"]))
+        with obs.tracing():
+            build = build_app(dexfile, config)
+        trace = build.trace
+        assert trace is not None
+        ltbo_span = trace.find("build.ltbo")
+        samples.append(
+            (
+                trace.find("build").duration,
+                ltbo_span.duration if ltbo_span is not None else 0.0,
+            )
+        )
     return min(s[0] for s in samples), min(s[1] for s in samples)
 
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Documentation checker: dead links and broken example code.
+
+Checks README.md and everything under docs/:
+
+* every relative markdown link ``[text](path)`` resolves to a file in
+  the repository (``http(s)://``, ``mailto:`` and ``#anchor`` links are
+  skipped; a ``path#anchor`` suffix is stripped before resolving);
+* every fenced ```` ```python ```` block executes cleanly in a fresh
+  namespace, with ``src/`` on ``sys.path`` and a temporary working
+  directory (so examples may write files).  A block preceded by an
+  ``<!-- doccheck: skip -->`` comment is exempt — use it for
+  deliberately illustrative fragments.
+
+Run directly (``python scripts/check_docs.py``) or via the tier-1
+wrapper ``tests/test_check_docs.py``.  Exit code = number of problems.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import re
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```python\s*$")
+_SKIP_MARKER = "<!-- doccheck: skip -->"
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").rglob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(path: Path) -> list[str]:
+    problems = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for target in _LINK.findall(line):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO)}:{lineno}: dead link -> {target}")
+    return problems
+
+
+def python_blocks(path: Path) -> list[tuple[int, str, bool]]:
+    """(first line number, source, skip?) for each ```python fence."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    blocks = []
+    i = 0
+    while i < len(lines):
+        if _FENCE.match(lines[i]):
+            skip = any(
+                _SKIP_MARKER in lines[j]
+                for j in range(max(0, i - 2), i)
+            )
+            body = []
+            i += 1
+            first = i + 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            blocks.append((first, "\n".join(body), skip))
+        i += 1
+    return blocks
+
+
+def check_code(path: Path) -> list[str]:
+    problems = []
+    for lineno, source, skip in python_blocks(path):
+        if skip:
+            continue
+        where = f"{path.relative_to(REPO)}:{lineno}"
+        with tempfile.TemporaryDirectory(prefix="doccheck-") as tmp:
+            cwd = os.getcwd()
+            os.chdir(tmp)
+            try:
+                # Examples may print; only the checker's own report
+                # belongs on stdout.
+                with contextlib.redirect_stdout(io.StringIO()):
+                    exec(compile(source, where, "exec"), {"__name__": "__doccheck__"})
+            except Exception:
+                tb = traceback.format_exc(limit=-1).rstrip().splitlines()[-1]
+                problems.append(f"{where}: example failed: {tb}")
+            finally:
+                os.chdir(cwd)
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    problems: list[str] = []
+    checked_blocks = 0
+    for path in doc_files():
+        problems.extend(check_links(path))
+        blocks = python_blocks(path)
+        checked_blocks += sum(1 for _, _, skip in blocks if not skip)
+        problems.extend(check_code(path))
+    for problem in problems:
+        print(problem)
+    ok = len(doc_files())
+    print(
+        f"check_docs: {ok} files, {checked_blocks} python blocks, "
+        f"{len(problems)} problem(s)"
+    )
+    return len(problems)
+
+
+if __name__ == "__main__":
+    with contextlib.suppress(KeyboardInterrupt):
+        sys.exit(main())

@@ -12,20 +12,28 @@ Staged workflow (artifacts between every stage, like the real pipeline)::
         --workload Wechat --scale 0.3
     calibro profile wechat.oat --workload Wechat --scale 0.3 -o profile.json
     calibro build wechat.dex.json -o full.oat --groups 8 \\
-        --hot-profile profile.json
+        --hot-profile profile.json --trace build.trace.json
+    calibro trace build.trace.json
 
 One-shot ``build`` fuses compile/outline/link; ``gen``'s workloads are
 deterministic, so ``run``/``profile`` can regenerate the matching native
-handlers from ``--workload``/``--scale``.
+handlers from ``--workload``/``--scale``.  ``build``/``outline``/``run``
+accept ``--trace OUT.json`` to capture an observability span trace;
+``calibro trace`` renders it as a phase tree with percentages.  Every
+command and flag is documented in ``docs/cli.md`` (kept in sync by
+``tests/test_cli_docs.py``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 from typing import Callable
 
+from repro import observability as obs
 from repro.compiler.package import CompilationPackage
 from repro.core.hotfilter import HotFunctionFilter
 from repro.core.staged import compile_stage, link_stage, outline_stage
@@ -38,6 +46,37 @@ __all__ = ["main"]
 def _load_oat(path: str) -> OatFile:
     with open(path, "rb") as fh:
         return OatFile.from_bytes(fh.read())
+
+
+@contextlib.contextmanager
+def _maybe_trace(args):
+    """Honour ``--trace out.json``: run the command under a tracer and
+    persist the span trace + counter registry afterwards."""
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    from repro.observability import JsonReporter
+
+    # The trace is written *after* the work; surface a bad path before
+    # spending a whole build on it.
+    try:
+        open(path, "a", encoding="utf-8").close()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write trace file: {exc}")
+
+    with obs.tracing() as tracer:
+        yield
+    JsonReporter(path).emit(tracer.snapshot(command=args.command))
+    print(f"trace -> {path} (inspect with: calibro trace {path})")
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="write a span trace (phase tree + counters) as JSON",
+    )
 
 
 def _native_handlers(args) -> dict[str, Callable[[list[int]], int]]:
@@ -86,15 +125,16 @@ def _cmd_outline(args) -> int:
             profile = json.load(fh)
         hot_filter = HotFunctionFilter.from_profile(profile, coverage=args.coverage)
     before = package.text_size
-    package = outline_stage(
-        package,
-        groups=args.groups,
-        hot_filter=hot_filter,
-        min_length=args.min_length,
-        min_saved=args.min_saved,
-        seed=args.seed,
-        rounds=args.rounds,
-    )
+    with _maybe_trace(args):
+        package = outline_stage(
+            package,
+            groups=args.groups,
+            hot_filter=hot_filter,
+            min_length=args.min_length,
+            min_saved=args.min_saved,
+            seed=args.seed,
+            rounds=args.rounds,
+        )
     package.save(args.output)
     info = package.annotations["outline"]
     print(
@@ -120,16 +160,17 @@ def _cmd_link(args) -> int:
 
 def _cmd_build(args) -> int:
     dexfile = load_dexfile(args.input)
-    package = compile_stage(dexfile, cto=not args.no_cto)
-    if not args.no_ltbo:
-        hot_filter = None
-        if args.hot_profile:
-            with open(args.hot_profile, encoding="utf-8") as fh:
-                hot_filter = HotFunctionFilter.from_profile(
-                    json.load(fh), coverage=args.coverage
-                )
-        package = outline_stage(package, groups=args.groups, hot_filter=hot_filter)
-    oat = link_stage(package)
+    with _maybe_trace(args):
+        package = compile_stage(dexfile, cto=not args.no_cto)
+        if not args.no_ltbo:
+            hot_filter = None
+            if args.hot_profile:
+                with open(args.hot_profile, encoding="utf-8") as fh:
+                    hot_filter = HotFunctionFilter.from_profile(
+                        json.load(fh), coverage=args.coverage
+                    )
+            package = outline_stage(package, groups=args.groups, hot_filter=hot_filter)
+        oat = link_stage(package)
     with open(args.output, "wb") as fh:
         fh.write(oat.to_bytes())
     print(f"built {args.output}: text {oat.text_size}B, {len(oat.methods)} methods")
@@ -181,10 +222,10 @@ def _cmd_run(args) -> int:
 
         app = generate_app(app_spec(args.workload, args.scale))
         emulator = Emulator(oat, app.dexfile, native_handlers=app.native_handlers)
-    if args.trace:
+    if args.trace_instrs:
         from repro.isa import format_instruction
 
-        remaining = [args.trace]
+        remaining = [args.trace_instrs]
 
         def tracer(pc, instr):
             if remaining[0] > 0:
@@ -192,7 +233,8 @@ def _cmd_run(args) -> int:
                 remaining[0] -= 1
 
         emulator.tracer = tracer
-    result = emulator.call(args.entry, call_args)
+    with _maybe_trace(args):
+        result = emulator.call(args.entry, call_args)
     if result.trap:
         print(f"trapped: {result.trap} (after {result.steps} steps)")
         return 2
@@ -251,6 +293,26 @@ def _cmd_dexdump(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.observability import TextReporter, load_trace
+
+    try:
+        trace = load_trace(args.input)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.input}", file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: {args.input} is not a trace JSON: {exc}", file=sys.stderr)
+        return 1
+    try:
+        TextReporter(counters=not args.no_counters).emit(trace)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print; swallow the
+        # shutdown-time flush error too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.profiling import profile_app
     from repro.workloads import app_spec, generate_app
@@ -305,6 +367,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--coverage", type=float, default=0.80)
     p.add_argument("--rounds", type=int, default=1,
                    help="re-run the outliner over its own output N times")
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_outline)
 
     p = sub.add_parser("link", help="linking phase: package -> OAT")
@@ -320,6 +383,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--groups", type=int, default=1)
     p.add_argument("--hot-profile")
     p.add_argument("--coverage", type=float, default=0.80)
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_build)
 
     p = sub.add_parser("analyze", help="§2.2 redundancy analysis of a package")
@@ -337,8 +401,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--args", default="", help="comma-separated integers")
     p.add_argument("--workload", help="workload name, to wire JNI handlers")
     p.add_argument("--scale", type=float, default=0.25)
-    p.add_argument("--trace", type=int, default=0, metavar="N",
+    p.add_argument("--trace-instrs", type=int, default=0, metavar="N",
                    help="print the first N executed instructions")
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("verify", help="differential oracle: interpreter vs emulated OAT")
@@ -355,6 +420,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dexdump", help="pretty-print a dex json file")
     p.add_argument("input")
     p.set_defaults(fn=_cmd_dexdump)
+
+    p = sub.add_parser("trace", help="pretty-print a saved --trace JSON as a phase tree")
+    p.add_argument("input")
+    p.add_argument("--no-counters", action="store_true",
+                   help="omit the counter/gauge registries")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("profile", help="simpleperf substitute: profile a workload run")
     p.add_argument("input")

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observability as obs
 from repro.compiler.compiled import CompiledMethod, Relocation, RelocKind
 from repro.compiler.stackmap import StackMapTable
 from repro.core import patterns
@@ -737,7 +738,19 @@ def compile_graph(
     graph: HGraph, method: DexMethod, cto: patterns.ThunkCache | None = None
 ) -> CompiledMethod:
     """Compile one optimized HGraph to a relocatable method blob."""
-    return MethodCodegen(graph, method, cto).generate()
+    sites_before = cto.total_sites if cto is not None else 0
+    compiled = MethodCodegen(graph, method, cto).generate()
+    if obs.current_tracer() is not None:
+        obs.counter_add("codegen.methods", 1)
+        obs.counter_add("codegen.bytes_emitted", compiled.size)
+        if compiled.metadata is not None:
+            obs.counter_add(
+                "codegen.embedded_data_extents", len(compiled.metadata.embedded_data)
+            )
+        if cto is not None:
+            # Pattern sites this method handed to the thunk cache.
+            obs.counter_add("codegen.cto_pattern_hits", cto.total_sites - sites_before)
+    return compiled
 
 
 def compile_jni_stub(

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import observability as obs
 from repro.compiler.codegen import compile_graph, compile_jni_stub
 from repro.compiler.compiled import CompiledMethod
 from repro.core.patterns import ThunkCache
@@ -65,33 +66,46 @@ def dex2oat(
 
     start = time.perf_counter()
     if verify:
-        verify_dexfile(dexfile)
+        with obs.span("dex2oat.verify"):
+            verify_dexfile(dexfile)
     manager = pass_manager or PassManager()
     cache = ThunkCache() if cto else None
 
     methods = dexfile.all_methods()
     graphs: dict[str, object] = {}
-    for method in methods:
-        if not method.is_native:
-            graphs[method.name] = build_hgraph(method)
+    with obs.span("dex2oat.hgraph"):
+        for method in methods:
+            if not method.is_native:
+                graphs[method.name] = build_hgraph(method)
     inlined_sites = 0
     if inline:
-        for graph in graphs.values():
-            inlined_sites += inline_small_methods(graph, graphs.get)
+        with obs.span("dex2oat.inline"):
+            for graph in graphs.values():
+                inlined_sites += inline_small_methods(graph, graphs.get)
 
     compiled: list[CompiledMethod] = []
     before = after = 0
-    for method_id, method in enumerate(methods):
-        if method.is_native:
-            compiled.append(compile_jni_stub(method, method_id, cache))
-            continue
-        graph = graphs[method.name]
-        stats = manager.run(graph)
-        before += stats.instructions_before
-        after += stats.instructions_after
-        compiled.append(compile_graph(graph, method, cache))
+    native_stubs = 0
+    with obs.span("dex2oat.codegen"):
+        for method_id, method in enumerate(methods):
+            if method.is_native:
+                compiled.append(compile_jni_stub(method, method_id, cache))
+                native_stubs += 1
+                continue
+            graph = graphs[method.name]
+            stats = manager.run(graph)
+            before += stats.instructions_before
+            after += stats.instructions_after
+            compiled.append(compile_graph(graph, method, cache))
     if cache is not None:
-        compiled.extend(cache.compiled_thunks())
+        with obs.span("dex2oat.thunks"):
+            thunks = cache.compiled_thunks()
+        compiled.extend(thunks)
+        _flush_cto_counters(cache, thunks)
+    obs.counter_add("dex2oat.methods", len(methods))
+    obs.counter_add("dex2oat.native_stubs", native_stubs)
+    obs.counter_add("dex2oat.ir_instructions_removed", before - after)
+    obs.counter_add("dex2oat.inlined_sites", inlined_sites)
     return Dex2OatResult(
         methods=compiled,
         cto=cache,
@@ -99,4 +113,24 @@ def dex2oat(
         ir_instructions_before=before,
         ir_instructions_after=after,
         inlined_sites=inlined_sites,
+    )
+
+
+def _flush_cto_counters(cache: ThunkCache, thunks: list[CompiledMethod]) -> None:
+    """CTO bookkeeping: per-pattern hit counts and net bytes saved (each
+    site replaces a 2-instruction pattern with one ``bl``; the shared
+    thunk bodies are the cost side)."""
+    if obs.current_tracer() is None:
+        return
+    for label, count in cache.hits.items():
+        if label.startswith("__cto$java_call"):
+            obs.counter_add("cto.sites.java_call", count)
+        elif label.startswith("__cto$rt$"):
+            obs.counter_add("cto.sites.runtime_call", count)
+        else:
+            obs.counter_add("cto.sites.stack_check", count)
+    obs.counter_add("cto.sites", cache.total_sites)
+    obs.counter_add("cto.thunks", len(thunks))
+    obs.counter_add(
+        "cto.bytes_saved", 4 * cache.total_sites - sum(t.size for t in thunks)
     )

@@ -78,6 +78,10 @@ class OutlineStats:
     tree_nodes: int = 0
     repeats_enumerated: int = 0
     repeats_outlined: int = 0
+    #: Enumerated repeats the benefit model turned down — either outright
+    #: (estimate below ``min_saved``) or after the greedy claim left too
+    #: few non-overlapping occurrences.
+    repeats_rejected: int = 0
     occurrences_replaced: int = 0
     instructions_saved: int = 0
     bytes_before: int = 0
@@ -85,6 +89,10 @@ class OutlineStats:
     build_seconds: float = 0.0
     search_seconds: float = 0.0
     rewrite_seconds: float = 0.0
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_before - self.bytes_after
 
 
 @dataclass
@@ -173,9 +181,12 @@ def _select(
     claimed = bytearray(len(group.symbols))
     decisions: list[OutlinedFunction] = []
     symbols = group.symbols
-    for repeat in repeats:
+    for repeat_rank, repeat in enumerate(repeats):
         length = repeat.length
         if benefit.evaluate(length, repeat.count) < min_saved:
+            # Estimates only decrease from here (sorted order): every
+            # remaining repeat is rejected by the benefit model too.
+            stats.repeats_rejected += len(repeats) - repeat_rank
             break
         positions = repeat.positions(tree)
         chosen: list[int] = []
@@ -189,6 +200,7 @@ def _select(
             chosen.append(pos)
             last_end = pos + length
         if len(chosen) < 2 or benefit.evaluate(length, len(chosen)) < min_saved:
+            stats.repeats_rejected += 1
             continue
         for pos in chosen:
             for k in range(pos, pos + length):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observability as obs
 from repro.compiler.compiled import CompiledMethod
 from repro.core.outline import (
     DEFAULT_MAX_LENGTH,
@@ -84,15 +85,64 @@ def outline_partitioned(
     """
     if groups < 1:
         raise ValueError("groups must be >= 1")
-    partitions = partition_evenly(candidates, groups, seed=seed)
+    with obs.span("ltbo.partition"):
+        partitions = partition_evenly(candidates, groups, seed=seed)
     payloads = [
         (part, hot_names, min_length, max_length, min_saved, f"{symbol_prefix}$g{gi}")
         for gi, part in enumerate(partitions)
     ]
-    results = map_over_groups(_worker, payloads, jobs=jobs if jobs is not None else groups)
+    tracer = obs.current_tracer()
+    with obs.span("ltbo.outline") as outline_span:
+        results = map_over_groups(
+            _worker, payloads, jobs=jobs if jobs is not None else groups
+        )
     combined = ParallelOutlineResult(rewritten={}, outlined=[])
     for result in results:
         combined.rewritten.update(result.rewritten)
         combined.outlined.extend(result.outlined)
         combined.group_stats.append(result.stats)
+    if tracer is not None:
+        _flush_observability(tracer, outline_span, partitions, combined)
     return combined
+
+
+def _flush_observability(
+    tracer: obs.Tracer,
+    outline_span: obs.Span,
+    partitions: list[list],
+    combined: ParallelOutlineResult,
+) -> None:
+    """Reconstruct per-partition spans from the worker stats and feed the
+    counter registry.
+
+    The group work may have run in other processes (no tracer there), so
+    the timings travel back inside each :class:`OutlineStats` and become
+    spans here — one ``ltbo.group`` per partition with the tree-build /
+    benefit-search / rewrite breakdown nested under it.
+    """
+    obs.counter_add("plopti.partitions", len(partitions))
+    obs.gauge_max(
+        "plopti.peak_partition_size", max((len(p) for p in partitions), default=0)
+    )
+    for gi, stats in enumerate(combined.group_stats):
+        total = stats.build_seconds + stats.search_seconds + stats.rewrite_seconds
+        group_span = tracer.record_span(
+            "ltbo.group", total, parent=outline_span, start=outline_span.start, group=gi
+        )
+        cursor = outline_span.start
+        for name, seconds in (
+            ("ltbo.group.tree_build", stats.build_seconds),
+            ("ltbo.group.select", stats.search_seconds),
+            ("ltbo.group.rewrite", stats.rewrite_seconds),
+        ):
+            tracer.record_span(name, seconds, parent=group_span, start=cursor)
+            cursor += seconds
+        obs.counter_add("ltbo.candidate_methods", stats.candidate_methods)
+        obs.counter_add("ltbo.sequence_symbols", stats.sequence_symbols)
+        obs.counter_add("ltbo.tree_nodes", stats.tree_nodes)
+        obs.counter_add("ltbo.repeats_enumerated", stats.repeats_enumerated)
+        obs.counter_add("ltbo.repeats_outlined", stats.repeats_outlined)
+        obs.counter_add("ltbo.repeats_rejected", stats.repeats_rejected)
+        obs.counter_add("ltbo.occurrences_replaced", stats.occurrences_replaced)
+        obs.counter_add("ltbo.instructions_saved", stats.instructions_saved)
+        obs.counter_add("ltbo.bytes_saved", stats.bytes_saved)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace as dc_replace
 
+from repro import observability as obs
 from repro.compiler.driver import Dex2OatResult, dex2oat
 from repro.core.candidates import CandidateSelection, select_candidates
 from repro.core.hotfilter import HotFunctionFilter
@@ -33,6 +34,7 @@ from repro.core.parallel import ParallelOutlineResult, outline_partitioned
 from repro.dex.method import DexFile
 from repro.oat.linker import link
 from repro.oat.oatfile import OatFile
+from repro.observability import Trace
 
 __all__ = ["CalibroBuild", "CalibroConfig", "build_app"]
 
@@ -110,6 +112,10 @@ class CalibroBuild:
     selection: CandidateSelection | None = None
     ltbo: ParallelOutlineResult | None = None
     timings: dict[str, float] = field(default_factory=dict)
+    #: Structured span trace of this build (phase tree + counter
+    #: registry); ``None`` only when observability is globally disabled
+    #: (``CALIBRO_OBS_OFF``) and the stopwatch fallback ran instead.
+    trace: Trace | None = None
 
     @property
     def text_size(self) -> int:
@@ -137,8 +143,90 @@ class CalibroBuild:
 
 
 def build_app(dexfile: DexFile, config: CalibroConfig | None = None) -> CalibroBuild:
-    """Compile, (optionally) outline, and link one application."""
+    """Compile, (optionally) outline, and link one application.
+
+    Phase timings come from the observability spans (``build`` →
+    ``build.dex2oat`` / ``build.ltbo`` / ``build.link``); an already
+    installed tracer is reused (so callers see this build nested in
+    their own trace), otherwise a build-local one is created.  With
+    observability globally disabled the plain-stopwatch fallback runs —
+    that path is the control arm of
+    ``benchmarks/bench_observability_overhead.py``.
+    """
     config = config or CalibroConfig.baseline()
+    if not obs.enabled():
+        return _build_untraced(dexfile, config)
+    tracer = obs.current_tracer()
+    if tracer is None:
+        with obs.tracing() as tracer:
+            return _build_traced(dexfile, config, tracer)
+    return _build_traced(dexfile, config, tracer)
+
+
+def _build_traced(
+    dexfile: DexFile, config: CalibroConfig, tracer: obs.Tracer
+) -> CalibroBuild:
+    ltbo_seconds = 0.0
+    with tracer.span("build", config=config.name) as build_span:
+        with tracer.span("build.dex2oat", cto=config.cto_enabled) as compile_span:
+            compile_result = dex2oat(
+                dexfile, cto=config.cto_enabled, inline=config.inlining
+            )
+
+        methods = list(compile_result.methods)
+        selection = None
+        ltbo_result = None
+        if config.ltbo_enabled:
+            with tracer.span("build.ltbo", groups=config.parallel_groups) as ltbo_span:
+                with tracer.span("ltbo.select_candidates"):
+                    selection = select_candidates(methods)
+                hot_names = (
+                    config.hot_filter.hot_names
+                    if config.hot_filter is not None
+                    else frozenset()
+                )
+                ltbo_result = outline_partitioned(
+                    selection.candidates,
+                    groups=config.parallel_groups,
+                    hot_names=hot_names,
+                    min_length=config.min_length,
+                    max_length=config.max_length,
+                    min_saved=config.min_saved,
+                    jobs=config.jobs,
+                    seed=config.partition_seed,
+                )
+                with tracer.span("ltbo.apply"):
+                    for index, rewritten in ltbo_result.rewritten.items():
+                        methods[index] = rewritten
+                    methods.extend(ltbo_result.outlined)
+            ltbo_seconds = ltbo_span.duration
+
+        with tracer.span("build.link") as link_span:
+            oat = link(methods, dexfile)
+
+    return CalibroBuild(
+        oat=oat,
+        config=config,
+        dex2oat=compile_result,
+        selection=selection,
+        ltbo=ltbo_result,
+        timings={
+            "compile": compile_span.duration,
+            "ltbo": ltbo_seconds,
+            "link": link_span.duration,
+            "total": build_span.duration,
+        },
+        trace=Trace(
+            spans=[build_span],
+            counters=dict(tracer.counters),
+            gauges=dict(tracer.gauges),
+            meta={"config": config.name},
+        ),
+    )
+
+
+def _build_untraced(dexfile: DexFile, config: CalibroConfig) -> CalibroBuild:
+    """The pre-observability stopwatch path (``CALIBRO_OBS_OFF=1``)."""
     t_start = time.perf_counter()
 
     compile_result = dex2oat(dexfile, cto=config.cto_enabled, inline=config.inlining)

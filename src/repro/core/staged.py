@@ -10,6 +10,7 @@ system splits DEX2OAT from the linking phase.
 
 from __future__ import annotations
 
+from repro import observability as obs
 from repro.compiler.driver import dex2oat
 from repro.compiler.package import CompilationPackage
 from repro.core.candidates import select_candidates
@@ -27,7 +28,8 @@ def compile_stage(
     dexfile: DexFile, *, cto: bool = True, inline: bool = False
 ) -> CompilationPackage:
     """DEX2OAT with CTO and LTBO.1 metadata collection → package."""
-    result = dex2oat(dexfile, cto=cto, inline=inline)
+    with obs.span("stage.compile", cto=cto):
+        result = dex2oat(dexfile, cto=cto, inline=inline)
     return CompilationPackage(
         methods=result.methods,
         string_table=list(dexfile.string_table),
@@ -68,24 +70,27 @@ def outline_stage(
     hot_names = hot_filter.hot_names if hot_filter is not None else frozenset()
     round_info = []
     for round_index in range(rounds):
-        selection = select_candidates(methods)
-        prefix = (
-            "MethodOutliner" if round_index == 0 else f"MethodOutliner$r{round_index}"
-        )
-        result = outline_partitioned(
-            selection.candidates,
-            groups=groups,
-            hot_names=hot_names,
-            min_length=min_length,
-            max_length=max_length,
-            min_saved=min_saved,
-            jobs=jobs,
-            seed=seed + round_index,
-            symbol_prefix=prefix,
-        )
-        for index, rewritten in result.rewritten.items():
-            methods[index] = rewritten
-        methods.extend(result.outlined)
+        with obs.span("stage.outline", round=round_index, groups=groups):
+            with obs.span("ltbo.select_candidates"):
+                selection = select_candidates(methods)
+            prefix = (
+                "MethodOutliner" if round_index == 0 else f"MethodOutliner$r{round_index}"
+            )
+            result = outline_partitioned(
+                selection.candidates,
+                groups=groups,
+                hot_names=hot_names,
+                min_length=min_length,
+                max_length=max_length,
+                min_saved=min_saved,
+                jobs=jobs,
+                seed=seed + round_index,
+                symbol_prefix=prefix,
+            )
+            with obs.span("ltbo.apply"):
+                for index, rewritten in result.rewritten.items():
+                    methods[index] = rewritten
+                methods.extend(result.outlined)
         round_info.append(
             {
                 "outlined_functions": result.total_outlined_functions,
@@ -118,4 +123,5 @@ def link_stage(package: CompilationPackage) -> OatFile:
     """The final linking phase: label binding + relocation + StackMap
     consistency check."""
     shim = DexFile(classes=[], string_table=list(package.string_table))
-    return link(package.methods, shim)
+    with obs.span("stage.link"):
+        return link(package.methods, shim)

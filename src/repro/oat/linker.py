@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import observability as obs
 from repro.compiler.compiled import CompiledMethod, RelocKind
 from repro.dex.method import DexFile
 from repro.isa import decode, instructions as ins
@@ -41,45 +42,46 @@ def link(
     check_stackmaps: bool = True,
 ) -> OatFile:
     """Bind labels and produce a linked :class:`OatFile`."""
-    # --- text layout -------------------------------------------------------
-    text = bytearray()
-    records: dict[str, OatMethodRecord] = {}
-    method_offset: dict[str, int] = {}
-    for method in methods:
-        if method.name in method_offset:
-            raise LinkError(f"duplicate symbol {method.name!r}")
-        offset = _align(len(text), _METHOD_ALIGN)
-        text.extend(b"\x00" * (offset - len(text)))
-        method_offset[method.name] = offset
-        text.extend(method.code)
-        records[method.name] = OatMethodRecord(
-            name=method.name,
-            offset=offset,
-            size=len(method.code),
-            frame_size=method.frame_size,
-            stackmaps=method.stackmaps,
-        )
+    with obs.span("link.layout"):
+        # --- text layout ---------------------------------------------------
+        text = bytearray()
+        records: dict[str, OatMethodRecord] = {}
+        method_offset: dict[str, int] = {}
+        for method in methods:
+            if method.name in method_offset:
+                raise LinkError(f"duplicate symbol {method.name!r}")
+            offset = _align(len(text), _METHOD_ALIGN)
+            text.extend(b"\x00" * (offset - len(text)))
+            method_offset[method.name] = offset
+            text.extend(method.code)
+            records[method.name] = OatMethodRecord(
+                name=method.name,
+                offset=offset,
+                size=len(method.code),
+                frame_size=method.frame_size,
+                stackmaps=method.stackmaps,
+            )
 
-    # --- data layout ---------------------------------------------------------
-    data = bytearray()
-    data_symbols: dict[str, int] = {}
-    strings = dexfile.string_table if dexfile is not None else []
-    for idx, value in enumerate(strings):
-        data_symbols[f"data:string:{idx}"] = layout.DATA_BASE + len(data)
-        blob = value.encode("utf-8") + b"\x00"
-        data.extend(blob)
-        data.extend(b"\x00" * (_align(len(data), 8) - len(data)))
-    # ArtMethod array: entry point (+0x20) holds the linked code address.
-    for method in methods:
-        base = _align(len(data), 8)
-        data.extend(b"\x00" * (base - len(data)))
-        data_symbols[f"artmethod:{method.name}"] = layout.DATA_BASE + base
-        struct_bytes = bytearray(layout.ART_METHOD_SIZE)
-        entry = layout.TEXT_BASE + method_offset[method.name]
-        struct_bytes[
-            layout.ART_METHOD_ENTRY_OFFSET : layout.ART_METHOD_ENTRY_OFFSET + 8
-        ] = entry.to_bytes(8, "little")
-        data.extend(struct_bytes)
+        # --- data layout ---------------------------------------------------
+        data = bytearray()
+        data_symbols: dict[str, int] = {}
+        strings = dexfile.string_table if dexfile is not None else []
+        for idx, value in enumerate(strings):
+            data_symbols[f"data:string:{idx}"] = layout.DATA_BASE + len(data)
+            blob = value.encode("utf-8") + b"\x00"
+            data.extend(blob)
+            data.extend(b"\x00" * (_align(len(data), 8) - len(data)))
+        # ArtMethod array: entry point (+0x20) holds the linked code address.
+        for method in methods:
+            base = _align(len(data), 8)
+            data.extend(b"\x00" * (base - len(data)))
+            data_symbols[f"artmethod:{method.name}"] = layout.DATA_BASE + base
+            struct_bytes = bytearray(layout.ART_METHOD_SIZE)
+            entry = layout.TEXT_BASE + method_offset[method.name]
+            struct_bytes[
+                layout.ART_METHOD_ENTRY_OFFSET : layout.ART_METHOD_ENTRY_OFFSET + 8
+            ] = entry.to_bytes(8, "little")
+            data.extend(struct_bytes)
 
     # --- relocation -------------------------------------------------------------
     def symbol_address(symbol: str, addend: int) -> int:
@@ -89,46 +91,49 @@ def link(
             return data_symbols[symbol] + addend
         raise LinkError(f"undefined symbol {symbol!r}")
 
-    for method in methods:
-        base = method_offset[method.name]
-        for reloc in method.relocations:
-            place = base + reloc.offset
-            address = layout.TEXT_BASE + place
-            if reloc.kind == RelocKind.CALL26:
-                target = symbol_address(reloc.symbol, reloc.addend)
-                delta = target - address
-                word = int.from_bytes(text[place : place + 4], "little")
-                instr = decode(word)
-                if not isinstance(instr, ins.Bl):
-                    raise LinkError(f"{method.name}+{reloc.offset:#x}: CALL26 on non-bl")
-                patched = instr.with_target_offset(delta)
-                text[place : place + 4] = patched.encode_bytes()
-            elif reloc.kind == RelocKind.ADRP_PAGE21:
-                target = symbol_address(reloc.symbol, reloc.addend)
-                pages = (target >> 12) - (address >> 12)
-                word = int.from_bytes(text[place : place + 4], "little")
-                instr = decode(word)
-                if not isinstance(instr, ins.Adrp):
-                    raise LinkError(f"{method.name}+{reloc.offset:#x}: PAGE21 on non-adrp")
-                text[place : place + 4] = ins.Adrp(rd=instr.rd, page_offset=pages).encode_bytes()
-            elif reloc.kind == RelocKind.ADD_LO12:
-                target = symbol_address(reloc.symbol, reloc.addend)
-                word = int.from_bytes(text[place : place + 4], "little")
-                instr = decode(word)
-                if not (isinstance(instr, ins.AddSubImm) and instr.op == "add"):
-                    raise LinkError(f"{method.name}+{reloc.offset:#x}: LO12 on non-add")
-                patched = ins.AddSubImm(
-                    op="add", rd=instr.rd, rn=instr.rn, imm12=target & 0xFFF, sf=instr.sf
-                )
-                text[place : place + 4] = patched.encode_bytes()
-            elif reloc.kind == RelocKind.ABS64:
-                target = symbol_address(reloc.symbol, reloc.addend)
-                text[place : place + 8] = target.to_bytes(8, "little")
-            elif reloc.kind == RelocKind.LOCAL_ABS64:
-                target = layout.TEXT_BASE + method_offset[reloc.symbol] + reloc.addend
-                text[place : place + 8] = target.to_bytes(8, "little")
-            else:  # pragma: no cover
-                raise LinkError(f"unknown relocation kind {reloc.kind!r}")
+    relocations_patched = 0
+    with obs.span("link.relocate"):
+        for method in methods:
+            base = method_offset[method.name]
+            relocations_patched += len(method.relocations)
+            for reloc in method.relocations:
+                place = base + reloc.offset
+                address = layout.TEXT_BASE + place
+                if reloc.kind == RelocKind.CALL26:
+                    target = symbol_address(reloc.symbol, reloc.addend)
+                    delta = target - address
+                    word = int.from_bytes(text[place : place + 4], "little")
+                    instr = decode(word)
+                    if not isinstance(instr, ins.Bl):
+                        raise LinkError(f"{method.name}+{reloc.offset:#x}: CALL26 on non-bl")
+                    patched = instr.with_target_offset(delta)
+                    text[place : place + 4] = patched.encode_bytes()
+                elif reloc.kind == RelocKind.ADRP_PAGE21:
+                    target = symbol_address(reloc.symbol, reloc.addend)
+                    pages = (target >> 12) - (address >> 12)
+                    word = int.from_bytes(text[place : place + 4], "little")
+                    instr = decode(word)
+                    if not isinstance(instr, ins.Adrp):
+                        raise LinkError(f"{method.name}+{reloc.offset:#x}: PAGE21 on non-adrp")
+                    text[place : place + 4] = ins.Adrp(rd=instr.rd, page_offset=pages).encode_bytes()
+                elif reloc.kind == RelocKind.ADD_LO12:
+                    target = symbol_address(reloc.symbol, reloc.addend)
+                    word = int.from_bytes(text[place : place + 4], "little")
+                    instr = decode(word)
+                    if not (isinstance(instr, ins.AddSubImm) and instr.op == "add"):
+                        raise LinkError(f"{method.name}+{reloc.offset:#x}: LO12 on non-add")
+                    patched = ins.AddSubImm(
+                        op="add", rd=instr.rd, rn=instr.rn, imm12=target & 0xFFF, sf=instr.sf
+                    )
+                    text[place : place + 4] = patched.encode_bytes()
+                elif reloc.kind == RelocKind.ABS64:
+                    target = symbol_address(reloc.symbol, reloc.addend)
+                    text[place : place + 8] = target.to_bytes(8, "little")
+                elif reloc.kind == RelocKind.LOCAL_ABS64:
+                    target = layout.TEXT_BASE + method_offset[reloc.symbol] + reloc.addend
+                    text[place : place + 8] = target.to_bytes(8, "little")
+                else:  # pragma: no cover
+                    raise LinkError(f"unknown relocation kind {reloc.kind!r}")
 
     oat = OatFile(
         text=bytes(text),
@@ -137,7 +142,13 @@ def link(
         data_symbols=data_symbols,
     )
     if check_stackmaps:
-        _check_stackmaps(oat)
+        with obs.span("link.stackmap_check"):
+            _check_stackmaps(oat)
+    if obs.current_tracer() is not None:
+        obs.counter_add("link.methods", len(methods))
+        obs.counter_add("link.relocations_patched", relocations_patched)
+        obs.counter_add("link.text_bytes", len(text))
+        obs.counter_add("link.data_bytes", len(data))
     return oat
 
 

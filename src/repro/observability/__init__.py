@@ -1,0 +1,65 @@
+"""Pipeline observability: spans, counters/gauges, trace reporters.
+
+See ``docs/observability.md`` for the reference of every span and
+counter the pipeline emits, and ``docs/architecture.md`` for where each
+instrumentation point sits in the paper's Fig. 5 flow.
+
+Typical use::
+
+    from repro import observability as obs
+    from repro.observability import render_text
+
+    with obs.tracing() as tracer:
+        build = build_app(dexfile, CalibroConfig.cto_ltbo())
+    print(render_text(tracer.snapshot()))
+
+Library code instruments itself with the module-level helpers
+(:func:`span`, :func:`counter_add`, ...), which are near-zero-cost
+no-ops unless a tracer is installed.
+"""
+
+from repro.observability.report import (
+    JsonReporter,
+    Reporter,
+    TextReporter,
+    load_trace,
+    render_text,
+    write_json,
+)
+from repro.observability.trace import (
+    Span,
+    Trace,
+    Tracer,
+    counter_add,
+    current_tracer,
+    enabled,
+    gauge_max,
+    gauge_set,
+    install_tracer,
+    set_disabled,
+    span,
+    tracing,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "JsonReporter",
+    "Reporter",
+    "Span",
+    "TextReporter",
+    "Trace",
+    "Tracer",
+    "counter_add",
+    "current_tracer",
+    "enabled",
+    "gauge_max",
+    "gauge_set",
+    "install_tracer",
+    "load_trace",
+    "render_text",
+    "set_disabled",
+    "span",
+    "tracing",
+    "uninstall_tracer",
+    "write_json",
+]

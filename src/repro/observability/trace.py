@@ -1,0 +1,366 @@
+"""Spans, counters and gauges — the tracing substrate.
+
+The evaluation story of the paper is entirely about *measuring* the
+pipeline (Table 6 build-time overhead, the PlOpti 489.5% → 70.8%
+trade-off, Table 5 memory), so the pipeline carries first-class
+instrumentation instead of ad-hoc ``time.perf_counter()`` bookkeeping:
+
+* :func:`span` — a nested context manager recording monotonic wall time
+  into the active :class:`Tracer` (``with span("ltbo.outline",
+  group=k): ...``);
+* :func:`counter_add` / :func:`gauge_set` / :func:`gauge_max` — a
+  process-wide counter/gauge registry (methods scanned, repeats found,
+  bytes saved per mechanism, ...);
+* :class:`Tracer.record_span` — post-hoc spans for work whose timings
+  arrive as numbers rather than as code to wrap (PlOpti worker
+  partitions run in other processes; the parent reconstructs their
+  spans from the returned :class:`~repro.core.outline.OutlineStats`).
+
+**The no-op fast path.**  Every module-level helper reads one global
+(``_ACTIVE``) and returns a shared do-nothing object when no tracer is
+installed, so instrumented library code costs a few tens of nanoseconds
+per call site when nobody is measuring.  ``benchmarks/
+bench_observability_overhead.py`` verifies this stays true.
+
+Thread model: one tracer per process, one span stack — the pipeline is
+single-threaded and PlOpti parallelism is process-based, so worker
+processes simply see no active tracer (their numbers travel back in the
+stats objects).  ``CALIBRO_OBS_OFF=1`` (or :func:`set_disabled`)
+disables installation entirely; :mod:`repro.core.pipeline` then falls
+back to plain stopwatch timings — that path is the control arm of the
+overhead micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "counter_add",
+    "current_tracer",
+    "enabled",
+    "gauge_max",
+    "gauge_set",
+    "install_tracer",
+    "set_disabled",
+    "span",
+    "tracing",
+    "uninstall_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One timed region.  ``start`` is seconds since the trace epoch."""
+
+    name: str
+    start: float = 0.0
+    duration: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def child_seconds(self) -> float:
+        return sum(c.duration for c in self.children)
+
+    @property
+    def self_seconds(self) -> float:
+        """Time not attributed to any child span."""
+        return max(0.0, self.duration - self.child_seconds)
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (depth-first) with the given name."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=data["name"],
+            start=float(data.get("start", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            attrs=dict(data.get("attrs", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+
+@dataclass
+class Trace:
+    """A finished measurement: the span forest plus the registries."""
+
+    spans: list[Span] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.duration for s in self.spans)
+
+    def find(self, name: str) -> Span | None:
+        for root in self.spans:
+            if root.name == name:
+                return root
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "spans": [s.to_dict() for s in self.spans],
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Trace":
+        return cls(
+            spans=[Span.from_dict(s) for s in data.get("spans", [])],
+            counters={k: int(v) for k, v in data.get("counters", {}).items()},
+            gauges={k: float(v) for k, v in data.get("gauges", {}).items()},
+            meta=dict(data.get("meta", {})),
+        )
+
+
+class _SpanContext:
+    """Context manager binding one live span to the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Exception-safe by construction: the span always closes, the
+        # exception always propagates.
+        self._tracer._end(self._span)
+        return False
+
+
+class _NoopSpanContext:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpanContext()
+
+
+class Tracer:
+    """Collects spans and counters for one measurement session."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.epoch = clock()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.meta: dict[str, Any] = {}
+
+    # -- spans ------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a nested span (use as a context manager)."""
+        node = Span(name=name, start=self._clock() - self.epoch, attrs=attrs)
+        (self._stack[-1].children if self._stack else self.roots).append(node)
+        self._stack.append(node)
+        return _SpanContext(self, node)
+
+    def _end(self, node: Span) -> None:
+        now = self._clock() - self.epoch
+        # Unwind to (and including) the span being closed, so a missed
+        # inner close cannot corrupt the stack for outer spans.
+        while self._stack:
+            top = self._stack.pop()
+            if top.duration == 0.0:
+                top.duration = now - top.start
+            if top is node:
+                break
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        parent: Span | None = None,
+        start: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Attach a post-hoc span (work timed elsewhere, e.g. in a PlOpti
+        worker process).  Parents under the current open span by default."""
+        node = Span(
+            name=name,
+            start=self._clock() - self.epoch if start is None else start,
+            duration=duration,
+            attrs=attrs,
+        )
+        if parent is not None:
+            parent.children.append(node)
+        elif self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        return node
+
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- counters / gauges -------------------------------------------------
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        if value > self.gauges.get(name, float("-inf")):
+            self.gauges[name] = value
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self, **meta: Any) -> Trace:
+        """Freeze the collected data into a :class:`Trace` (open spans are
+        included with their current partial durations)."""
+        now = self._clock() - self.epoch
+        for node in self._stack:
+            if node.duration == 0.0:
+                node.duration = now - node.start
+        return Trace(
+            spans=list(self.roots),
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            meta={**self.meta, **meta},
+        )
+
+
+# -- the process-wide registry ---------------------------------------------
+
+_ACTIVE: Tracer | None = None
+_DISABLED = os.environ.get("CALIBRO_OBS_OFF", "") not in ("", "0")
+
+
+def enabled() -> bool:
+    """False when observability is globally disabled (``CALIBRO_OBS_OFF``
+    or :func:`set_disabled`) — the pipeline then keeps its plain
+    stopwatch fallback and no tracer can be installed."""
+    return not _DISABLED
+
+
+def set_disabled(flag: bool) -> None:
+    """Runtime kill switch (the overhead benchmark's control arm)."""
+    global _DISABLED, _ACTIVE
+    _DISABLED = flag
+    if flag:
+        _ACTIVE = None
+
+
+def current_tracer() -> Tracer | None:
+    return _ACTIVE
+
+
+def install_tracer(tracer: Tracer) -> Tracer | None:
+    """Make ``tracer`` the process-wide active tracer; returns the tracer
+    it replaced (no-op returning ``None`` when disabled)."""
+    global _ACTIVE
+    if _DISABLED:
+        return None
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def uninstall_tracer(previous: Tracer | None = None) -> None:
+    global _ACTIVE
+    _ACTIVE = previous
+
+
+class _TracingContext:
+    """``with tracing() as tracer:`` — install, run, restore."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer | None):
+        self._tracer = tracer or Tracer()
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = install_tracer(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if current_tracer() is self._tracer:
+            uninstall_tracer(self._previous)
+        return False
+
+
+def tracing(tracer: Tracer | None = None) -> _TracingContext:
+    """Install a tracer for the duration of a ``with`` block."""
+    return _TracingContext(tracer)
+
+
+# -- module-level fast-path helpers ------------------------------------------
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer, or do nothing (fast) without one."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attrs)
+
+
+def counter_add(name: str, amount: int = 1) -> None:
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.add(name, amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.gauge_set(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.gauge_max(name, value)

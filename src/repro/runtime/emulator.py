@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import observability as obs
 from repro.dex.method import DexFile
 from repro.isa import DecodeError, decode
 from repro.isa import instructions as ins
@@ -146,27 +147,39 @@ class Emulator:
         r[30] = _RETURN_SENTINEL
         start_steps = self.total_steps
         start_cycles = self.total_cycles
-        try:
-            self._run(self.oat.entry_address(method_name))
-        except GuestTrap as trap:
-            return RunResult(
-                value=None,
-                cycles=self.total_cycles - start_cycles,
-                steps=self.total_steps - start_steps,
-                trap=trap.kind,
-            )
-        except MemoryFault as fault:
-            return RunResult(
-                value=None,
-                cycles=self.total_cycles - start_cycles,
-                steps=self.total_steps - start_steps,
-                trap=fault.kind,
-            )
-        return RunResult(
-            value=_signed(r[0]),
-            cycles=self.total_cycles - start_cycles,
-            steps=self.total_steps - start_steps,
-        )
+        result = None
+        with obs.span("emulator.call", method=method_name):
+            try:
+                self._run(self.oat.entry_address(method_name))
+            except GuestTrap as trap:
+                result = RunResult(
+                    value=None,
+                    cycles=self.total_cycles - start_cycles,
+                    steps=self.total_steps - start_steps,
+                    trap=trap.kind,
+                )
+            except MemoryFault as fault:
+                result = RunResult(
+                    value=None,
+                    cycles=self.total_cycles - start_cycles,
+                    steps=self.total_steps - start_steps,
+                    trap=fault.kind,
+                )
+            if result is None:
+                result = RunResult(
+                    value=_signed(r[0]),
+                    cycles=self.total_cycles - start_cycles,
+                    steps=self.total_steps - start_steps,
+                )
+        if obs.current_tracer() is not None:
+            # Aggregate flush only — the interpreter loop itself carries
+            # no per-instruction instrumentation (see docs/observability.md).
+            obs.counter_add("emulator.calls", 1)
+            obs.counter_add("emulator.instructions", result.steps)
+            obs.counter_add("emulator.cycles", result.cycles)
+            if result.trap is not None:
+                obs.counter_add("emulator.traps", 1)
+        return result
 
     def profile(self) -> dict[str, int]:
         """Per-method cycle attribution (the simpleperf substitute).

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from repro import observability as obs
+
 __all__ = ["SuffixTree", "TERMINAL"]
 
 #: Internal end-of-sequence terminal appended to every input.
@@ -58,6 +60,13 @@ class SuffixTree:
         self._string_depth: list[int] | None = None
         self._leaf_count: list[int] | None = None
         self._parent: list[int] | None = None
+        if obs.current_tracer() is not None:
+            # In-process construction only: PlOpti worker trees report
+            # through OutlineStats instead (see repro.core.parallel).
+            obs.counter_add("suffix_tree.builds", 1)
+            obs.counter_add("suffix_tree.symbols", self.sequence_length)
+            obs.counter_add("suffix_tree.nodes", self.node_count)
+            obs.gauge_max("suffix_tree.peak_nodes", self.node_count)
 
     # -- construction ------------------------------------------------------
 

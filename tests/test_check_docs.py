@@ -1,0 +1,27 @@
+"""Tier-1 wrapper for scripts/check_docs.py: the documentation may not
+rot — no dead relative links, and every non-skipped ```python example
+must execute."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_docs_have_no_dead_links_or_broken_examples():
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, f"check_docs failed:\n{proc.stdout}{proc.stderr}"
+    # The checker actually looked at the docs it claims to guard.
+    assert "0 problem(s)" in proc.stdout
+    assert "files," in proc.stdout and not proc.stdout.startswith("0 files")

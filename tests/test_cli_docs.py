@@ -1,0 +1,66 @@
+"""docs/cli.md must document every subcommand and every flag.
+
+The parser is the source of truth: this test introspects the argparse
+tree, so adding a subcommand or option without touching the doc fails
+here — not in a user's terminal.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _build_parser
+
+DOC = Path(__file__).resolve().parents[1] / "docs" / "cli.md"
+
+
+def _subparsers() -> dict[str, argparse.ArgumentParser]:
+    parser = _build_parser()
+    action = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return dict(action.choices)
+
+
+@pytest.fixture(scope="module")
+def doc_text() -> str:
+    return DOC.read_text(encoding="utf-8")
+
+
+def test_every_subcommand_has_a_section(doc_text):
+    for name in _subparsers():
+        assert f"### `calibro {name}`" in doc_text, (
+            f"subcommand '{name}' has no section in docs/cli.md"
+        )
+
+
+def test_every_flag_is_documented(doc_text):
+    missing: list[str] = []
+    for name, sub in _subparsers().items():
+        for action in sub._actions:
+            if isinstance(action, argparse._HelpAction):
+                continue
+            for opt in action.option_strings:
+                if opt.startswith("--") and f"`{opt}`" not in doc_text:
+                    missing.append(f"{name} {opt}")
+    assert not missing, f"flags absent from docs/cli.md: {missing}"
+
+
+def test_every_positional_is_documented(doc_text):
+    missing: list[str] = []
+    for name, sub in _subparsers().items():
+        for action in sub._actions:
+            if not action.option_strings and f"`{action.dest}`" not in doc_text:
+                missing.append(f"{name} {action.dest}")
+    assert not missing, f"positionals absent from docs/cli.md: {missing}"
+
+
+def test_documented_subcommands_exist(doc_text):
+    """The doc may not describe subcommands that were removed."""
+    import re
+
+    documented = set(re.findall(r"### `calibro ([a-z]+)`", doc_text))
+    assert documented == set(_subparsers())

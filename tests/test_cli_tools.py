@@ -52,7 +52,7 @@ def test_run_with_trace(artifacts, capsys):
     entry = next(n for n in load_dexfile(str(dex)).method_names() if "entry" in n)
     rc = main([
         "run", str(oat), "--entry", entry, "--args", "1,2",
-        "--workload", "Fanqie", "--scale", "0.1", "--trace", "4",
+        "--workload", "Fanqie", "--scale", "0.1", "--trace-instrs", "4",
     ])
     assert rc == 0
     out = capsys.readouterr().out
