@@ -1,0 +1,93 @@
+"""Build service: warm-cache rebuild speedup + byte-identical output.
+
+The service's promise is twofold and this benchmark asserts both
+halves:
+
+* **Speed** — rebuilding an unchanged app through a cache-backed
+  ``BuildService`` (compile cache + outline cache, disk-persistent)
+  must be at least 3x faster than the cold build.  The compile cache
+  carries most of that (dex2oat is ~half the build), the outline cache
+  the rest (suffix trees are most of the remainder); linking always
+  runs.
+* **Correctness** — the cached build's OAT image must be *bit
+  identical* to a serial, uncached ``build_app`` of the same inputs.
+  A cache that changes output bytes is a miscompile, not an
+  optimization.
+
+The acceptance gate is deliberately below the typically much larger
+measured factor (single-core container timing noise; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.core import CalibroConfig, build_app
+from repro.reporting import format_table
+from repro.service import BuildService
+from repro.workloads import app_spec, generate_app
+
+from _bench_util import BENCH_SCALE, PLOPTI_GROUPS, emit
+
+#: Enough work for stable timing on the cold side.
+_SCALE = max(1.0, BENCH_SCALE)
+_APPS = ["Meituan", "Taobao", "Wechat"]
+_MIN_SPEEDUP = 3.0
+
+
+def test_service_cache_speedup_and_byte_identity(benchmark):
+    def measure():
+        dexfiles = {
+            name: generate_app(app_spec(name, _SCALE)).dexfile for name in _APPS
+        }
+        config = CalibroConfig.cto_ltbo_plopti(groups=PLOPTI_GROUPS)
+        rows = []
+        identical = True
+        with tempfile.TemporaryDirectory(prefix="calibro-bench-cache-") as cache_dir:
+            with BuildService(cache_dir=cache_dir, max_workers=1) as service:
+                for name, dexfile in dexfiles.items():
+                    reference = build_app(dexfile, config).oat.to_bytes()
+
+                    t0 = time.perf_counter()
+                    cold = service.submit(dexfile, config, label=name)
+                    cold_s = time.perf_counter() - t0
+
+                    t0 = time.perf_counter()
+                    warm = service.submit(dexfile, config, label=name)
+                    warm_s = time.perf_counter() - t0
+
+                    identical &= cold.build.oat.to_bytes() == reference
+                    identical &= warm.build.oat.to_bytes() == reference
+                    rows.append((name, cold_s, warm_s, cold_s / warm_s,
+                                 warm.compile_cached,
+                                 f"{warm.cached_groups}/{warm.total_groups}"))
+        return rows, identical
+
+    rows, identical = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = format_table(
+        ["app", "cold (s)", "warm (s)", "speedup", "compile cached", "groups cached"],
+        [
+            [name, f"{cold:.3f}", f"{warm:.3f}", f"{ratio:.1f}x",
+             str(compile_cached), groups]
+            for name, cold, warm, ratio, compile_cached, groups in rows
+        ],
+    )
+    emit(
+        "service_cache",
+        "warm-cache rebuild through BuildService "
+        f"(scale {_SCALE}, K={PLOPTI_GROUPS}):\n{table}\n"
+        f"output bytes identical to serial uncached build_app: {identical}",
+    )
+
+    # The correctness half is absolute.
+    assert identical, "cached build output diverged from the uncached build"
+    # The speed half: every app's warm rebuild must clear the gate, and
+    # every warm rebuild must actually have been served from cache.
+    for name, cold_s, warm_s, ratio, compile_cached, groups in rows:
+        assert compile_cached, f"{name}: compile cache missed on rebuild"
+        assert ratio >= _MIN_SPEEDUP, (
+            f"{name}: warm rebuild only {ratio:.1f}x faster "
+            f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s); expected >= {_MIN_SPEEDUP}x"
+        )

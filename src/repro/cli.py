@@ -35,7 +35,9 @@ from typing import Callable
 
 from repro import observability as obs
 from repro.compiler.package import CompilationPackage
+from repro.core.errors import CalibroError
 from repro.core.hotfilter import HotFunctionFilter
+from repro.core.pipeline import CalibroConfig, build_app
 from repro.core.staged import compile_stage, link_stage, outline_stage
 from repro.dex.serialize import load_dexfile, save_dexfile
 from repro.oat.oatfile import OatFile
@@ -158,22 +160,101 @@ def _cmd_link(args) -> int:
     return 0
 
 
+def _build_config(args) -> CalibroConfig:
+    """The :class:`CalibroConfig` implied by ``build`` flags (validated
+    at construction — bad values exit before any work starts)."""
+    hot_filter = None
+    if args.hot_profile:
+        with open(args.hot_profile, encoding="utf-8") as fh:
+            hot_filter = HotFunctionFilter.from_profile(
+                json.load(fh), coverage=args.coverage
+            )
+    parts = []
+    if not args.no_cto:
+        parts.append("CTO")
+    if not args.no_ltbo:
+        parts.append("LTBO")
+        if args.groups > 1:
+            parts.append("PlOpti")
+        if hot_filter is not None:
+            parts.append("HfOpti")
+    return CalibroConfig(
+        cto_enabled=not args.no_cto,
+        ltbo_enabled=not args.no_ltbo,
+        parallel_groups=args.groups,
+        hot_filter=hot_filter,
+        name="+".join(parts) if parts else "baseline",
+    )
+
+
 def _cmd_build(args) -> int:
     dexfile = load_dexfile(args.input)
+    config = _build_config(args)
     with _maybe_trace(args):
-        package = compile_stage(dexfile, cto=not args.no_cto)
-        if not args.no_ltbo:
-            hot_filter = None
-            if args.hot_profile:
-                with open(args.hot_profile, encoding="utf-8") as fh:
-                    hot_filter = HotFunctionFilter.from_profile(
-                        json.load(fh), coverage=args.coverage
-                    )
-            package = outline_stage(package, groups=args.groups, hot_filter=hot_filter)
-        oat = link_stage(package)
+        build = build_app(dexfile, config)
+    oat = build.oat
     with open(args.output, "wb") as fh:
         fh.write(oat.to_bytes())
-    print(f"built {args.output}: text {oat.text_size}B, {len(oat.methods)} methods")
+    if args.json:
+        print(build.to_json(indent=1))
+    else:
+        print(f"built {args.output}: text {oat.text_size}B, {len(oat.methods)} methods")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import BuildRequest, BuildService
+
+    if args.config:
+        with open(args.config, encoding="utf-8") as fh:
+            config = CalibroConfig.from_dict(json.load(fh))
+    else:
+        config = CalibroConfig.cto_ltbo_plopti(groups=args.groups)
+    os.makedirs(args.outdir, exist_ok=True)
+    requests = []
+    for path in args.inputs:
+        label = os.path.basename(path)
+        for suffix in (".json", ".dex"):
+            if label.endswith(suffix):
+                label = label[: -len(suffix)]
+        requests.append(BuildRequest(load_dexfile(path), config, label=label))
+    service = BuildService(
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_mb * 1024 * 1024,
+        max_workers=args.jobs,
+    )
+    with service, _maybe_trace(args):
+        reports = service.build_many(requests)
+        for report in reports:
+            out = os.path.join(args.outdir, f"{report.label}.oat")
+            with open(out, "wb") as fh:
+                fh.write(report.build.oat.to_bytes())
+        stats = service.stats()
+    if args.json:
+        print(json.dumps(
+            {
+                "schema_version": stats["schema_version"],
+                "builds": [r.summary() for r in reports],
+                "service": stats,
+            },
+            indent=1,
+        ))
+        return 0
+    for report in reports:
+        compile_note = "hit" if report.compile_cached else "miss"
+        print(
+            f"{report.label}: text {report.build.oat.text_size}B in "
+            f"{report.seconds:.3f}s (compile cache {compile_note}, "
+            f"{report.cached_groups}/{report.total_groups} groups cached)"
+        )
+    cache = stats["cache"]
+    pool = stats["pool"]
+    print(
+        f"served {stats['builds']} builds: outline cache "
+        f"{cache['hits']}/{cache['hits'] + cache['misses']} hits, "
+        f"pool {pool['tasks']} tasks "
+        f"({pool['retries']} retries, {pool['serial_fallbacks']} serial fallbacks)"
+    )
     return 0
 
 
@@ -383,8 +464,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--groups", type=int, default=1)
     p.add_argument("--hot-profile")
     p.add_argument("--coverage", type=float, default=0.80)
+    p.add_argument("--json", action="store_true",
+                   help="print the versioned build summary as JSON")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser(
+        "serve", help="batch build service: shared pool + persistent cache"
+    )
+    p.add_argument("inputs", nargs="+", help="dex json files to build")
+    p.add_argument("-o", "--outdir", required=True,
+                   help="directory for the <label>.oat outputs")
+    p.add_argument("--config", metavar="CONFIG.json",
+                   help="CalibroConfig dict (the to_dict/from_dict format)")
+    p.add_argument("--groups", type=int, default=8,
+                   help="PlOpti partitions when no --config is given")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker pool width (default: usable CPUs)")
+    p.add_argument("--cache-dir",
+                   help="persistent cache directory (default: in-memory only)")
+    p.add_argument("--cache-mb", type=int, default=64,
+                   help="disk cache size bound in MiB")
+    p.add_argument("--json", action="store_true",
+                   help="print per-build summaries + service stats as JSON")
+    _add_trace_flag(p)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("analyze", help="§2.2 redundancy analysis of a package")
     p.add_argument("input")
@@ -441,7 +545,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CalibroError as exc:
+        # Every pipeline error subclasses CalibroError and carries a
+        # stable exit code (documented in docs/cli.md) — users get one
+        # clean line, scripts get a machine-checkable status.
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `--json | head`);
+        # swallow the shutdown-time flush error too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

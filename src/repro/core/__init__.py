@@ -23,6 +23,11 @@ _EXPORTS = {
     "evaluate": "repro.core.benefit",
     "CandidateSelection": "repro.core.candidates",
     "select_candidates": "repro.core.candidates",
+    "CalibroError": "repro.core.errors",
+    "ConfigError": "repro.core.errors",
+    "LinkError": "repro.core.errors",
+    "OutlineError": "repro.core.errors",
+    "ServiceError": "repro.core.errors",
     "HotFunctionFilter": "repro.core.hotfilter",
     "DataExtent": "repro.core.metadata",
     "MethodMetadata": "repro.core.metadata",
@@ -40,6 +45,8 @@ _EXPORTS = {
     "count_pattern_occurrences": "repro.core.patterns",
     "CalibroBuild": "repro.core.pipeline",
     "CalibroConfig": "repro.core.pipeline",
+    "SUMMARY_KEYS": "repro.core.pipeline",
+    "SUMMARY_SCHEMA_VERSION": "repro.core.pipeline",
     "build_app": "repro.core.pipeline",
     "compile_stage": "repro.core.staged",
     "link_stage": "repro.core.staged",
@@ -61,6 +68,13 @@ def __getattr__(name: str):
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.core.benefit import BenefitModel, estimate_reduction_ratio, evaluate
     from repro.core.candidates import CandidateSelection, select_candidates
+    from repro.core.errors import (
+        CalibroError,
+        ConfigError,
+        LinkError,
+        OutlineError,
+        ServiceError,
+    )
     from repro.core.hotfilter import HotFunctionFilter
     from repro.core.metadata import DataExtent, MethodMetadata, PcRelativeRef, SlowpathExtent
     from repro.core.outline import (
@@ -72,5 +86,11 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.core.parallel import ParallelOutlineResult, outline_partitioned
     from repro.core.patch import PatchError, patch_pc_relative
     from repro.core.patterns import ThunkCache, count_pattern_occurrences
-    from repro.core.pipeline import CalibroBuild, CalibroConfig, build_app
+    from repro.core.pipeline import (
+        SUMMARY_KEYS,
+        SUMMARY_SCHEMA_VERSION,
+        CalibroBuild,
+        CalibroConfig,
+        build_app,
+    )
     from repro.core.staged import compile_stage, link_stage, outline_stage

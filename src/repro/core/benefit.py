@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.errors import ConfigError
+
 __all__ = ["BenefitModel", "estimate_reduction_ratio", "evaluate"]
 
 
@@ -32,9 +34,9 @@ class BenefitModel:
 
     def __post_init__(self) -> None:
         if self.length < 1:
-            raise ValueError("length must be >= 1")
+            raise ConfigError("length must be >= 1")
         if self.repeats < 1:
-            raise ValueError("repeats must be >= 1")
+            raise ConfigError("repeats must be >= 1")
 
     @property
     def original_size(self) -> int:
@@ -76,6 +78,6 @@ def estimate_reduction_ratio(
     whole code size.
     """
     if total_instructions <= 0:
-        raise ValueError("total_instructions must be positive")
+        raise ConfigError("total_instructions must be positive")
     saved = sum(max(0, evaluate(length, count)) for length, count in repeats)
     return saved / total_instructions

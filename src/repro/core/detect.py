@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.compiler.compiled import CompiledMethod
+from repro.core.errors import OutlineError
 from repro.core.metadata import MethodMetadata
 from repro.isa import DecodeError, decode
 from repro.isa import instructions as ins
@@ -171,7 +172,7 @@ class SymbolMapper:
         except DecodeError:
             # Only embedded data may fail to decode; anything else means
             # the metadata is out of sync with the code.
-            raise ValueError(
+            raise OutlineError(
                 f"{metadata.method_name}+{offset:#x}: undecodable word outside "
                 f"declared embedded data"
             ) from None

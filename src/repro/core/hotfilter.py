@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.errors import ConfigError
+
 __all__ = ["HotFunctionFilter"]
 
 #: The paper's coverage threshold.
@@ -38,7 +40,7 @@ class HotFunctionFilter:
         """Select the smallest prefix of methods (by descending cycle
         count) whose cumulative share reaches ``coverage``."""
         if not 0.0 <= coverage <= 1.0:
-            raise ValueError("coverage must be in [0, 1]")
+            raise ConfigError("coverage must be in [0, 1]")
         total = sum(profile.values())
         if total == 0 or coverage == 0.0:
             return cls(hot_names=frozenset(), coverage=coverage, total_cycles=total)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from repro.compiler.compiled import CompiledMethod, Relocation, RelocKind
 from repro.core import benefit
 from repro.core.detect import GroupSequence, map_group
+from repro.core.errors import OutlineError
 from repro.core.metadata import MethodMetadata
 from repro.core.patch import patch_pc_relative
 from repro.isa import instructions as ins
@@ -229,7 +230,7 @@ def _rewrite(method: CompiledMethod, occurrences: list[tuple[int, int, str]]) ->
     bl_placeholder = ins.Bl(offset=0).encode_bytes()
     for start, size, symbol in occurrences:
         if start < cursor:
-            raise ValueError(f"{method.name}: overlapping outline occurrences")
+            raise OutlineError(f"{method.name}: overlapping outline occurrences")
         for off in range(cursor, start, 4):
             offset_map[off] = len(new)
             new += old[off : off + 4]

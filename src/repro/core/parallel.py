@@ -13,6 +13,17 @@ The trade-off the paper measures: build time drops sharply (Table 6,
 per group — each group pays for its own copy of the outlined function,
 and repeats whose occurrences are split between groups may fall under
 the benefit threshold in both.
+
+Two optional collaborators extend this for the build service
+(:mod:`repro.service`), both duck-typed so this module stays below the
+service layer:
+
+* ``cache`` — an outline cache with ``lookup_group(payload)`` /
+  ``store_group(payload, result)``; cached groups skip the suffix-tree
+  work entirely (see :class:`repro.service.OutlineCache`);
+* ``pool`` — a worker pool with ``map_groups(worker, payloads)``; used
+  instead of :func:`repro.suffixtree.parallel.map_over_groups` (see
+  :class:`repro.service.WorkerPool` for the robust variant).
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ from dataclasses import dataclass, field
 
 from repro import observability as obs
 from repro.compiler.compiled import CompiledMethod
+from repro.core.errors import ConfigError
 from repro.core.outline import (
     DEFAULT_MAX_LENGTH,
     DEFAULT_MIN_LENGTH,
@@ -29,9 +41,19 @@ from repro.core.outline import (
     OutlineStats,
     outline_group,
 )
-from repro.suffixtree.parallel import map_over_groups, partition_evenly
+from repro.suffixtree.parallel import (
+    available_parallelism,
+    map_over_groups,
+    partition_evenly,
+)
 
-__all__ = ["ParallelOutlineResult", "outline_partitioned"]
+__all__ = ["OutlinePayload", "ParallelOutlineResult", "outline_partitioned"]
+
+#: One group's complete work order: everything :func:`outline_group`
+#: needs, in a picklable tuple — ``(candidates, hot_names, min_length,
+#: max_length, min_saved, symbol_prefix)``.  The cache key is derived
+#: from exactly these fields (see ``repro/service/cache.py``).
+OutlinePayload = tuple
 
 
 @dataclass
@@ -41,6 +63,8 @@ class ParallelOutlineResult:
     rewritten: dict[int, CompiledMethod]
     outlined: list[CompiledMethod]
     group_stats: list[OutlineStats] = field(default_factory=list)
+    #: Number of groups served from the outline cache (0 without one).
+    cached_groups: int = 0
 
     @property
     def total_occurrences(self) -> int:
@@ -51,7 +75,7 @@ class ParallelOutlineResult:
         return sum(s.repeats_outlined for s in self.group_stats)
 
 
-def _worker(payload: tuple) -> GroupOutlineResult:
+def _worker(payload: OutlinePayload) -> GroupOutlineResult:
     candidates, hot_names, min_length, max_length, min_saved, prefix = payload
     return outline_group(
         candidates,
@@ -74,30 +98,59 @@ def outline_partitioned(
     jobs: int | None = None,
     seed: int = 0,
     symbol_prefix: str = "MethodOutliner",
+    cache=None,
+    pool=None,
 ) -> ParallelOutlineResult:
     """Outline with K per-group suffix trees.
 
     ``groups=1`` degenerates to the single global tree.  ``jobs``
-    defaults to ``groups`` (a process pool is used only when the host
-    actually has spare CPUs; see :mod:`repro.suffixtree.parallel`).
-    ``symbol_prefix`` namespaces the outlined functions (multi-round
-    callers pass a per-round prefix to keep symbols unique).
+    defaults to ``groups`` *clamped to the CPU count* — asking for 64
+    groups on a 4-core host schedules 4 jobs, not 64 (the chosen value
+    is recorded as the ``plopti.jobs`` gauge).  ``symbol_prefix``
+    namespaces the outlined functions (multi-round callers pass a
+    per-round prefix to keep symbols unique).  ``cache``/``pool`` are
+    the optional build-service collaborators described in the module
+    docstring.
     """
     if groups < 1:
-        raise ValueError("groups must be >= 1")
+        raise ConfigError("groups must be >= 1")
+    if jobs is not None and jobs < 1:
+        raise ConfigError("jobs must be >= 1")
     with obs.span("ltbo.partition"):
         partitions = partition_evenly(candidates, groups, seed=seed)
-    payloads = [
+    payloads: list[OutlinePayload] = [
         (part, hot_names, min_length, max_length, min_saved, f"{symbol_prefix}$g{gi}")
         for gi, part in enumerate(partitions)
     ]
+    effective_jobs = jobs if jobs is not None else min(groups, available_parallelism())
+    obs.gauge_set("plopti.jobs", effective_jobs)
     tracer = obs.current_tracer()
     with obs.span("ltbo.outline") as outline_span:
-        results = map_over_groups(
-            _worker, payloads, jobs=jobs if jobs is not None else groups
-        )
-    combined = ParallelOutlineResult(rewritten={}, outlined=[])
+        results: list[GroupOutlineResult | None] = [None] * len(payloads)
+        misses = list(range(len(payloads)))
+        if cache is not None:
+            misses = []
+            for index, payload in enumerate(payloads):
+                hit = cache.lookup_group(payload)
+                if hit is not None:
+                    results[index] = hit
+                else:
+                    misses.append(index)
+        if misses:
+            miss_payloads = [payloads[i] for i in misses]
+            if pool is not None:
+                computed = pool.map_groups(_worker, miss_payloads)
+            else:
+                computed = map_over_groups(_worker, miss_payloads, jobs=effective_jobs)
+            for index, result in zip(misses, computed):
+                results[index] = result
+                if cache is not None:
+                    cache.store_group(payloads[index], result)
+    combined = ParallelOutlineResult(
+        rewritten={}, outlined=[], cached_groups=len(payloads) - len(misses)
+    )
     for result in results:
+        assert result is not None
         combined.rewritten.update(result.rewritten)
         combined.outlined.extend(result.outlined)
         combined.group_stats.append(result.stats)
@@ -118,7 +171,11 @@ def _flush_observability(
     The group work may have run in other processes (no tracer there), so
     the timings travel back inside each :class:`OutlineStats` and become
     spans here — one ``ltbo.group`` per partition with the tree-build /
-    benefit-search / rewrite breakdown nested under it.
+    benefit-search / rewrite breakdown nested under it.  For groups
+    served from the outline cache the reconstructed spans carry the
+    *original* compute timings (the work the cache saved), not time
+    spent in this build — ``ParallelOutlineResult.cached_groups`` says
+    how many groups that applies to.
     """
     obs.counter_add("plopti.partitions", len(partitions))
     obs.gauge_max(

@@ -13,16 +13,24 @@ Configurations match the paper's evaluation rows:
 * ``.cto_ltbo()`` — + link-time outlining, one global suffix tree;
 * ``.cto_ltbo_plopti(k)`` — + K paralleled suffix trees;
 * ``.full(profile, k)`` — + hot function filtering on a profile.
+
+The config validates itself at construction (:class:`ConfigError`
+before any work starts, not a stack trace from deep inside
+``outline_partitioned``) and round-trips through ``to_dict`` /
+``from_dict`` — the one config format shared by the CLI, trace files
+and the build service (:mod:`repro.service`).
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field, replace as dc_replace
 
 from repro import observability as obs
 from repro.compiler.driver import Dex2OatResult, dex2oat
 from repro.core.candidates import CandidateSelection, select_candidates
+from repro.core.errors import ConfigError
 from repro.core.hotfilter import HotFunctionFilter
 from repro.core.outline import (
     DEFAULT_MAX_LENGTH,
@@ -36,12 +44,35 @@ from repro.oat.linker import link
 from repro.oat.oatfile import OatFile
 from repro.observability import Trace
 
-__all__ = ["CalibroBuild", "CalibroConfig", "build_app"]
+__all__ = ["CalibroBuild", "CalibroConfig", "SUMMARY_KEYS", "SUMMARY_SCHEMA_VERSION", "build_app"]
+
+#: Version of the ``CalibroBuild.summary()`` / ``to_json()`` document.
+#: Bump on any key addition, removal or meaning change; consumers pin it.
+SUMMARY_SCHEMA_VERSION = 1
+
+#: Every key ``summary()`` emits, in emission order.  ``docs/cli.md``
+#: documents each one and ``tests/test_cli_docs.py`` enforces that.
+SUMMARY_KEYS = (
+    "schema_version",
+    "config",
+    "text_size",
+    "data_size",
+    "methods",
+    "outlined_functions",
+    "occurrences_replaced",
+    "cached_groups",
+    "build_seconds",
+    "timings",
+)
 
 
 @dataclass(frozen=True)
 class CalibroConfig:
-    """One build configuration (an evaluation row)."""
+    """One build configuration (an evaluation row).
+
+    Invalid field values raise :class:`~repro.core.errors.ConfigError`
+    at construction time.
+    """
 
     cto_enabled: bool = False
     ltbo_enabled: bool = False
@@ -57,6 +88,23 @@ class CalibroConfig:
     min_saved: int = DEFAULT_MIN_SAVED
     partition_seed: int = 0
     name: str = "baseline"
+
+    def __post_init__(self) -> None:
+        if self.parallel_groups < 1:
+            raise ConfigError(
+                f"parallel_groups must be >= 1, got {self.parallel_groups}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigError(f"jobs must be None or >= 1, got {self.jobs}")
+        if self.min_length < 1:
+            raise ConfigError(f"min_length must be >= 1, got {self.min_length}")
+        if self.min_length > self.max_length:
+            raise ConfigError(
+                f"min_length ({self.min_length}) must not exceed "
+                f"max_length ({self.max_length})"
+            )
+        if self.min_saved < 0:
+            raise ConfigError(f"min_saved must be >= 0, got {self.min_saved}")
 
     @classmethod
     def baseline(cls) -> "CalibroConfig":
@@ -100,6 +148,66 @@ class CalibroConfig:
     def with_hot_filter(self, hot_filter: HotFunctionFilter) -> "CalibroConfig":
         return dc_replace(self, hot_filter=hot_filter, name=self.name + "+HfOpti")
 
+    # -- the shared dict format (CLI ⇄ service ⇄ files) --------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-compatible dict; ``from_dict`` round-trips it."""
+        hot = None
+        if self.hot_filter is not None:
+            hot = {
+                "hot_names": sorted(self.hot_filter.hot_names),
+                "coverage": self.hot_filter.coverage,
+                "total_cycles": self.hot_filter.total_cycles,
+                "covered_cycles": self.hot_filter.covered_cycles,
+            }
+        return {
+            "name": self.name,
+            "cto_enabled": self.cto_enabled,
+            "ltbo_enabled": self.ltbo_enabled,
+            "inlining": self.inlining,
+            "parallel_groups": self.parallel_groups,
+            "jobs": self.jobs,
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "min_saved": self.min_saved,
+            "partition_seed": self.partition_seed,
+            "hot_filter": hot,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "CalibroConfig":
+        """Build a config from the ``to_dict`` shape.
+
+        Missing keys take their defaults; unknown keys raise
+        :class:`ConfigError` (a typo should not silently become a
+        default build).
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(f"config must be a mapping, got {type(data).__name__}")
+        payload = dict(data)
+        hot = payload.pop("hot_filter", None)
+        hot_filter = None
+        if hot is not None:
+            if not isinstance(hot, dict):
+                raise ConfigError("hot_filter must be a mapping or null")
+            try:
+                hot_filter = HotFunctionFilter(
+                    hot_names=frozenset(hot["hot_names"]),
+                    coverage=hot.get("coverage", 0.80),
+                    total_cycles=hot.get("total_cycles", 0),
+                    covered_cycles=hot.get("covered_cycles", 0),
+                )
+            except KeyError as exc:
+                raise ConfigError(f"hot_filter is missing key {exc}") from None
+        known = {
+            "name", "cto_enabled", "ltbo_enabled", "inlining", "parallel_groups",
+            "jobs", "min_length", "max_length", "min_saved", "partition_seed",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(f"unknown config keys: {', '.join(unknown)}")
+        return cls(hot_filter=hot_filter, **payload)
+
 
 @dataclass
 class CalibroBuild:
@@ -130,19 +238,36 @@ class CalibroBuild:
         return self.ltbo.group_stats if self.ltbo else []
 
     def summary(self) -> dict[str, object]:
+        """The stable result document (see ``SUMMARY_KEYS`` /
+        ``SUMMARY_SCHEMA_VERSION``; every key is documented in
+        ``docs/cli.md``)."""
         return {
+            "schema_version": SUMMARY_SCHEMA_VERSION,
             "config": self.config.name,
             "text_size": self.text_size,
             "data_size": self.oat.data_size,
             "methods": len(self.oat.methods),
             "outlined_functions": self.ltbo.total_outlined_functions if self.ltbo else 0,
             "occurrences_replaced": self.ltbo.total_occurrences if self.ltbo else 0,
+            "cached_groups": self.ltbo.cached_groups if self.ltbo else 0,
             "build_seconds": round(self.build_seconds, 4),
             "timings": {k: round(v, 4) for k, v in self.timings.items()},
         }
 
+    def to_json(self, *, indent: int | None = None) -> str:
+        """``summary()`` as a JSON document (what ``calibro build
+        --json`` and ``calibro serve --json`` print)."""
+        return json.dumps(self.summary(), indent=indent)
 
-def build_app(dexfile: DexFile, config: CalibroConfig | None = None) -> CalibroBuild:
+
+def build_app(
+    dexfile: DexFile,
+    config: CalibroConfig | None = None,
+    *,
+    compiled: Dex2OatResult | None = None,
+    cache=None,
+    pool=None,
+) -> CalibroBuild:
     """Compile, (optionally) outline, and link one application.
 
     Phase timings come from the observability spans (``build`` →
@@ -152,24 +277,37 @@ def build_app(dexfile: DexFile, config: CalibroConfig | None = None) -> CalibroB
     observability globally disabled the plain-stopwatch fallback runs —
     that path is the control arm of
     ``benchmarks/bench_observability_overhead.py``.
+
+    The keyword-only extras are the build-service integration points:
+    ``compiled`` injects an existing :class:`Dex2OatResult` (skipping
+    dex2oat — the compile cache), while ``cache``/``pool`` flow to
+    :func:`~repro.core.parallel.outline_partitioned` (the outline cache
+    and the persistent worker pool).
     """
     config = config or CalibroConfig.baseline()
     if not obs.enabled():
-        return _build_untraced(dexfile, config)
+        return _build_untraced(dexfile, config, compiled, cache, pool)
     tracer = obs.current_tracer()
     if tracer is None:
         with obs.tracing() as tracer:
-            return _build_traced(dexfile, config, tracer)
-    return _build_traced(dexfile, config, tracer)
+            return _build_traced(dexfile, config, tracer, compiled, cache, pool)
+    return _build_traced(dexfile, config, tracer, compiled, cache, pool)
 
 
 def _build_traced(
-    dexfile: DexFile, config: CalibroConfig, tracer: obs.Tracer
+    dexfile: DexFile,
+    config: CalibroConfig,
+    tracer: obs.Tracer,
+    compiled: Dex2OatResult | None = None,
+    cache=None,
+    pool=None,
 ) -> CalibroBuild:
     ltbo_seconds = 0.0
     with tracer.span("build", config=config.name) as build_span:
-        with tracer.span("build.dex2oat", cto=config.cto_enabled) as compile_span:
-            compile_result = dex2oat(
+        with tracer.span(
+            "build.dex2oat", cto=config.cto_enabled, cached=compiled is not None
+        ) as compile_span:
+            compile_result = compiled if compiled is not None else dex2oat(
                 dexfile, cto=config.cto_enabled, inline=config.inlining
             )
 
@@ -194,6 +332,8 @@ def _build_traced(
                     min_saved=config.min_saved,
                     jobs=config.jobs,
                     seed=config.partition_seed,
+                    cache=cache,
+                    pool=pool,
                 )
                 with tracer.span("ltbo.apply"):
                     for index, rewritten in ltbo_result.rewritten.items():
@@ -225,11 +365,19 @@ def _build_traced(
     )
 
 
-def _build_untraced(dexfile: DexFile, config: CalibroConfig) -> CalibroBuild:
+def _build_untraced(
+    dexfile: DexFile,
+    config: CalibroConfig,
+    compiled: Dex2OatResult | None = None,
+    cache=None,
+    pool=None,
+) -> CalibroBuild:
     """The pre-observability stopwatch path (``CALIBRO_OBS_OFF=1``)."""
     t_start = time.perf_counter()
 
-    compile_result = dex2oat(dexfile, cto=config.cto_enabled, inline=config.inlining)
+    compile_result = compiled if compiled is not None else dex2oat(
+        dexfile, cto=config.cto_enabled, inline=config.inlining
+    )
     t_compile = time.perf_counter()
 
     methods = list(compile_result.methods)
@@ -249,6 +397,8 @@ def _build_untraced(dexfile: DexFile, config: CalibroConfig) -> CalibroBuild:
             min_saved=config.min_saved,
             jobs=config.jobs,
             seed=config.partition_seed,
+            cache=cache,
+            pool=pool,
         )
         for index, rewritten in ltbo_result.rewritten.items():
             methods[index] = rewritten

@@ -14,6 +14,7 @@ from repro import observability as obs
 from repro.compiler.driver import dex2oat
 from repro.compiler.package import CompilationPackage
 from repro.core.candidates import select_candidates
+from repro.core.errors import ConfigError
 from repro.core.hotfilter import HotFunctionFilter
 from repro.core.outline import DEFAULT_MAX_LENGTH, DEFAULT_MIN_LENGTH, DEFAULT_MIN_SAVED
 from repro.core.parallel import outline_partitioned
@@ -65,7 +66,7 @@ def outline_stage(
     Calibro pass converges).
     """
     if rounds < 1:
-        raise ValueError("rounds must be >= 1")
+        raise ConfigError("rounds must be >= 1")
     methods = list(package.methods)
     hot_names = hot_filter.hot_names if hot_filter is not None else frozenset()
     round_info = []

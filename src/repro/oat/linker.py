@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro import observability as obs
 from repro.compiler.compiled import CompiledMethod, RelocKind
+from repro.core.errors import LinkError
 from repro.dex.method import DexFile
 from repro.isa import decode, instructions as ins
 from repro.oat import layout
@@ -24,11 +25,6 @@ __all__ = ["LinkError", "link"]
 
 #: Methods start at 16-byte boundaries, as ART aligns OAT methods.
 _METHOD_ALIGN = 16
-
-
-class LinkError(ValueError):
-    """Unresolvable symbol, out-of-range relocation, or a StackMap that
-    no longer sits on a call boundary."""
 
 
 def _align(value: int, alignment: int) -> int:

@@ -22,6 +22,7 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.compiler.stackmap import StackMapEntry, StackMapTable
+from repro.core.errors import LinkError
 from repro.oat import layout
 
 __all__ = ["OatFile", "OatMethodRecord"]
@@ -113,7 +114,7 @@ class OatFile:
     @classmethod
     def from_bytes(cls, raw: bytes) -> "OatFile":
         if raw[: len(_MAGIC)] != _MAGIC:
-            raise ValueError("not an OAT image (bad magic)")
+            raise LinkError("not an OAT image (bad magic)")
         off = len(_MAGIC)
         meta_len, text_len, data_len = struct.unpack_from("<QQQ", raw, off)
         off += 24

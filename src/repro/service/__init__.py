@@ -1,0 +1,32 @@
+"""The Calibro build service (tentpole of the service-layer PR).
+
+Batch builds behind a small, validated API: a persistent worker pool, a
+content-addressed outline/compile cache with disk persistence, and
+versioned per-build reports.  See ``docs/service.md`` for the cache-key
+definition, eviction policy and failure semantics.
+
+>>> from repro.service import BuildService, BuildRequest
+>>> with BuildService(cache_dir="/tmp/calibro-cache") as svc:
+...     reports = svc.build_many([BuildRequest(dexfile, label="app")])
+"""
+
+from repro.service.build import BuildReport, BuildRequest, BuildService
+from repro.service.cache import (
+    DEFAULT_MAX_BYTES,
+    CacheStats,
+    OutlineCache,
+    fingerprint_methods,
+)
+from repro.service.pool import PoolStats, WorkerPool
+
+__all__ = [
+    "BuildReport",
+    "BuildRequest",
+    "BuildService",
+    "CacheStats",
+    "DEFAULT_MAX_BYTES",
+    "OutlineCache",
+    "PoolStats",
+    "WorkerPool",
+    "fingerprint_methods",
+]

@@ -1,0 +1,206 @@
+"""The batch build service: persistent pool + content-addressed caching.
+
+``build_app`` is a one-shot: every call recompiles, rebuilds every
+suffix tree, and (pre-service) forked a fresh process pool.  A fleet
+build farm does the opposite — it builds *many* apps, *repeatedly*,
+with most inputs unchanged between runs.  :class:`BuildService` is that
+amortizing layer:
+
+* one persistent :class:`~repro.service.pool.WorkerPool` for the
+  service lifetime (timeout + retry + serial fallback per group);
+* an :class:`~repro.service.cache.OutlineCache` keyed on group content,
+  so unchanged methods across rebuilds and identical groups across apps
+  skip the suffix-tree work;
+* a compile cache over the same store, keyed on the dex content and
+  compile flags, so an unchanged app skips dex2oat entirely;
+* ``service.*`` spans/counters in the existing observability layer, and
+  a versioned report (:meth:`BuildReport.summary`) per build.
+
+Serial, uncached and cached builds produce **byte-identical** OAT
+images — ``benchmarks/bench_service_cache.py`` proves both that and the
+warm-rebuild speedup, and ``tests/service/`` holds the determinism
+suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+
+from repro import observability as obs
+from repro.compiler.driver import Dex2OatResult
+from repro.core.errors import ServiceError
+from repro.core.pipeline import (
+    SUMMARY_SCHEMA_VERSION,
+    CalibroBuild,
+    CalibroConfig,
+    build_app,
+)
+from repro.dex.method import DexFile
+from repro.dex.serialize import dexfile_to_json
+from repro.service.cache import DEFAULT_MAX_BYTES, OutlineCache
+from repro.service.pool import WorkerPool
+
+__all__ = ["BuildReport", "BuildRequest", "BuildService"]
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """One unit of batch work: an app and the configuration to build it
+    under.  ``label`` names the build in reports (and output files, for
+    ``calibro serve``)."""
+
+    dexfile: DexFile
+    config: CalibroConfig | None = None
+    label: str = ""
+
+
+@dataclass
+class BuildReport:
+    """A finished service build: the :class:`CalibroBuild` plus what the
+    service layer did for it."""
+
+    label: str
+    build: CalibroBuild
+    #: Wall seconds inside the service (compile-cache lookup included).
+    seconds: float
+    #: dex2oat was skipped — the compile cache had this exact dex+flags.
+    compile_cached: bool
+    #: PlOpti groups served from the outline cache / total groups.
+    cached_groups: int
+    total_groups: int
+
+    def summary(self) -> dict[str, object]:
+        """The build's versioned summary plus the service fields
+        (``label``, ``seconds``, ``compile_cached``, ``total_groups``;
+        all documented in ``docs/cli.md``)."""
+        out = self.build.summary()
+        out["label"] = self.label
+        out["seconds"] = round(self.seconds, 4)
+        out["compile_cached"] = self.compile_cached
+        out["total_groups"] = self.total_groups
+        return out
+
+
+class BuildService:
+    """A long-lived builder for batches of apps.
+
+    ``cache_dir=None`` keeps the cache in memory only; point it at a
+    directory to persist outline/compile results across service
+    restarts (sharded, size-bounded — see
+    :class:`~repro.service.cache.OutlineCache`).  Use as a context
+    manager, or call :meth:`close` to release the worker pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | None = None,
+        cache_max_bytes: int = DEFAULT_MAX_BYTES,
+        cache_memory_entries: int = 256,
+        max_workers: int | None = None,
+        group_timeout: float | None = None,
+    ) -> None:
+        self.cache = OutlineCache(
+            cache_dir, max_bytes=cache_max_bytes, memory_entries=cache_memory_entries
+        )
+        self.pool = WorkerPool(max_workers=max_workers, timeout=group_timeout)
+        self.builds_completed = 0
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self.pool.close()
+        self._closed = True
+
+    def __enter__(self) -> "BuildService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- building -----------------------------------------------------------
+
+    def submit(
+        self,
+        dexfile: DexFile,
+        config: CalibroConfig | None = None,
+        *,
+        label: str = "",
+    ) -> BuildReport:
+        """Build one app through the shared pool and caches."""
+        if self._closed:
+            raise ServiceError("build service is closed")
+        config = config or CalibroConfig.baseline()
+        start = time.perf_counter()
+        with obs.span("service.build", label=label or config.name, config=config.name):
+            compiled, compile_cached = self._compile_cached(dexfile, config)
+            build = build_app(
+                dexfile,
+                config,
+                compiled=compiled,
+                cache=self.cache,
+                pool=self.pool,
+            )
+            if not compile_cached:
+                self.cache.store_object(self._compile_key(dexfile, config), build.dex2oat)
+        self.builds_completed += 1
+        obs.counter_add("service.builds")
+        return BuildReport(
+            label=label,
+            build=build,
+            seconds=time.perf_counter() - start,
+            compile_cached=compile_cached,
+            cached_groups=build.ltbo.cached_groups if build.ltbo else 0,
+            total_groups=len(build.ltbo.group_stats) if build.ltbo else 0,
+        )
+
+    def build_many(self, requests: list[BuildRequest]) -> list[BuildReport]:
+        """Build a batch, in order, sharing pool and caches throughout."""
+        with obs.span("service.batch", builds=len(requests)):
+            return [
+                self.submit(req.dexfile, req.config, label=req.label)
+                for req in requests
+            ]
+
+    # -- the compile cache --------------------------------------------------
+
+    @staticmethod
+    def _compile_key(dexfile: DexFile, config: CalibroConfig) -> str:
+        """Content address of one dex2oat invocation: the full dex
+        document plus the flags that shape compilation."""
+        h = hashlib.sha256()
+        h.update(b"compile:v1:")
+        h.update(b"cto" if config.cto_enabled else b"-")
+        h.update(b"inline" if config.inlining else b"-")
+        h.update(
+            json.dumps(dexfile_to_json(dexfile), sort_keys=True, separators=(",", ":"))
+            .encode("utf-8")
+        )
+        return f"compile:{h.hexdigest()}"
+
+    def _compile_cached(
+        self, dexfile: DexFile, config: CalibroConfig
+    ) -> tuple[Dex2OatResult | None, bool]:
+        cached = self.cache.lookup_object(self._compile_key(dexfile, config))
+        if cached is not None:
+            obs.counter_add("service.compile_cache.hits")
+            return cached, True
+        obs.counter_add("service.compile_cache.misses")
+        return None, False
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Service-level bookkeeping (the ``calibro serve`` footer and
+        the ``--json`` report's ``service`` section)."""
+        return {
+            "schema_version": SUMMARY_SCHEMA_VERSION,
+            "builds": self.builds_completed,
+            "cache": self.cache.stats.as_dict(),
+            "pool": self.pool.stats.as_dict(),
+        }

@@ -1,0 +1,403 @@
+"""Content-addressed outline cache (the build service's memo layer).
+
+``outline_group`` is a pure function of its payload: the candidate
+methods (code bytes, relocations, metadata, StackMaps), the hot-method
+mask restricted to those methods, and the ``min_length`` /
+``max_length`` / ``min_saved`` thresholds.  The cache therefore keys
+each group result on a SHA-256 over exactly those inputs — unchanged
+methods across rebuilds, and identical method groups across different
+apps in a batch, hit the cache instead of rebuilding suffix trees.
+
+Key properties:
+
+* **Content addressing.**  The key hashes every field that can affect
+  the result (per-method fingerprints include the full side tables, not
+  just instruction bytes, because rewritten methods embed them).  The
+  partition's ``symbol_prefix`` is deliberately *excluded*: results are
+  stored with the prefix they were computed under and re-branded on a
+  hit, so the same group content shared between, say, round 0 and a
+  different partition index still hits.
+* **Two tiers.**  A bounded in-memory LRU (``memory_entries``) fronts
+  an optional on-disk store (``directory``): one file per entry,
+  sharded by the first two hex digits of the key, written atomically.
+* **Size-bounded LRU eviction.**  The disk store is capped at
+  ``max_bytes``; when a store pushes it over, least-recently-used
+  entries (by access time — hits re-touch their file) are deleted until
+  it fits.
+* **Crash safety.**  A corrupt or truncated entry is treated as a miss
+  and deleted; the cache never fails a build.
+
+Counters (`service.cache.*`) feed the observability registry whenever a
+tracer is active; ``docs/service.md`` documents the semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, replace as dc_replace
+from pathlib import Path
+
+from repro import observability as obs
+from repro.compiler.compiled import CompiledMethod
+from repro.core.errors import ServiceError
+from repro.core.outline import GroupOutlineResult
+
+__all__ = ["CacheStats", "OutlineCache", "fingerprint_methods"]
+
+#: Bump when the pickle payload or key derivation changes shape —
+#: entries from other versions are ignored (treated as misses).
+_FORMAT_VERSION = 1
+
+#: Default disk budget: plenty for a CI fleet of generated apps while
+#: still exercising eviction in long batch runs.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+def _hash_int(h, value: int) -> None:
+    h.update(value.to_bytes(8, "little", signed=True))
+
+
+def _hash_str(h, value: str) -> None:
+    raw = value.encode("utf-8")
+    _hash_int(h, len(raw))
+    h.update(raw)
+
+
+def _hash_method(h, method: CompiledMethod) -> None:
+    """Feed every result-affecting field of one method into ``h``.
+
+    The rewritten method a cached result carries reproduces the input
+    method's name, relocations, metadata, StackMaps, frame size and
+    callees — so all of them are key material, not just the code.
+    """
+    _hash_str(h, method.name)
+    _hash_int(h, len(method.code))
+    h.update(method.code)
+    _hash_int(h, method.frame_size)
+    _hash_int(h, len(method.callees))
+    for callee in method.callees:
+        _hash_str(h, callee)
+    _hash_int(h, len(method.relocations))
+    for reloc in method.relocations:
+        _hash_int(h, reloc.offset)
+        _hash_str(h, reloc.kind)
+        _hash_str(h, reloc.symbol)
+        _hash_int(h, reloc.addend)
+    meta = method.metadata
+    if meta is None:
+        _hash_int(h, -1)
+    else:
+        _hash_int(h, meta.code_size)
+        _hash_int(h, 2 if meta.has_indirect_jump else 0)
+        _hash_int(h, 2 if meta.is_native else 0)
+        _hash_int(h, len(meta.embedded_data))
+        for extent in meta.embedded_data:
+            _hash_int(h, extent.start)
+            _hash_int(h, extent.size)
+        _hash_int(h, len(meta.pc_relative))
+        for ref in meta.pc_relative:
+            _hash_int(h, ref.offset)
+            _hash_int(h, ref.target)
+        _hash_int(h, len(meta.terminators))
+        for off in meta.terminators:
+            _hash_int(h, off)
+        _hash_int(h, len(meta.slowpaths))
+        for slow in meta.slowpaths:
+            _hash_int(h, slow.start)
+            _hash_int(h, slow.end)
+    maps = method.stackmaps
+    if maps is None:
+        _hash_int(h, -1)
+    else:
+        _hash_int(h, len(maps.entries))
+        for entry in maps.entries:
+            _hash_int(h, entry.native_pc)
+            _hash_int(h, entry.dex_pc)
+            _hash_int(h, entry.live_vregs)
+            _hash_str(h, entry.kind)
+
+
+def fingerprint_methods(methods) -> str:
+    """SHA-256 hex fingerprint of a method list (order-sensitive).
+
+    Used by the service's compile cache; group keys use the same
+    per-method hashing via :meth:`OutlineCache.group_key`.
+    """
+    h = hashlib.sha256()
+    _hash_int(h, _FORMAT_VERSION)
+    _hash_int(h, len(methods))
+    for method in methods:
+        _hash_method(h, method)
+    return h.hexdigest()
+
+
+def _rebrand_name(name: str, old: str, new: str) -> str:
+    return new + name[len(old):] if name.startswith(old) else name
+
+
+def _rebrand_method(method: CompiledMethod, old: str, new: str) -> CompiledMethod:
+    """Rename every occurrence of the outlined-function prefix inside one
+    method (its own name, its relocation targets, its callees)."""
+    changed = False
+    name = _rebrand_name(method.name, old, new)
+    changed |= name != method.name
+    relocations = []
+    for reloc in method.relocations:
+        symbol = _rebrand_name(reloc.symbol, old, new)
+        changed |= symbol != reloc.symbol
+        relocations.append(dc_replace(reloc, symbol=symbol) if symbol != reloc.symbol else reloc)
+    callees = tuple(_rebrand_name(c, old, new) for c in method.callees)
+    changed |= callees != method.callees
+    metadata = method.metadata
+    if metadata is not None and metadata.method_name != name:
+        metadata = dc_replace(metadata, method_name=name)
+        changed = True
+    stackmaps = method.stackmaps
+    if stackmaps is not None and stackmaps.method_name != name:
+        stackmaps = dc_replace(stackmaps, method_name=name)
+        changed = True
+    if not changed:
+        return method
+    return CompiledMethod(
+        name=name,
+        code=method.code,
+        relocations=relocations,
+        metadata=metadata,
+        stackmaps=stackmaps,
+        frame_size=method.frame_size,
+        callees=callees,
+    )
+
+
+def _rebrand_result(
+    result: GroupOutlineResult, old_prefix: str, new_prefix: str
+) -> GroupOutlineResult:
+    """Re-render a cached result under a different symbol prefix.
+
+    Outlined-function names are ``f"{prefix}${index}"`` with the index
+    assigned in deterministic decision order, so a pure prefix swap
+    reproduces exactly what a fresh ``outline_group`` call with the new
+    prefix would have emitted.
+    """
+    if old_prefix == new_prefix:
+        return result
+    old, new = old_prefix + "$", new_prefix + "$"
+    return GroupOutlineResult(
+        rewritten={
+            index: _rebrand_method(m, old, new) for index, m in result.rewritten.items()
+        },
+        outlined=[_rebrand_method(m, old, new) for m in result.outlined],
+        stats=result.stats,
+        decisions=[
+            dc_replace(d, name=_rebrand_name(d.name, old, new)) for d in result.decisions
+        ],
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss bookkeeping for one :class:`OutlineCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Hits served from the on-disk tier (a subset of ``hits``).
+    disk_hits: int = 0
+    #: Disk entries deleted by LRU eviction.
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class OutlineCache:
+    """Content-addressed store for ``outline_group`` results (plus the
+    service's generic content-addressed objects, e.g. compile results).
+
+    ``directory=None`` keeps the cache purely in memory;
+    ``memory_entries`` bounds the in-memory LRU tier (spill-overs stay
+    on disk when a directory is configured).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        memory_entries: int = 256,
+    ) -> None:
+        if max_bytes < 1:
+            raise ServiceError("cache max_bytes must be >= 1")
+        if memory_entries < 1:
+            raise ServiceError("cache memory_entries must be >= 1")
+        self.directory = Path(directory) if directory is not None else None
+        self.max_bytes = max_bytes
+        self.memory_entries = memory_entries
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        if self.directory is not None:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ServiceError(f"unusable cache directory: {exc}") from exc
+
+    # -- group results ------------------------------------------------------
+
+    @staticmethod
+    def group_key(payload) -> str:
+        """The content address of one outline payload (see
+        :data:`repro.core.parallel.OutlinePayload`); the symbol prefix is
+        excluded — see the module docstring."""
+        candidates, hot_names, min_length, max_length, min_saved, _prefix = payload
+        h = hashlib.sha256()
+        _hash_int(h, _FORMAT_VERSION)
+        _hash_int(h, min_length)
+        _hash_int(h, max_length)
+        _hash_int(h, min_saved)
+        _hash_int(h, len(candidates))
+        for index, method in candidates:
+            _hash_int(h, index)
+            _hash_int(h, 1 if method.name in hot_names else 0)
+            _hash_method(h, method)
+        return h.hexdigest()
+
+    def lookup_group(self, payload) -> GroupOutlineResult | None:
+        """Return the cached result for ``payload`` (re-branded to its
+        symbol prefix), or ``None`` on a miss."""
+        prefix = payload[5]
+        entry = self._get(self.group_key(payload))
+        if entry is None:
+            return None
+        stored_prefix, result = entry
+        return _rebrand_result(result, stored_prefix, prefix)
+
+    def store_group(self, payload, result: GroupOutlineResult) -> None:
+        self._put(self.group_key(payload), (payload[5], result))
+
+    # -- generic content-addressed objects ----------------------------------
+
+    def lookup_object(self, key: str):
+        """Fetch an arbitrary cached object (the service's compile
+        cache); ``None`` on a miss."""
+        return self._get(key)
+
+    def store_object(self, key: str, value) -> None:
+        self._put(key, value)
+
+    # -- the two tiers ------------------------------------------------------
+
+    def _get(self, key: str):
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            obs.counter_add("service.cache.hits")
+            return self._memory[key]
+        value = self._disk_read(key)
+        if value is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            obs.counter_add("service.cache.hits")
+            obs.counter_add("service.cache.disk_hits")
+            self._memory_put(key, value)
+            return value
+        self.stats.misses += 1
+        obs.counter_add("service.cache.misses")
+        return None
+
+    def _put(self, key: str, value) -> None:
+        self.stats.stores += 1
+        obs.counter_add("service.cache.stores")
+        self._memory_put(key, value)
+        self._disk_write(key, value)
+
+    def _memory_put(self, key: str, value) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop both tiers (a fresh-start knob for tests and tooling)."""
+        self._memory.clear()
+        for path in self._entry_files():
+            path.unlink(missing_ok=True)
+
+    # -- the disk tier ------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.bin"
+
+    def _entry_files(self) -> list[Path]:
+        if self.directory is None or not self.directory.exists():
+            return []
+        return [p for p in self.directory.glob("??/*.bin") if p.is_file()]
+
+    def disk_bytes(self) -> int:
+        """Current size of the on-disk tier."""
+        return sum(p.stat().st_size for p in self._entry_files())
+
+    def _disk_read(self, key: str):
+        if self.directory is None:
+            return None
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("version") != _FORMAT_VERSION:
+                raise ValueError("cache entry format mismatch")
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt/truncated/stale entry: self-heal by dropping it.
+            path.unlink(missing_ok=True)
+            return None
+        os.utime(path)  # refresh LRU recency for the eviction scan
+        return payload["value"]
+
+    def _disk_write(self, key: str, value) -> None:
+        if self.directory is None:
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump({"version": _FORMAT_VERSION, "value": value}, fh)
+        os.replace(tmp, path)
+        self._evict()
+
+    def _evict(self) -> None:
+        """Delete least-recently-used entries until the disk tier fits
+        ``max_bytes`` again."""
+        entries = [(p.stat().st_mtime, p.stat().st_size, p) for p in self._entry_files()]
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            obs.gauge_max("service.cache.bytes", total)
+            return
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            self.stats.evictions += 1
+            obs.counter_add("service.cache.evictions")
+        obs.gauge_max("service.cache.bytes", total)

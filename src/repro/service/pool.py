@@ -1,0 +1,163 @@
+"""The build service's persistent worker pool.
+
+One ``ProcessPoolExecutor`` lives for the service lifetime (instead of
+the fork-and-teardown per ``map_over_groups`` call the pipeline used to
+pay), and every group task gets robustness the bare pool lacks:
+
+* **timeout** — a group that exceeds ``timeout`` seconds is abandoned
+  (`service.pool.timeouts`);
+* **one retry** — a failed or timed-out group is resubmitted once
+  (`service.pool.retries`), after restarting the pool if the worker
+  process died (`service.pool.restarts`);
+* **serial fallback** — a group that failed twice runs in-process
+  (`service.pool.serial_fallbacks`), so one sick worker degrades a
+  build to serial instead of sinking it.  A group whose *worker
+  function* raises deterministically still raises here — bugs must
+  surface, only infrastructure failures are absorbed.
+
+``max_workers=1`` (the default on a single-CPU host) short-circuits to
+plain serial execution — no processes, no pickling.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro import observability as obs
+from repro.core.errors import ServiceError
+from repro.suffixtree.parallel import available_parallelism
+
+__all__ = ["PoolStats", "WorkerPool"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@dataclass
+class PoolStats:
+    """Task bookkeeping for one :class:`WorkerPool`."""
+
+    tasks: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    retries: int = 0
+    serial_fallbacks: int = 0
+    restarts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "tasks": self.tasks,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "retries": self.retries,
+            "serial_fallbacks": self.serial_fallbacks,
+            "restarts": self.restarts,
+        }
+
+
+class WorkerPool:
+    """A persistent process pool with timeout, retry and serial fallback.
+
+    ``max_workers=None`` sizes the pool to the host's usable CPUs; a
+    resolved width of 1 means pure serial execution.  ``timeout`` is
+    per-group seconds (``None`` disables).  The pool is created lazily
+    on first parallel use and survives until :meth:`close` (the service
+    calls it; the class is also a context manager).
+    """
+
+    def __init__(
+        self, *, max_workers: int | None = None, timeout: float | None = None
+    ) -> None:
+        resolved = max_workers if max_workers is not None else available_parallelism()
+        if resolved < 1:
+            raise ServiceError("max_workers must be >= 1")
+        self.max_workers = resolved
+        self.timeout = timeout
+        self.stats = PoolStats()
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise ServiceError("worker pool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def _restart(self) -> None:
+        """Replace a broken executor (its worker died mid-task)."""
+        self.stats.restarts += 1
+        obs.counter_add("service.pool.restarts")
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- execution ----------------------------------------------------------
+
+    def map_groups(
+        self, worker: Callable[[_T], _R], payloads: Sequence[_T]
+    ) -> list[_R]:
+        """Apply ``worker`` to every payload, in order, robustly.
+
+        The signature matches what
+        :func:`repro.core.parallel.outline_partitioned` expects of its
+        ``pool`` collaborator.
+        """
+        if self._closed:
+            raise ServiceError("worker pool is closed")
+        self.stats.tasks += len(payloads)
+        obs.counter_add("service.pool.tasks", len(payloads))
+        if self.max_workers <= 1 or len(payloads) <= 1:
+            return [worker(p) for p in payloads]
+        futures = [self._pool().submit(worker, p) for p in payloads]
+        return [
+            self._collect(worker, payload, future)
+            for payload, future in zip(payloads, futures)
+        ]
+
+    def _collect(self, worker, payload, future) -> object:
+        try:
+            return future.result(timeout=self.timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            self.stats.timeouts += 1
+            obs.counter_add("service.pool.timeouts")
+        except BrokenProcessPool:
+            self.stats.failures += 1
+            obs.counter_add("service.pool.failures")
+            self._restart()
+        except Exception:
+            self.stats.failures += 1
+            obs.counter_add("service.pool.failures")
+        # One retry on a (possibly fresh) pool ...
+        self.stats.retries += 1
+        obs.counter_add("service.pool.retries")
+        try:
+            return self._pool().submit(worker, payload).result(timeout=self.timeout)
+        except BrokenProcessPool:
+            self._restart()
+        except Exception:
+            pass
+        # ... then the serial fallback.
+        self.stats.serial_fallbacks += 1
+        obs.counter_add("service.pool.serial_fallbacks")
+        return worker(payload)

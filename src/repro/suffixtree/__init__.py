@@ -1,7 +1,13 @@
 """Suffix tree substrate: Ukkonen construction, repeat enumeration and
 the group-parallel execution helpers backing PlOpti."""
 
-from repro.suffixtree.parallel import available_parallelism, map_over_groups, partition_evenly
+from repro.suffixtree.parallel import (
+    available_parallelism,
+    map_over_groups,
+    partition_evenly,
+    shared_pool,
+    shutdown_shared_pool,
+)
 from repro.suffixtree.repeats import (
     Repeat,
     brute_force_repeats,
@@ -20,4 +26,6 @@ __all__ = [
     "map_over_groups",
     "partition_evenly",
     "select_nonoverlapping",
+    "shared_pool",
+    "shutdown_shared_pool",
 ]

@@ -6,24 +6,37 @@ for its own overhead), one suffix tree is built per group, and the
 build/detect/outline/patch work runs per tree in parallel.
 
 This module provides the group-parallel execution substrate.  Group
-payloads are mapped through a worker function with a process pool when
-(a) more than one CPU is available and (b) the caller asked for more
-than one job; otherwise the groups run serially.  Either way the
-*partitioning* benefit survives: K small trees have a much smaller
-working set and far fewer candidate repeats than one global tree, which
-is the component of the paper's speedup that does not depend on thread
-hardware (and the only one measurable in a single-core container — see
-DESIGN.md).
+payloads are mapped through a worker function with a **persistent,
+process-wide pool** when (a) more than one CPU is available and (b) the
+caller asked for more than one job; otherwise the groups run serially.
+The pool is created lazily on first use and reused for the life of the
+process (``shutdown_shared_pool`` tears it down), so repeated builds —
+the build-service workload — stop paying the fork/teardown cost that a
+per-call ``ProcessPoolExecutor`` charged on every ``map_over_groups``.
+Either way the *partitioning* benefit survives: K small trees have a
+much smaller working set and far fewer candidate repeats than one
+global tree, which is the component of the paper's speedup that does
+not depend on thread hardware (and the only one measurable in a
+single-core container — see DESIGN.md).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["available_parallelism", "map_over_groups", "partition_evenly"]
+from repro.core.errors import ConfigError
+
+__all__ = [
+    "available_parallelism",
+    "map_over_groups",
+    "partition_evenly",
+    "shared_pool",
+    "shutdown_shared_pool",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -37,6 +50,37 @@ def available_parallelism() -> int:
         return os.cpu_count() or 1
 
 
+# -- the persistent process pool ---------------------------------------------
+
+_SHARED_POOL: ProcessPoolExecutor | None = None
+
+
+def shared_pool(max_workers: int | None = None) -> ProcessPoolExecutor:
+    """The process-wide persistent executor (created lazily, reused).
+
+    ``max_workers`` only applies to the *first* call that actually
+    creates the pool; afterwards the existing pool is returned whatever
+    its size (call :func:`shutdown_shared_pool` first to resize).
+    """
+    global _SHARED_POOL
+    if _SHARED_POOL is None:
+        _SHARED_POOL = ProcessPoolExecutor(
+            max_workers=max_workers or available_parallelism()
+        )
+    return _SHARED_POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the persistent pool (no-op when none was created)."""
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.shutdown()
+        _SHARED_POOL = None
+
+
+atexit.register(shutdown_shared_pool)
+
+
 def partition_evenly(items: Sequence[_T], groups: int, seed: int = 0) -> list[list[_T]]:
     """Randomly partition ``items`` into ``groups`` lists of near-equal size.
 
@@ -45,7 +89,7 @@ def partition_evenly(items: Sequence[_T], groups: int, seed: int = 0) -> list[li
     reproducible.
     """
     if groups < 1:
-        raise ValueError("groups must be >= 1")
+        raise ConfigError("groups must be >= 1")
     indices = list(range(len(items)))
     random.Random(seed).shuffle(indices)
     buckets: list[list[_T]] = [[] for _ in range(min(groups, max(1, len(items))))]
@@ -62,12 +106,24 @@ def map_over_groups(
     """Apply ``worker`` to each group, in parallel when possible.
 
     ``worker`` must be a module-level function (picklability) when
-    ``jobs > 1``.  Results are returned in group order.
+    ``jobs > 1``.  Results are returned in group order.  Parallel runs
+    go through the persistent :func:`shared_pool`; at most ``jobs``
+    tasks are in flight at once even when the pool is wider.
     """
     if jobs < 1:
-        raise ValueError("jobs must be >= 1")
+        raise ConfigError("jobs must be >= 1")
     effective = min(jobs, len(groups), available_parallelism())
     if effective <= 1 or len(groups) <= 1:
         return [worker(group) for group in groups]
-    with ProcessPoolExecutor(max_workers=effective) as pool:
-        return list(pool.map(worker, groups))
+    pool = shared_pool()
+    results: list[_R | None] = [None] * len(groups)
+    in_flight: dict[Future, int] = {}
+    next_index = 0
+    while next_index < len(groups) or in_flight:
+        while next_index < len(groups) and len(in_flight) < effective:
+            in_flight[pool.submit(worker, groups[next_index])] = next_index
+            next_index += 1
+        done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+        for future in done:
+            results[in_flight.pop(future)] = future.result()
+    return results  # type: ignore[return-value]

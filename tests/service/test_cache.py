@@ -1,0 +1,152 @@
+"""The content-addressed outline cache: keys, rebranding, disk tier."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.compiler.driver import dex2oat
+from repro.core.candidates import select_candidates
+from repro.core.errors import ServiceError
+from repro.core.outline import DEFAULT_MAX_LENGTH, DEFAULT_MIN_LENGTH, DEFAULT_MIN_SAVED
+from repro.core.parallel import _worker
+from repro.service import OutlineCache, fingerprint_methods
+
+
+@pytest.fixture(scope="module")
+def candidates(small_app):
+    result = dex2oat(small_app.dexfile, cto=True)
+    return select_candidates(list(result.methods)).candidates
+
+
+def _payload(candidates, prefix="MethodOutliner$g0", min_length=DEFAULT_MIN_LENGTH):
+    return (
+        candidates,
+        frozenset(),
+        min_length,
+        DEFAULT_MAX_LENGTH,
+        DEFAULT_MIN_SAVED,
+        prefix,
+    )
+
+
+def test_group_key_is_stable_and_content_sensitive(candidates):
+    payload = _payload(candidates)
+    key = OutlineCache.group_key(payload)
+    assert key == OutlineCache.group_key(_payload(candidates))
+    assert len(key) == 64  # sha256 hex
+    # Thresholds are key material ...
+    assert key != OutlineCache.group_key(_payload(candidates, min_length=3))
+    # ... the hot mask is key material ...
+    hot = (candidates, frozenset({candidates[0][1].name}), DEFAULT_MIN_LENGTH,
+           DEFAULT_MAX_LENGTH, DEFAULT_MIN_SAVED, "MethodOutliner$g0")
+    assert key != OutlineCache.group_key(hot)
+    # ... the symbol prefix is deliberately not.
+    assert key == OutlineCache.group_key(_payload(candidates, prefix="Other$g7"))
+
+
+def test_fingerprint_is_order_sensitive(candidates):
+    methods = [m for _, m in candidates[:4]]
+    assert fingerprint_methods(methods) == fingerprint_methods(list(methods))
+    assert fingerprint_methods(methods) != fingerprint_methods(methods[::-1])
+
+
+def test_hit_rebrands_to_the_requested_prefix(candidates):
+    cache = OutlineCache()
+    stored = _payload(candidates, prefix="MethodOutliner$g0")
+    cache.store_group(stored, _worker(stored))
+
+    wanted = _payload(candidates, prefix="Round1$g3")
+    hit = cache.lookup_group(wanted)
+    assert hit is not None
+    fresh = _worker(wanted)
+    assert [m.name for m in hit.outlined] == [m.name for m in fresh.outlined]
+    assert [m.code for m in hit.outlined] == [m.code for m in fresh.outlined]
+    assert set(hit.rewritten) == set(fresh.rewritten)
+    for index in hit.rewritten:
+        assert hit.rewritten[index].code == fresh.rewritten[index].code
+        assert [r.symbol for r in hit.rewritten[index].relocations] == [
+            r.symbol for r in fresh.rewritten[index].relocations
+        ]
+
+
+def test_miss_then_hit_then_stats(candidates):
+    cache = OutlineCache()
+    payload = _payload(candidates)
+    assert cache.lookup_group(payload) is None
+    cache.store_group(payload, _worker(payload))
+    assert cache.lookup_group(payload) is not None
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats.stores == 1 and cache.stats.hit_rate == 0.5
+
+
+def test_disk_round_trip_across_instances(tmp_path, candidates):
+    payload = _payload(candidates)
+    writer = OutlineCache(tmp_path)
+    writer.store_group(payload, _worker(payload))
+    assert writer.disk_bytes() > 0
+
+    reader = OutlineCache(tmp_path)
+    assert reader.lookup_group(payload) is not None
+    assert reader.stats.disk_hits == 1
+    # The entry was promoted to memory: a second lookup skips the disk.
+    assert reader.lookup_group(payload) is not None
+    assert reader.stats.disk_hits == 1 and reader.stats.hits == 2
+
+
+def test_corrupt_disk_entry_self_heals(tmp_path):
+    cache = OutlineCache(tmp_path)
+    cache.store_object("deadbeef00", b"payload")
+    [path] = [p for p in tmp_path.rglob("*.bin")]
+    path.write_bytes(b"not a pickle")
+    fresh = OutlineCache(tmp_path)
+    assert fresh.lookup_object("deadbeef00") is None
+    assert not path.exists()
+
+
+def test_format_version_mismatch_is_a_miss(tmp_path):
+    cache = OutlineCache(tmp_path)
+    cache.store_object("deadbeef11", b"payload")
+    [path] = [p for p in tmp_path.rglob("*.bin")]
+    path.write_bytes(pickle.dumps({"version": 999, "value": b"stale"}))
+    fresh = OutlineCache(tmp_path)
+    assert fresh.lookup_object("deadbeef11") is None
+
+
+def test_lru_eviction_is_size_bounded_and_recency_aware(tmp_path):
+    blob = b"x" * 2000
+    cache = OutlineCache(tmp_path, max_bytes=5000, memory_entries=1)
+    cache.store_object("aa" * 32, blob)
+    time.sleep(0.02)
+    cache.store_object("bb" * 32, blob)
+    time.sleep(0.02)
+    assert cache.stats.evictions == 0
+    # Touch "aa" so "bb" becomes the least recently used entry; the
+    # memory tier holds one entry, so this read goes to disk (utime).
+    assert cache.lookup_object("aa" * 32) is not None
+    time.sleep(0.02)
+    cache.store_object("cc" * 32, blob)  # 3 * ~2KB > 5000 -> evict
+    assert cache.stats.evictions >= 1
+    assert cache.disk_bytes() <= 5000
+
+    fresh = OutlineCache(tmp_path, max_bytes=5000)
+    assert fresh.lookup_object("bb" * 32) is None  # the LRU victim
+    assert fresh.lookup_object("aa" * 32) is not None
+    assert fresh.lookup_object("cc" * 32) is not None
+
+
+def test_clear_drops_both_tiers(tmp_path):
+    cache = OutlineCache(tmp_path)
+    cache.store_object("ee" * 32, b"v")
+    cache.clear()
+    assert cache.disk_bytes() == 0
+    assert cache.lookup_object("ee" * 32) is None
+
+
+def test_constructor_validation():
+    with pytest.raises(ServiceError):
+        OutlineCache(max_bytes=0)
+    with pytest.raises(ServiceError):
+        OutlineCache(memory_entries=0)

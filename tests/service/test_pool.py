@@ -1,0 +1,99 @@
+"""WorkerPool robustness: timeout, retry, restart, serial fallback.
+
+The worker functions live at module level so the executor can pickle
+them; the ones that simulate infrastructure failures check
+``multiprocessing.parent_process()`` so the misbehaviour (hanging,
+dying) only happens in pool *children* — when the pool degrades to its
+in-process serial fallback they return normally instead of taking the
+test runner down with them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.service import WorkerPool
+
+
+def _double(value):
+    return value * 2
+
+
+def _raise_value_error(value):
+    raise ValueError(f"deterministic bug for {value}")
+
+
+def _hang_in_child(value):
+    if multiprocessing.parent_process() is not None:
+        time.sleep(2.0)
+    return value + 100
+
+
+def _die_in_child(value):
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return value + 200
+
+
+def test_serial_pool_runs_inline():
+    pool = WorkerPool(max_workers=1)
+    assert pool.map_groups(_double, [1, 2, 3]) == [2, 4, 6]
+    assert pool._executor is None  # no processes were ever forked
+    assert pool.stats.tasks == 3
+
+
+def test_parallel_pool_preserves_order():
+    with WorkerPool(max_workers=2) as pool:
+        assert pool.map_groups(_double, list(range(8))) == [n * 2 for n in range(8)]
+        assert pool.stats.tasks == 8
+        assert pool.stats.retries == 0 and pool.stats.serial_fallbacks == 0
+
+
+def test_deterministic_worker_bug_still_raises():
+    with WorkerPool(max_workers=2) as pool:
+        with pytest.raises(ValueError, match="deterministic bug"):
+            pool.map_groups(_raise_value_error, [1, 2])
+        # First attempt failed, the retry failed, and the serial
+        # fallback surfaced the bug in-process.
+        assert pool.stats.failures >= 1
+        assert pool.stats.retries >= 1
+        assert pool.stats.serial_fallbacks >= 1
+
+
+def test_timeout_falls_back_to_serial():
+    pool = WorkerPool(max_workers=2, timeout=0.2)
+    try:
+        assert pool.map_groups(_hang_in_child, [1, 2]) == [101, 102]
+        assert pool.stats.timeouts >= 1
+        assert pool.stats.serial_fallbacks >= 1
+    finally:
+        # The hung children are still sleeping; a waiting shutdown would
+        # serialize their naps into the test. Drop the executor instead.
+        pool._restart()
+        pool._closed = True
+
+
+def test_dead_worker_restarts_pool_and_falls_back():
+    with WorkerPool(max_workers=2) as pool:
+        assert pool.map_groups(_die_in_child, [1, 2]) == [201, 202]
+        assert pool.stats.restarts >= 1
+        assert pool.stats.serial_fallbacks >= 1
+        # The replacement pool is healthy.
+        assert pool.map_groups(_double, [5, 6]) == [10, 12]
+
+
+def test_closed_pool_rejects_work():
+    pool = WorkerPool(max_workers=2)
+    pool.close()
+    with pytest.raises(ServiceError):
+        pool.map_groups(_double, [1])
+
+
+def test_width_validation():
+    with pytest.raises(ServiceError):
+        WorkerPool(max_workers=0)

@@ -17,6 +17,7 @@ MODULES = [
     "repro.core.benefit",
     "repro.core.candidates",
     "repro.core.detect",
+    "repro.core.errors",
     "repro.core.hotfilter",
     "repro.core.metadata",
     "repro.core.outline",
@@ -35,6 +36,10 @@ MODULES = [
     "repro.profiling",
     "repro.reporting",
     "repro.runtime",
+    "repro.service",
+    "repro.service.build",
+    "repro.service.cache",
+    "repro.service.pool",
     "repro.suffixtree",
     "repro.workloads",
 ]
