@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.compiler.compiled import CompiledMethod
 from repro.core.benefit import evaluate
-from repro.suffixtree import SuffixTree, enumerate_repeats
+from repro.suffixtree import DEFAULT_ENGINE, get_miner
 
 __all__ = ["RedundancyReport", "estimate_redundancy", "length_census"]
 
@@ -63,6 +63,7 @@ def estimate_redundancy(
     *,
     min_length: int = 2,
     max_length: int = 64,
+    engine: str = DEFAULT_ENGINE,
 ) -> RedundancyReport:
     """Run the §2.2 estimator over compiled (pre-link) method code."""
     symbols: list[int] = []
@@ -77,9 +78,9 @@ def estimate_redundancy(
         # A method boundary also separates: a "repeat" spanning two
         # unrelated methods is not a real outlining target.
         symbols.append(-2 - len(symbols))
-    tree = SuffixTree(symbols)
-    repeats = enumerate_repeats(tree, min_length=min_length, min_count=2, max_length=max_length)
-    repeats.sort(key=lambda r: (-evaluate(r.length, r.count), -r.length, r.node))
+    miner = get_miner(engine)(symbols)
+    repeats = miner.repeats(min_length=min_length, min_count=2, max_length=max_length)
+    repeats.sort(key=lambda r: (-evaluate(r.length, r.count), -r.length, r.first))
 
     claimed_positions = bytearray(len(symbols))
     claimed: list[tuple[int, int]] = []
@@ -89,7 +90,7 @@ def estimate_redundancy(
         census.append((repeat.length, repeat.count))
         if evaluate(repeat.length, repeat.count) < 1:
             continue
-        positions = repeat.positions(tree)
+        positions = repeat.positions(miner)
         chosen = 0
         last_end = -1
         starts: list[int] = []

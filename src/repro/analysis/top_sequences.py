@@ -20,7 +20,7 @@ from repro.core.patterns import (
 )
 from repro.isa import DecodeError, decode
 from repro.oat import layout
-from repro.suffixtree import SuffixTree, enumerate_repeats
+from repro.suffixtree import DEFAULT_ENGINE, get_miner
 
 __all__ = ["SequenceReport", "TopSequence", "top_repeated_sequences"]
 
@@ -80,6 +80,7 @@ def top_repeated_sequences(
     min_length: int = 2,
     max_length: int = 16,
     rank_by: str = "repeats",
+    engine: str = DEFAULT_ENGINE,
 ) -> SequenceReport:
     """Rank repeated sequences by frequency (``repeats``, the paper's
     Observation-3 ranking) or by benefit-model savings (``saved``)."""
@@ -96,19 +97,18 @@ def top_repeated_sequences(
                 symbols.append(int.from_bytes(method.code[i : i + 4], "little"))
         symbols.append(-2 - len(symbols))
 
-    tree = SuffixTree(symbols)
-    repeats = enumerate_repeats(tree, min_length=min_length, min_count=2, max_length=max_length)
+    miner = get_miner(engine)(symbols)
+    repeats = miner.repeats(min_length=min_length, min_count=2, max_length=max_length)
     if rank_by == "repeats":
-        repeats.sort(key=lambda r: (-r.count, -r.length, r.node))
+        repeats.sort(key=lambda r: (-r.count, -r.length, r.first))
     else:
-        repeats.sort(key=lambda r: (-evaluate(r.length, r.count), -r.length, r.node))
+        repeats.sort(key=lambda r: (-evaluate(r.length, r.count), -r.length, r.first))
 
     patterns = _pattern_index()
     report = SequenceReport(app_name=app_name)
     seen_words: set[tuple[int, ...]] = set()
     for repeat in repeats:
-        pos = tree.occurrences(repeat.node)[0]
-        words = tuple(symbols[pos : pos + repeat.length])
+        words = tuple(symbols[repeat.first : repeat.first + repeat.length])
         # Skip sub-sequences of an already ranked longer repeat so the
         # list shows distinct shapes (the paper's per-pattern view).
         if any(w in seen_words for w in (words,)):

@@ -41,6 +41,7 @@ from repro.core.pipeline import CalibroConfig, build_app
 from repro.core.staged import compile_stage, link_stage, outline_stage
 from repro.dex.serialize import load_dexfile, save_dexfile
 from repro.oat.oatfile import OatFile
+from repro.suffixtree import DEFAULT_ENGINE, ENGINES
 
 __all__ = ["main"]
 
@@ -183,6 +184,7 @@ def _build_config(args) -> CalibroConfig:
         ltbo_enabled=not args.no_ltbo,
         parallel_groups=args.groups,
         hot_filter=hot_filter,
+        engine=args.engine,
         name="+".join(parts) if parts else "baseline",
     )
 
@@ -210,6 +212,10 @@ def _cmd_serve(args) -> int:
             config = CalibroConfig.from_dict(json.load(fh))
     else:
         config = CalibroConfig.cto_ltbo_plopti(groups=args.groups)
+    if args.engine:
+        from dataclasses import replace as dc_replace
+
+        config = dc_replace(config, engine=args.engine)
     os.makedirs(args.outdir, exist_ok=True)
     requests = []
     for path in args.inputs:
@@ -462,6 +468,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cto", action="store_true")
     p.add_argument("--no-ltbo", action="store_true")
     p.add_argument("--groups", type=int, default=1)
+    p.add_argument("--engine", choices=sorted(ENGINES), default=DEFAULT_ENGINE,
+                   help="repeat-mining backend for LTBO.2")
     p.add_argument("--hot-profile")
     p.add_argument("--coverage", type=float, default=0.80)
     p.add_argument("--json", action="store_true",
@@ -479,6 +487,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="CalibroConfig dict (the to_dict/from_dict format)")
     p.add_argument("--groups", type=int, default=8,
                    help="PlOpti partitions when no --config is given")
+    p.add_argument("--engine", choices=sorted(ENGINES), default=None,
+                   help="repeat-mining backend (overrides the --config file)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker pool width (default: usable CPUs)")
     p.add_argument("--cache-dir",

@@ -4,7 +4,9 @@ Given one group of candidate methods (the whole candidate set in the
 single-tree configuration; one PlOpti partition otherwise):
 
 1. map methods to symbol sequences (:mod:`repro.core.detect`);
-2. build a suffix tree and enumerate repeats;
+2. index the sequence with the configured repeat-mining engine (the
+   Ukkonen suffix tree, or the SA-IS suffix array — see
+   :mod:`repro.suffixtree.miners`) and enumerate repeats;
 3. greedily claim occurrences in descending benefit-model order —
    "based on ... the benefit model, we can also choose the sequence with
    larger benefit among multiple overlapping ones to outline";
@@ -32,7 +34,7 @@ from repro.core.metadata import MethodMetadata
 from repro.core.patch import patch_pc_relative
 from repro.isa import instructions as ins
 from repro.isa import registers as regs
-from repro.suffixtree import SuffixTree, enumerate_repeats
+from repro.suffixtree import DEFAULT_ENGINE, RepeatMiner, get_miner
 
 __all__ = ["GroupOutlineResult", "OutlineStats", "OutlinedFunction", "outline_group"]
 
@@ -118,9 +120,16 @@ def outline_group(
     min_length: int = DEFAULT_MIN_LENGTH,
     max_length: int = DEFAULT_MAX_LENGTH,
     min_saved: int = DEFAULT_MIN_SAVED,
+    engine: str = DEFAULT_ENGINE,
     symbol_prefix: str = "MethodOutliner",
 ) -> GroupOutlineResult:
-    """Outline one group of candidate methods."""
+    """Outline one group of candidate methods.
+
+    ``engine`` selects the repeat-mining backend (see
+    :data:`repro.suffixtree.ENGINES`); every engine yields the same
+    repeats and occurrence sets, and the selection tie-break below is
+    engine-neutral, so the rewritten bytes do not depend on the choice.
+    """
     stats = OutlineStats(candidate_methods=len(candidates))
     stats.bytes_before = sum(m.size for _, m in candidates)
     if not candidates:
@@ -128,13 +137,13 @@ def outline_group(
 
     t0 = time.perf_counter()
     group = map_group(candidates, hot_names)
-    tree = SuffixTree(group.symbols)
+    miner = get_miner(engine)(group.symbols)
     stats.sequence_symbols = len(group.symbols)
-    stats.tree_nodes = tree.node_count
+    stats.tree_nodes = miner.node_count
     stats.build_seconds = time.perf_counter() - t0
 
     t1 = time.perf_counter()
-    decisions = _select(tree, group, min_length, max_length, min_saved, symbol_prefix, stats)
+    decisions = _select(miner, group, min_length, max_length, min_saved, symbol_prefix, stats)
     stats.search_seconds = time.perf_counter() - t1
 
     t2 = time.perf_counter()
@@ -165,7 +174,7 @@ def outline_group(
 
 
 def _select(
-    tree: SuffixTree,
+    miner: RepeatMiner,
     group: GroupSequence,
     min_length: int,
     max_length: int,
@@ -173,12 +182,15 @@ def _select(
     symbol_prefix: str,
     stats: OutlineStats,
 ) -> list[OutlinedFunction]:
-    repeats = enumerate_repeats(tree, min_length=min_length, min_count=2, max_length=max_length)
+    repeats = miner.repeats(min_length=min_length, min_count=2, max_length=max_length)
     stats.repeats_enumerated = len(repeats)
     # Greedy in descending estimated benefit; the estimate (using the raw
     # occurrence count) upper-bounds the realised benefit, so once the
     # estimate drops below the threshold nothing later can qualify.
-    repeats.sort(key=lambda r: (-benefit.evaluate(r.length, r.count), -r.length, r.node))
+    # The final tie-break is the first occurrence position — unlike an
+    # index-internal node id it is the same for every engine, keeping
+    # the claim order (and the output bytes) engine-invariant.
+    repeats.sort(key=lambda r: (-benefit.evaluate(r.length, r.count), -r.length, r.first))
     claimed = bytearray(len(group.symbols))
     decisions: list[OutlinedFunction] = []
     symbols = group.symbols
@@ -189,7 +201,7 @@ def _select(
             # remaining repeat is rejected by the benefit model too.
             stats.repeats_rejected += len(repeats) - repeat_rank
             break
-        positions = repeat.positions(tree)
+        positions = repeat.positions(miner)
         chosen: list[int] = []
         last_end = -1
         for pos in positions:

@@ -41,6 +41,7 @@ from repro.core.outline import (
     OutlineStats,
     outline_group,
 )
+from repro.suffixtree import DEFAULT_ENGINE, get_miner
 from repro.suffixtree.parallel import (
     available_parallelism,
     map_over_groups,
@@ -51,8 +52,8 @@ __all__ = ["OutlinePayload", "ParallelOutlineResult", "outline_partitioned"]
 
 #: One group's complete work order: everything :func:`outline_group`
 #: needs, in a picklable tuple — ``(candidates, hot_names, min_length,
-#: max_length, min_saved, symbol_prefix)``.  The cache key is derived
-#: from exactly these fields (see ``repro/service/cache.py``).
+#: max_length, min_saved, engine, symbol_prefix)``.  The cache key is
+#: derived from exactly these fields (see ``repro/service/cache.py``).
 OutlinePayload = tuple
 
 
@@ -76,13 +77,14 @@ class ParallelOutlineResult:
 
 
 def _worker(payload: OutlinePayload) -> GroupOutlineResult:
-    candidates, hot_names, min_length, max_length, min_saved, prefix = payload
+    candidates, hot_names, min_length, max_length, min_saved, engine, prefix = payload
     return outline_group(
         candidates,
         hot_names=hot_names,
         min_length=min_length,
         max_length=max_length,
         min_saved=min_saved,
+        engine=engine,
         symbol_prefix=prefix,
     )
 
@@ -95,35 +97,46 @@ def outline_partitioned(
     min_length: int = DEFAULT_MIN_LENGTH,
     max_length: int = DEFAULT_MAX_LENGTH,
     min_saved: int = DEFAULT_MIN_SAVED,
+    engine: str = DEFAULT_ENGINE,
     jobs: int | None = None,
     seed: int = 0,
     symbol_prefix: str = "MethodOutliner",
     cache=None,
     pool=None,
 ) -> ParallelOutlineResult:
-    """Outline with K per-group suffix trees.
+    """Outline with K per-group repeat-mining indexes.
 
-    ``groups=1`` degenerates to the single global tree.  ``jobs``
-    defaults to ``groups`` *clamped to the CPU count* — asking for 64
-    groups on a 4-core host schedules 4 jobs, not 64 (the chosen value
-    is recorded as the ``plopti.jobs`` gauge).  ``symbol_prefix``
-    namespaces the outlined functions (multi-round callers pass a
-    per-round prefix to keep symbols unique).  ``cache``/``pool`` are
-    the optional build-service collaborators described in the module
-    docstring.
+    ``groups=1`` degenerates to the single global index.  ``engine``
+    selects the mining backend for every group (validated here, before
+    any worker forks — an unknown name is a :class:`ConfigError`, not a
+    ``KeyError`` inside the pool).  ``jobs`` defaults to ``groups``
+    *clamped to the CPU count* — asking for 64 groups on a 4-core host
+    schedules 4 jobs, not 64 (the chosen value is recorded as the
+    ``plopti.jobs`` gauge).  ``symbol_prefix`` namespaces the outlined
+    functions (multi-round callers pass a per-round prefix to keep
+    symbols unique).  ``cache``/``pool`` are the optional build-service
+    collaborators described in the module docstring.
     """
     if groups < 1:
         raise ConfigError("groups must be >= 1")
     if jobs is not None and jobs < 1:
         raise ConfigError("jobs must be >= 1")
+    get_miner(engine)  # fail fast on an unknown engine
     with obs.span("ltbo.partition"):
         partitions = partition_evenly(candidates, groups, seed=seed)
     payloads: list[OutlinePayload] = [
-        (part, hot_names, min_length, max_length, min_saved, f"{symbol_prefix}$g{gi}")
+        (part, hot_names, min_length, max_length, min_saved, engine,
+         f"{symbol_prefix}$g{gi}")
         for gi, part in enumerate(partitions)
     ]
     effective_jobs = jobs if jobs is not None else min(groups, available_parallelism())
     obs.gauge_set("plopti.jobs", effective_jobs)
+    # Static-literal gauge per engine (the docs-coverage convention):
+    # a trace shows which backends mined this build.
+    if engine == "suffixtree":
+        obs.gauge_set("mine.engine.suffixtree", 1)
+    elif engine == "suffixarray":
+        obs.gauge_set("mine.engine.suffixarray", 1)
     tracer = obs.current_tracer()
     with obs.span("ltbo.outline") as outline_span:
         results: list[GroupOutlineResult | None] = [None] * len(payloads)

@@ -43,18 +43,21 @@ from repro.dex.method import DexFile
 from repro.oat.linker import link
 from repro.oat.oatfile import OatFile
 from repro.observability import Trace
+from repro.suffixtree import DEFAULT_ENGINE, ENGINES
 
 __all__ = ["CalibroBuild", "CalibroConfig", "SUMMARY_KEYS", "SUMMARY_SCHEMA_VERSION", "build_app"]
 
 #: Version of the ``CalibroBuild.summary()`` / ``to_json()`` document.
 #: Bump on any key addition, removal or meaning change; consumers pin it.
-SUMMARY_SCHEMA_VERSION = 1
+#: v2 added ``engine`` (the repeat-mining backend).
+SUMMARY_SCHEMA_VERSION = 2
 
 #: Every key ``summary()`` emits, in emission order.  ``docs/cli.md``
 #: documents each one and ``tests/test_cli_docs.py`` enforces that.
 SUMMARY_KEYS = (
     "schema_version",
     "config",
+    "engine",
     "text_size",
     "data_size",
     "methods",
@@ -87,9 +90,19 @@ class CalibroConfig:
     max_length: int = DEFAULT_MAX_LENGTH
     min_saved: int = DEFAULT_MIN_SAVED
     partition_seed: int = 0
+    #: Repeat-mining backend for LTBO.2 (see
+    #: :data:`repro.suffixtree.ENGINES`).  Engines are interchangeable —
+    #: identical output bytes — but not cache-compatible: the outline
+    #: cache keys on the engine name.
+    engine: str = DEFAULT_ENGINE
     name: str = "baseline"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of: "
+                f"{', '.join(sorted(ENGINES))}"
+            )
         if self.parallel_groups < 1:
             raise ConfigError(
                 f"parallel_groups must be >= 1, got {self.parallel_groups}"
@@ -171,6 +184,7 @@ class CalibroConfig:
             "max_length": self.max_length,
             "min_saved": self.min_saved,
             "partition_seed": self.partition_seed,
+            "engine": self.engine,
             "hot_filter": hot,
         }
 
@@ -202,6 +216,7 @@ class CalibroConfig:
         known = {
             "name", "cto_enabled", "ltbo_enabled", "inlining", "parallel_groups",
             "jobs", "min_length", "max_length", "min_saved", "partition_seed",
+            "engine",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -244,6 +259,7 @@ class CalibroBuild:
         return {
             "schema_version": SUMMARY_SCHEMA_VERSION,
             "config": self.config.name,
+            "engine": self.config.engine,
             "text_size": self.text_size,
             "data_size": self.oat.data_size,
             "methods": len(self.oat.methods),
@@ -315,7 +331,9 @@ def _build_traced(
         selection = None
         ltbo_result = None
         if config.ltbo_enabled:
-            with tracer.span("build.ltbo", groups=config.parallel_groups) as ltbo_span:
+            with tracer.span(
+                "build.ltbo", groups=config.parallel_groups, engine=config.engine
+            ) as ltbo_span:
                 with tracer.span("ltbo.select_candidates"):
                     selection = select_candidates(methods)
                 hot_names = (
@@ -330,6 +348,7 @@ def _build_traced(
                     min_length=config.min_length,
                     max_length=config.max_length,
                     min_saved=config.min_saved,
+                    engine=config.engine,
                     jobs=config.jobs,
                     seed=config.partition_seed,
                     cache=cache,
@@ -395,6 +414,7 @@ def _build_untraced(
             min_length=config.min_length,
             max_length=config.max_length,
             min_saved=config.min_saved,
+            engine=config.engine,
             jobs=config.jobs,
             seed=config.partition_seed,
             cache=cache,

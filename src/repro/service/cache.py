@@ -2,8 +2,9 @@
 
 ``outline_group`` is a pure function of its payload: the candidate
 methods (code bytes, relocations, metadata, StackMaps), the hot-method
-mask restricted to those methods, and the ``min_length`` /
-``max_length`` / ``min_saved`` thresholds.  The cache therefore keys
+mask restricted to those methods, the ``min_length`` /
+``max_length`` / ``min_saved`` thresholds, and the repeat-mining
+engine.  The cache therefore keys
 each group result on a SHA-256 over exactly those inputs — unchanged
 methods across rebuilds, and identical method groups across different
 apps in a batch, hit the cache instead of rebuilding suffix trees.
@@ -49,7 +50,8 @@ __all__ = ["CacheStats", "OutlineCache", "fingerprint_methods"]
 
 #: Bump when the pickle payload or key derivation changes shape —
 #: entries from other versions are ignored (treated as misses).
-_FORMAT_VERSION = 1
+#: v2: the payload grew the repeat-mining engine name (key material).
+_FORMAT_VERSION = 2
 
 #: Default disk budget: plenty for a CI fleet of generated apps while
 #: still exercising eviction in long batch runs.
@@ -265,13 +267,23 @@ class OutlineCache:
     def group_key(payload) -> str:
         """The content address of one outline payload (see
         :data:`repro.core.parallel.OutlinePayload`); the symbol prefix is
-        excluded — see the module docstring."""
-        candidates, hot_names, min_length, max_length, min_saved, _prefix = payload
+        excluded — see the module docstring.
+
+        The repeat-mining ``engine`` *is* key material even though every
+        engine produces identical bytes: keying per engine keeps each
+        backend's results verifiable on their own (a cross-engine hit
+        would mask an engine divergence instead of surfacing it), and
+        the guarantee is cheap — one rebuild per engine switch.
+        """
+        candidates, hot_names, min_length, max_length, min_saved, engine, _prefix = (
+            payload
+        )
         h = hashlib.sha256()
         _hash_int(h, _FORMAT_VERSION)
         _hash_int(h, min_length)
         _hash_int(h, max_length)
         _hash_int(h, min_saved)
+        _hash_str(h, engine)
         _hash_int(h, len(candidates))
         for index, method in candidates:
             _hash_int(h, index)
@@ -282,7 +294,7 @@ class OutlineCache:
     def lookup_group(self, payload) -> GroupOutlineResult | None:
         """Return the cached result for ``payload`` (re-branded to its
         symbol prefix), or ``None`` on a miss."""
-        prefix = payload[5]
+        prefix = payload[6]
         entry = self._get(self.group_key(payload))
         if entry is None:
             return None
@@ -290,7 +302,7 @@ class OutlineCache:
         return _rebrand_result(result, stored_prefix, prefix)
 
     def store_group(self, payload, result: GroupOutlineResult) -> None:
-        self._put(self.group_key(payload), (payload[5], result))
+        self._put(self.group_key(payload), (payload[6], result))
 
     # -- generic content-addressed objects ----------------------------------
 

@@ -1,14 +1,24 @@
-"""Repeated-sequence enumeration on top of the suffix tree.
+"""Repeat datatype, enumeration and non-overlap selection.
 
-Two extra pieces live here beyond raw tree traversal:
+Three pieces live here beyond raw index traversal:
 
+* :class:`Repeat` — the engine-neutral repeat record every miner yields
+  (see :mod:`repro.suffixtree.miners`);
 * :func:`select_nonoverlapping` — the "small modification ... to
   selectively skip" overlapping occurrences the paper mentions in
   Section 2.1.2 ("ana" overlaps itself in "banana"): occurrences claimed
   for outlining must not overlap, or the same bytes would be outlined
-  twice.
-* :func:`brute_force_repeats` — an O(n^2·L) reference used only by the
-  test suite to validate the Ukkonen construction.
+  twice;
+* :func:`brute_force_repeats` — an exhaustive reference oracle with the
+  same signature and ordering contract as the engines, so property
+  tests can compare all three drop-in.
+
+**Ordering contract.**  :func:`enumerate_repeats`,
+:func:`brute_force_repeats` and every ``RepeatMiner.repeats()`` return
+their repeats sorted ascending by ``(length, first)``.  A branching
+repeat is uniquely identified by that pair (the subsequence at
+``[first, first + length)`` *is* the repeat), so the order — like the
+repeats themselves — is engine-independent.
 """
 
 from __future__ import annotations
@@ -23,20 +33,32 @@ __all__ = ["Repeat", "brute_force_repeats", "enumerate_repeats", "select_nonover
 
 @dataclass(frozen=True)
 class Repeat:
-    """A repeated sequence found in the tree.
+    """A branching (right-maximal) repeated sequence found by a miner.
 
     ``count`` is the raw number of (possibly overlapping) occurrences —
-    the suffix-tree leaf count.  Non-overlap filtering happens later,
-    when the outliner claims concrete positions.
+    non-overlap filtering happens later, when the outliner claims
+    concrete positions.  ``first`` is the smallest occurrence start:
+    together with ``length`` it identifies the repeat independently of
+    which engine found it, which is what makes benefit-ranked selection
+    (and therefore the final OAT bytes) engine-invariant.
+
+    ``node`` is an engine-private handle (suffix-tree node id, or LCP
+    interval index) used to resolve :meth:`positions`; ``-1`` marks
+    repeats with no index behind them (the brute-force oracle).
     """
 
-    node: int
     length: int
     count: int
+    first: int
+    node: int = -1
 
-    def positions(self, tree: SuffixTree) -> list[int]:
-        """Sorted start positions of all occurrences (possibly overlapping)."""
-        return tree.occurrences(self.node)
+    def positions(self, miner) -> list[int]:
+        """Sorted start positions of all occurrences (possibly
+        overlapping), resolved against the miner (or bare
+        :class:`SuffixTree`) that produced this repeat."""
+        if isinstance(miner, SuffixTree):
+            return miner.occurrences(self.node)
+        return miner.occurrences(self)
 
 
 def enumerate_repeats(
@@ -45,12 +67,14 @@ def enumerate_repeats(
     min_count: int = 2,
     max_length: int | None = None,
 ) -> list[Repeat]:
-    """Enumerate internal nodes as candidate repeats.
+    """Enumerate a suffix tree's internal nodes as candidate repeats.
 
     Every internal node of depth >= ``min_length`` with >= ``min_count``
-    descendant leaves is a repeat (paper Section 2.2 step 3).  Nested
-    nodes yield nested candidates (e.g. both "na" and "ana"); the benefit
-    model decides which to outline.
+    descendant leaves is a repeat (paper Section 2.2 step 3); nodes
+    deeper than ``max_length`` are skipped.  Nested nodes yield nested
+    candidates (e.g. both "na" and "ana"); the benefit model decides
+    which to outline.  Returned in ascending ``(length, first)`` order —
+    the module-level ordering contract.
     """
     out = []
     for node in tree.internal_nodes():
@@ -60,7 +84,15 @@ def enumerate_repeats(
             continue
         if max_length is not None and length > max_length:
             continue
-        out.append(Repeat(node=node, length=length, count=count))
+        out.append(
+            Repeat(
+                length=length,
+                count=count,
+                first=tree.first_occurrence(node),
+                node=node,
+            )
+        )
+    out.sort(key=lambda r: (r.length, r.first))
     return out
 
 
@@ -82,27 +114,52 @@ def select_nonoverlapping(positions: Sequence[int], length: int) -> list[int]:
     return chosen
 
 
-def brute_force_repeats(
-    sequence: Sequence[int], min_length: int = 2, min_count: int = 2
-) -> dict[tuple[int, ...], int]:
-    """All repeated subsequences by exhaustive search (test oracle only).
+#: Unique "end of sequence" follower — distinct from every real symbol,
+#: so the suffix ending at the sequence boundary branches like it does
+#: under the tree's internal terminal.
+_END = object()
 
-    Returns ``{subsequence: occurrence_count}`` for every subsequence of
-    length >= ``min_length`` occurring >= ``min_count`` times.
+
+def brute_force_repeats(
+    sequence: Sequence[int],
+    min_length: int = 2,
+    min_count: int = 2,
+    max_length: int | None = None,
+) -> list[Repeat]:
+    """All branching repeats by exhaustive search (the test oracle).
+
+    Same signature and semantics as ``RepeatMiner.repeats()``: a
+    subsequence qualifies when it is at least ``min_length`` (and at
+    most ``max_length``) long, occurs at least ``min_count`` times, and
+    is *right-branching* — its occurrences are followed by at least two
+    distinct symbols, counting the end of the sequence as a unique
+    follower.  Those are exactly the suffix tree's internal nodes /
+    the suffix array's LCP intervals.  Returned in ascending
+    ``(length, first)`` order (the module-level ordering contract) with
+    ``node=-1`` — oracle repeats carry no index to resolve positions
+    against.  O(n²·L); for tests only.
     """
     seq = tuple(sequence)
     n = len(seq)
-    counts: dict[tuple[int, ...], int] = {}
-    for length in range(min_length, n + 1):
-        seen: dict[tuple[int, ...], int] = {}
+    out: list[Repeat] = []
+    top = n if max_length is None else min(max_length, n)
+    for length in range(min_length, top + 1):
+        occurrences: dict[tuple[int, ...], list[int]] = {}
         for i in range(n - length + 1):
-            sub = seq[i : i + length]
-            seen[sub] = seen.get(sub, 0) + 1
+            occurrences.setdefault(seq[i : i + length], []).append(i)
         any_repeat = False
-        for sub, c in seen.items():
-            if c >= min_count:
-                counts[sub] = c
-                any_repeat = True
+        for sub, positions in occurrences.items():
+            if len(positions) < min_count:
+                continue
+            any_repeat = True
+            followers = {
+                seq[p + length] if p + length < n else _END for p in positions
+            }
+            if len(followers) >= 2:
+                out.append(
+                    Repeat(length=length, count=len(positions), first=positions[0])
+                )
         if not any_repeat:
             break
-    return counts
+    out.sort(key=lambda r: (r.length, r.first))
+    return out

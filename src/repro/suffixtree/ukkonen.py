@@ -60,6 +60,7 @@ class SuffixTree:
         self._string_depth: list[int] | None = None
         self._leaf_count: list[int] | None = None
         self._parent: list[int] | None = None
+        self._first_pos: list[int] | None = None
         if obs.current_tracer() is not None:
             # In-process construction only: PlOpti worker trees report
             # through OutlineStats instead (see repro.core.parallel).
@@ -168,17 +169,24 @@ class SuffixTree:
         if self._string_depth is not None:
             return
         n_nodes = len(self._start)
+        total = len(self._symbols)
         depth = [0] * n_nodes
         leaves = [0] * n_nodes
         parent = [-1] * n_nodes
+        first = [0] * n_nodes
         stack: list[tuple[int, bool]] = [(_ROOT, False)]
         while stack:
             node, processed = stack.pop()
             if processed:
                 if not self._children[node]:
                     leaves[node] = 1
+                    # Each leaf is one suffix; its start position is
+                    # recovered from the leaf's string depth.
+                    first[node] = total - depth[node]
                 else:
-                    leaves[node] = sum(leaves[c] for c in self._children[node].values())
+                    kids = self._children[node].values()
+                    leaves[node] = sum(leaves[c] for c in kids)
+                    first[node] = min(first[c] for c in kids)
                 continue
             stack.append((node, True))
             for child in self._children[node].values():
@@ -188,6 +196,7 @@ class SuffixTree:
         self._string_depth = depth
         self._leaf_count = leaves
         self._parent = parent
+        self._first_pos = first
 
     def string_depth(self, node: int) -> int:
         """Length of the path label from the root to ``node``."""
@@ -201,6 +210,13 @@ class SuffixTree:
         self._annotate()
         assert self._leaf_count is not None
         return self._leaf_count[node]
+
+    def first_occurrence(self, node: int) -> int:
+        """Smallest start position of the node's path label — the
+        minimum over :meth:`occurrences`, without the subtree walk."""
+        self._annotate()
+        assert self._first_pos is not None
+        return self._first_pos[node]
 
     def internal_nodes(self) -> Iterator[int]:
         """All internal nodes except the root."""

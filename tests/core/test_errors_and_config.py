@@ -68,6 +68,14 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             CalibroConfig(parallel_groups=0)
 
+    def test_unknown_engine_raises_at_construction(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            CalibroConfig(engine="suffixautomaton")
+
+    def test_known_engines_pass(self):
+        assert CalibroConfig(engine="suffixtree").engine == "suffixtree"
+        assert CalibroConfig(engine="suffixarray").engine == "suffixarray"
+
 
 class TestConfigRoundTrip:
     def test_plain_round_trip(self):
@@ -98,6 +106,19 @@ class TestConfigRoundTrip:
     def test_missing_keys_take_defaults(self):
         config = CalibroConfig.from_dict({"cto_enabled": True})
         assert config.cto_enabled and config.parallel_groups == 1
+        assert config.engine == "suffixtree"
+
+    def test_engine_round_trips(self):
+        config = CalibroConfig.cto_ltbo_plopti(groups=2)
+        sa = CalibroConfig.from_dict({**config.to_dict(), "engine": "suffixarray"})
+        assert sa.engine == "suffixarray"
+        assert CalibroConfig.from_dict(sa.to_dict()) == sa
+
+    def test_unknown_engine_in_dict_is_a_config_error(self):
+        """The bugfix: a bad engine name in a --config file must surface
+        as ConfigError (exit code 2), not a deep KeyError."""
+        with pytest.raises(ConfigError, match="unknown engine 'bogus'"):
+            CalibroConfig.from_dict({"engine": "bogus"})
 
 
 class TestSummarySchema:

@@ -1,0 +1,93 @@
+"""Engine equivalence: both miners against the brute-force oracle, and
+whole builds byte-identical across engines.
+
+The load-bearing claim of the pluggable-engine redesign is that
+``--engine`` changes *throughput only*: every consumer sees the same
+``(length, count, first)`` triples in the same canonical order, and the
+benefit-greedy outliner therefore emits the same OAT bytes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CalibroConfig, build_app
+from repro.suffixtree import SuffixArrayMiner, SuffixTreeMiner
+from repro.suffixtree.repeats import brute_force_repeats
+
+_SEQ = st.lists(st.integers(0, 6), min_size=1, max_size=48)
+
+
+def _triples(repeats):
+    return [(r.length, r.count, r.first) for r in repeats]
+
+
+def _assert_miners_match_oracle(seq, *, min_length=1, min_count=2, max_length=None):
+    kwargs = dict(min_length=min_length, min_count=min_count, max_length=max_length)
+    tree = SuffixTreeMiner(seq)
+    array = SuffixArrayMiner(seq)
+    tree_reps = tree.repeats(**kwargs)
+    array_reps = array.repeats(**kwargs)
+    assert _triples(tree_reps) == _triples(array_reps)
+    assert _triples(tree_reps) == _triples(brute_force_repeats(seq, **kwargs))
+    for a, b in zip(tree_reps, array_reps):
+        assert tree.occurrences(a) == array.occurrences(b)
+
+
+@given(seq=_SEQ)
+@settings(max_examples=150)
+def test_random_sequences(seq):
+    _assert_miners_match_oracle(seq)
+
+
+@given(seq=_SEQ, min_length=st.integers(1, 4), max_length=st.integers(2, 10))
+@settings(max_examples=100)
+def test_threshold_combinations(seq, min_length, max_length):
+    _assert_miners_match_oracle(
+        seq, min_length=min_length, max_length=max(min_length, max_length)
+    )
+
+
+def test_all_equal_adversarial():
+    # One giant LCP interval chain: the worst case for interval
+    # enumeration and for naive occurrence counting alike.
+    _assert_miners_match_oracle([7] * 120)
+
+
+def test_fibonacci_word_adversarial():
+    # Fibonacci words maximize distinct repeated substrings per symbol —
+    # the classic suffix-structure stress input.
+    a, b = [0], [0, 1]
+    while len(b) < 150:
+        a, b = b, b + a
+    _assert_miners_match_oracle(b[:150])
+
+
+def test_unique_separators_never_repeat():
+    # The §3.3.2 separator device: unique negative symbols must not take
+    # part in any repeat under either engine.
+    seq = [4, 4, -2, 4, 4, -3, 4, 4]
+    for cls in (SuffixTreeMiner, SuffixArrayMiner):
+        miner = cls(seq)
+        for rep in miner.repeats(min_length=1, min_count=2):
+            assert all(s >= 0 for s in seq[rep.first : rep.first + rep.length])
+
+
+def test_builds_are_byte_identical_across_engines(small_app):
+    """The acceptance bar: same OAT bytes under every configuration."""
+    dexfile = small_app.dexfile
+    hot = {name: 1000 + 17 * i for i, name in enumerate(sorted(dexfile.method_names()))}
+    configs = [
+        CalibroConfig.baseline(),
+        CalibroConfig.cto_ltbo(),
+        CalibroConfig.cto_ltbo_plopti(groups=4),
+        CalibroConfig.full(hot, groups=4),
+    ]
+    from dataclasses import replace
+
+    for config in configs:
+        tree_build = build_app(dexfile, replace(config, engine="suffixtree"))
+        array_build = build_app(dexfile, replace(config, engine="suffixarray"))
+        assert tree_build.oat.to_bytes() == array_build.oat.to_bytes(), config.name
+        assert array_build.summary()["engine"] == "suffixarray"

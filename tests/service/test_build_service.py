@@ -83,7 +83,8 @@ def test_report_summary_extends_the_build_summary(small_app):
     with BuildService() as svc:
         report = svc.submit(small_app.dexfile, CalibroConfig.cto_ltbo(), label="x")
     summary = report.summary()
-    assert summary["schema_version"] == 1
+    assert summary["schema_version"] == 2
+    assert summary["engine"] == "suffixtree"
     assert summary["label"] == "x"
     assert summary["compile_cached"] is False
     assert summary["total_groups"] == 1

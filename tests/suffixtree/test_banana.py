@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.suffixtree import SuffixTree
+from repro.suffixtree.ukkonen import SuffixTree
 
 # b=0, a=1, n=2
 BANANA = [0, 1, 2, 1, 2, 1]

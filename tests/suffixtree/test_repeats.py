@@ -6,11 +6,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.suffixtree import (
-    SuffixTree,
-    enumerate_repeats,
-    select_nonoverlapping,
-)
+from repro.suffixtree import select_nonoverlapping
+from repro.suffixtree.repeats import enumerate_repeats
+from repro.suffixtree.ukkonen import SuffixTree
 
 
 def test_enumerate_respects_min_length_and_count():

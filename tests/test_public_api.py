@@ -41,6 +41,7 @@ MODULES = [
     "repro.service.cache",
     "repro.service.pool",
     "repro.suffixtree",
+    "repro.suffixtree.miners",
     "repro.workloads",
 ]
 
