@@ -83,8 +83,14 @@ def test_observability_overhead(benchmark):
         # -- micro: disabled vs enabled helper cost ------------------------
         disabled_span = _per_call_seconds(lambda: obs.span("bench.noop"))
         disabled_counter = _per_call_seconds(lambda: obs.counter_add("bench.noop"))
+        disabled_hist = _per_call_seconds(
+            lambda: obs.histogram_observe("bench.noop", 0.003)
+        )
         with obs.tracing():
             enabled_counter = _per_call_seconds(lambda: obs.counter_add("bench.noop"))
+            enabled_hist = _per_call_seconds(
+                lambda: obs.histogram_observe("bench.noop", 0.003)
+            )
 
         def one_enabled_span():
             with obs.span("bench.noop"):
@@ -95,8 +101,10 @@ def test_observability_overhead(benchmark):
         return {
             "disabled_span": disabled_span,
             "disabled_counter": disabled_counter,
+            "disabled_hist": disabled_hist,
             "enabled_span": enabled_span,
             "enabled_counter": enabled_counter,
+            "enabled_hist": enabled_hist,
             "traced": min(traced),
             "untraced": min(untraced),
         }
@@ -114,8 +122,10 @@ def test_observability_overhead(benchmark):
     rows = [
         ["span() — no tracer installed", f"{r['disabled_span'] * 1e9:.0f} ns"],
         ["counter_add() — no tracer installed", f"{r['disabled_counter'] * 1e9:.0f} ns"],
+        ["histogram_observe() — no tracer installed", f"{r['disabled_hist'] * 1e9:.0f} ns"],
         ["span() — tracer installed", f"{r['enabled_span'] * 1e9:.0f} ns"],
         ["counter_add() — tracer installed", f"{r['enabled_counter'] * 1e9:.0f} ns"],
+        ["histogram_observe() — tracer installed", f"{r['enabled_hist'] * 1e9:.0f} ns"],
         ["build_app, instrumented (min of 7)", f"{r['traced']:.3f} s"],
         ["build_app, CALIBRO_OBS_OFF (min of 7)", f"{r['untraced']:.3f} s"],
         ["build overhead", f"{overhead:+.2%}"],
@@ -130,6 +140,7 @@ def test_observability_overhead(benchmark):
     # The guarded fast path: one global load + one compare.
     assert r["disabled_span"] < 2e-6
     assert r["disabled_counter"] < 2e-6
+    assert r["disabled_hist"] < 2e-6
     # Phase-granular spans + per-method counters must stay inside the 3%
     # budget end to end.
     assert overhead < 0.03, f"instrumentation overhead {overhead:.2%} exceeds 3%"

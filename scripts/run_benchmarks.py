@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Append a size/build-time trajectory point to ``BENCH_sizes.json``.
+
+Re-runs the Table-4 (text-segment size) and Table-6 (build wall time)
+measurements over the six-app suite and appends one timestamped,
+git-sha-tagged point to a JSON-array trajectory file.  Run it after a
+change that could move code size or build time:
+
+    python scripts/run_benchmarks.py                  # full suite
+    python scripts/run_benchmarks.py --scale 0.1 --apps Wechat Taobao
+
+then ``calibro history`` / ``calibro compare`` (or a plotting notebook)
+can read the accumulated trajectory.  The file format is exercised by
+``tests/test_run_benchmarks.py`` so it cannot rot silently.
+
+The module is importable: :func:`collect_point` does the measuring,
+:func:`append_point` the durable write, and :func:`main` wires the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import CalibroConfig, build_app  # noqa: E402
+from repro.profiling import profile_app  # noqa: E402
+from repro.reporting import format_table, pct  # noqa: E402
+from repro.workloads import APP_NAMES, app_spec, generate_app  # noqa: E402
+
+POINT_SCHEMA_VERSION = 1
+DEFAULT_OUT = REPO / "benchmarks" / "BENCH_sizes.json"
+
+#: The Table-4 stacks, cheapest first.  ``baseline`` is measured too but
+#: reported as the denominator, not a stack of its own.
+CONFIG_KEYS = ("CTO", "CTO+LTBO", "CTO+LTBO+PlOpti", "CTO+LTBO+PlOpti+HfOpti")
+
+
+def git_sha() -> str:
+    """Short commit id of the working tree, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _config(key: str, cycles: dict[str, int], groups: int) -> CalibroConfig:
+    if key == "CTO":
+        return CalibroConfig.cto()
+    if key == "CTO+LTBO":
+        return CalibroConfig.cto_ltbo()
+    if key == "CTO+LTBO+PlOpti":
+        return CalibroConfig.cto_ltbo_plopti(groups)
+    if key == "CTO+LTBO+PlOpti+HfOpti":
+        return CalibroConfig.full(cycles, groups=groups, coverage=0.80)
+    raise KeyError(key)
+
+
+def collect_point(
+    scale: float, apps: tuple[str, ...], groups: int
+) -> dict:
+    """Build every app under every stack; return one trajectory point."""
+    configs: dict[str, dict] = {key: {"per_app": {}} for key in CONFIG_KEYS}
+    baseline: dict[str, dict] = {}
+    for name in apps:
+        app = generate_app(app_spec(name, scale))
+        start = time.perf_counter()
+        base = build_app(app.dexfile, CalibroConfig.baseline())
+        baseline[name] = {
+            "text_size": base.text_size,
+            "build_seconds": time.perf_counter() - start,
+        }
+        cycles = profile_app(
+            base.oat, app.dexfile, app.ui_script,
+            native_handlers=app.native_handlers,
+        ).cycles
+        for key in CONFIG_KEYS:
+            start = time.perf_counter()
+            build = build_app(app.dexfile, _config(key, cycles, groups))
+            configs[key]["per_app"][name] = {
+                "text_size": build.text_size,
+                "reduction": 1.0 - build.text_size / base.text_size,
+                "build_seconds": time.perf_counter() - start,
+            }
+    for key in CONFIG_KEYS:
+        rows = configs[key]["per_app"].values()
+        configs[key]["avg_reduction"] = sum(r["reduction"] for r in rows) / len(apps)
+        configs[key]["avg_build_seconds"] = (
+            sum(r["build_seconds"] for r in rows) / len(apps)
+        )
+    now = time.time()
+    return {
+        "schema_version": POINT_SCHEMA_VERSION,
+        "timestamp": now,
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+        "git_sha": git_sha(),
+        "scale": scale,
+        "groups": groups,
+        "apps": list(apps),
+        "baseline": {"per_app": baseline},
+        "configs": configs,
+    }
+
+
+def append_point(path: str | Path, point: dict) -> int:
+    """Append ``point`` to the JSON-array trajectory at ``path``
+    (created if missing); returns the new point count.  The write is
+    atomic so a crash cannot leave a half-written trajectory."""
+    path = Path(path)
+    points: list[dict] = []
+    if path.exists():
+        points = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(points, list):
+            raise SystemExit(f"{path}: expected a JSON array of points")
+    points.append(point)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(points, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return len(points)
+
+
+def render_point(point: dict) -> str:
+    rows = [
+        [
+            key,
+            pct(point["configs"][key]["avg_reduction"]),
+            f"{point['configs'][key]['avg_build_seconds']:.3f}s",
+        ]
+        for key in CONFIG_KEYS
+    ]
+    title = (
+        f"Trajectory point @ {point['git_sha']} "
+        f"(scale={point['scale']}, {len(point['apps'])} apps)"
+    )
+    return format_table(["config", "avg reduction", "avg build"], rows, title=title)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_benchmarks.py", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="app size multiplier (default 0.25)")
+    parser.add_argument("--apps", nargs="+", default=list(APP_NAMES),
+                        choices=APP_NAMES, metavar="APP",
+                        help=f"subset of the suite (default: all of {', '.join(APP_NAMES)})")
+    parser.add_argument("--groups", type=int, default=8,
+                        help="PlOpti partition count (default 8)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="trajectory file (default benchmarks/BENCH_sizes.json)")
+    args = parser.parse_args(argv)
+
+    point = collect_point(args.scale, tuple(args.apps), args.groups)
+    count = append_point(args.out, point)
+    print(render_point(point))
+    print(f"\n{args.out}: {count} point(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,14 @@ One-shot ``build`` fuses compile/outline/link; ``gen``'s workloads are
 deterministic, so ``run``/``profile`` can regenerate the matching native
 handlers from ``--workload``/``--scale``.  ``build``/``outline``/``run``
 accept ``--trace OUT.json`` to capture an observability span trace;
-``calibro trace`` renders it as a phase tree with percentages.  Every
+``calibro trace`` renders it as a phase tree with percentages.
+
+Cross-build metrics ride the same artifacts: ``build --ledger`` /
+``serve --ledger`` append one durable record per build to a JSONL
+ledger, ``calibro history`` summarizes a ledger's per-config
+trajectory, ``calibro compare A B`` diffs two traces or two ledgers and
+exits ``1`` on a regression, and ``serve --metrics-file`` keeps a
+Prometheus exposition file fresh while the service runs.  Every
 command and flag is documented in ``docs/cli.md`` (kept in sync by
 ``tests/test_cli_docs.py``).
 """
@@ -80,6 +87,16 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
         metavar="OUT.json",
         help="write a span trace (phase tree + counters) as JSON",
     )
+
+
+def _input_label(path: str) -> str:
+    """The app label an input path implies: its basename, minus the
+    ``.json`` / ``.dex`` suffixes (``apps/wechat.dex.json`` → ``wechat``)."""
+    label = os.path.basename(path)
+    for suffix in (".json", ".dex"):
+        if label.endswith(suffix):
+            label = label[: -len(suffix)]
+    return label
 
 
 def _native_handlers(args) -> dict[str, Callable[[list[int]], int]]:
@@ -197,6 +214,12 @@ def _cmd_build(args) -> int:
     oat = build.oat
     with open(args.output, "wb") as fh:
         fh.write(oat.to_bytes())
+    if args.ledger:
+        from repro.observability import BuildLedger, entry_from_build
+
+        BuildLedger(args.ledger).append(
+            entry_from_build(build, label=_input_label(args.input))
+        )
     if args.json:
         print(build.to_json(indent=1))
     else:
@@ -217,19 +240,27 @@ def _cmd_serve(args) -> int:
 
         config = dc_replace(config, engine=args.engine)
     os.makedirs(args.outdir, exist_ok=True)
-    requests = []
-    for path in args.inputs:
-        label = os.path.basename(path)
-        for suffix in (".json", ".dex"):
-            if label.endswith(suffix):
-                label = label[: -len(suffix)]
-        requests.append(BuildRequest(load_dexfile(path), config, label=label))
+    requests = [
+        BuildRequest(load_dexfile(path), config, label=_input_label(path))
+        for path in args.inputs
+    ]
     service = BuildService(
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_mb * 1024 * 1024,
         max_workers=args.jobs,
+        ledger=args.ledger,
+        metrics_path=args.metrics_file,
     )
-    with service, _maybe_trace(args):
+    # The exporter renders the active tracer's registries; a bare
+    # --metrics-file (no --trace) still needs one installed.
+    own_tracer = (
+        obs.tracing()
+        if args.metrics_file and not args.trace
+        else contextlib.nullcontext()
+    )
+    # Service closes innermost so its final metrics emit still sees the
+    # tracer the outer contexts installed.
+    with own_tracer, _maybe_trace(args), service:
         reports = service.build_many(requests)
         for report in reports:
             out = os.path.join(args.outdir, f"{report.label}.oat")
@@ -261,6 +292,10 @@ def _cmd_serve(args) -> int:
         f"pool {pool['tasks']} tasks "
         f"({pool['retries']} retries, {pool['serial_fallbacks']} serial fallbacks)"
     )
+    if args.ledger:
+        print(f"ledger -> {args.ledger}")
+    if args.metrics_file:
+        print(f"metrics -> {args.metrics_file}")
     return 0
 
 
@@ -400,6 +435,88 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _load_compare_side(path: str):
+    """Classify one ``compare`` operand: ``("trace", Trace)`` for a
+    ``--trace`` JSON, ``("ledger", LedgerEntry)`` for a ledger file (the
+    *last* entry of a JSONL ledger, or a single JSON record)."""
+    from repro.core.errors import ConfigError
+    from repro.observability import BuildLedger, LedgerEntry, Trace
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except FileNotFoundError:
+        raise ConfigError(f"no such file: {path}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        # Not one JSON document: a multi-entry JSONL ledger.
+        entries = BuildLedger(path).entries()
+        if not entries:
+            raise ConfigError(f"{path}: not a trace JSON or a build ledger") from None
+        return "ledger", entries[-1]
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path}: not a trace JSON or a build ledger")
+    if "spans" in data:
+        return "trace", Trace.from_dict(data)
+    return "ledger", LedgerEntry.from_dict(data)
+
+
+def _cmd_compare(args) -> int:
+    from repro.core.errors import ConfigError
+    from repro.observability import diff_entries, diff_traces
+
+    kind_a, before = _load_compare_side(args.before)
+    kind_b, after = _load_compare_side(args.after)
+    if kind_a != kind_b:
+        raise ConfigError(
+            f"cannot compare a {kind_a} ({args.before}) with a {kind_b} "
+            f"({args.after}); pass two traces or two ledgers"
+        )
+    differ = diff_traces if kind_a == "trace" else diff_entries
+    report = differ(
+        before, after, threshold=args.threshold, min_seconds=args.min_seconds
+    )
+    print(report.render())
+    return 1 if report.has_regressions else 0
+
+
+def _cmd_history(args) -> int:
+    from repro.observability import BuildLedger
+    from repro.reporting import format_table, pct
+
+    entries = BuildLedger(args.input).entries()
+    if args.config:
+        entries = [e for e in entries if e.config == args.config]
+    if not entries:
+        print(f"no matching entries in {args.input}")
+        return 0
+    # One trajectory per (config, label): how this app under this
+    # configuration moved between its first and latest recorded build.
+    groups: dict[tuple[str, str], list] = {}
+    for entry in entries:
+        groups.setdefault((entry.config, entry.label), []).append(entry)
+    rows = []
+    for (config, label), series in groups.items():
+        first, last = series[0], series[-1]
+        rows.append([
+            config,
+            label or "-",
+            len(series),
+            last.engine,
+            f"{last.text_size_after:,}",
+            pct(last.reduction),
+            f"{last.reduction - first.reduction:+.2%}",
+            f"{last.wall_seconds:.3f}s",
+        ])
+    print(format_table(
+        ["config", "label", "builds", "engine", "text", "reduction",
+         "drift", "wall"],
+        rows,
+    ))
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.profiling import profile_app
     from repro.workloads import app_spec, generate_app
@@ -474,6 +591,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--coverage", type=float, default=0.80)
     p.add_argument("--json", action="store_true",
                    help="print the versioned build summary as JSON")
+    p.add_argument("--ledger", metavar="LEDGER.jsonl",
+                   help="append this build's record to a JSONL build ledger")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_build)
 
@@ -497,6 +616,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="disk cache size bound in MiB")
     p.add_argument("--json", action="store_true",
                    help="print per-build summaries + service stats as JSON")
+    p.add_argument("--ledger", metavar="LEDGER.jsonl",
+                   help="append one record per build to a JSONL build ledger")
+    p.add_argument("--metrics-file", metavar="OUT.prom",
+                   help="keep a Prometheus text exposition file refreshed "
+                        "after every build")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_serve)
 
@@ -540,6 +664,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-counters", action="store_true",
                    help="omit the counter/gauge registries")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "compare",
+        help="diff two traces or two ledgers; exit 1 on a regression",
+    )
+    p.add_argument("before", help="baseline: a --trace JSON or a build ledger")
+    p.add_argument("after", help="candidate: same kind as BEFORE")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="relative regression threshold (0.05 = 5%%)")
+    p.add_argument("--min-seconds", type=float, default=0.05,
+                   help="ignore duration growth below this many seconds")
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("history", help="per-config trajectory table of a build ledger")
+    p.add_argument("input", help="JSONL build ledger (see build/serve --ledger)")
+    p.add_argument("--config", help="restrict to one configuration name")
+    p.set_defaults(fn=_cmd_history)
 
     p = sub.add_parser("profile", help="simpleperf substitute: profile a workload run")
     p.add_argument("input")

@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
+from repro import observability as obs
 from repro.compiler.compiled import CompiledMethod, Relocation, RelocKind
 from repro.core import benefit
 from repro.core.detect import GroupSequence, map_group
@@ -218,6 +219,9 @@ def _select(
         for pos in chosen:
             for k in range(pos, pos + length):
                 claimed[k] = 1
+        obs.histogram_observe(
+            "ltbo.repeat.benefit", benefit.evaluate(length, len(chosen))
+        )
         words = tuple(symbols[chosen[0] : chosen[0] + length])
         name = f"{symbol_prefix}${len(decisions)}"
         decisions.append(

@@ -196,6 +196,7 @@ def _flush_observability(
     )
     for gi, stats in enumerate(combined.group_stats):
         total = stats.build_seconds + stats.search_seconds + stats.rewrite_seconds
+        obs.histogram_observe("ltbo.group.seconds", total)
         group_span = tracer.record_span(
             "ltbo.group", total, parent=outline_span, start=outline_span.start, group=gi
         )

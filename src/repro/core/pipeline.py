@@ -379,6 +379,7 @@ def _build_traced(
             spans=[build_span],
             counters=dict(tracer.counters),
             gauges=dict(tracer.gauges),
+            histograms=dict(tracer.histograms),
             meta={"config": config.name},
         ),
     )

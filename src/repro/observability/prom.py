@@ -1,0 +1,93 @@
+"""Prometheus text exposition of a trace's registries.
+
+``calibro serve --metrics-file metrics.prom`` keeps a long-running
+service scrapable: after every build (and once more at shutdown) the
+tracer's counters, gauges and histograms are rendered in the Prometheus
+text exposition format (version 0.0.4) and atomically swapped into the
+target file — point a node-exporter ``textfile`` collector (or any
+scraper of the format) at it.
+
+Name mapping is mechanical: every registry name is prefixed with
+``calibro_`` and every non-``[a-zA-Z0-9_]`` character becomes ``_``
+(``service.cache.hits`` → ``calibro_service_cache_hits``), so the
+reference tables in ``docs/observability.md`` cover both spellings.
+Histograms expose the classic triplet — cumulative ``_bucket{le="..."}``
+series over the shared :data:`~repro.observability.trace.
+HISTOGRAM_BOUNDS`, ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.observability.trace import HISTOGRAM_BOUNDS, Trace
+
+__all__ = ["PromReporter", "prom_name", "render_prometheus"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prom_name(name: str) -> str:
+    """The Prometheus metric name for one registry name."""
+    return "calibro_" + _INVALID.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return repr(bound)
+
+
+def render_prometheus(trace: Trace) -> str:
+    """Render a trace's counters/gauges/histograms as exposition text."""
+    lines: list[str] = []
+    for name in sorted(trace.counters):
+        metric = prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(trace.counters[name])}")
+    for name in sorted(trace.gauges):
+        metric = prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(trace.gauges[name])}")
+    for name in sorted(trace.histograms):
+        metric = prom_name(name)
+        hist = trace.histograms[name]
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for index, bound in enumerate(HISTOGRAM_BOUNDS):
+            cumulative += hist.counts[index]
+            lines.append(
+                f'{metric}_bucket{{le="{_format_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {_format_value(hist.sum)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+class PromReporter:
+    """Writes the exposition text to a file on :meth:`emit`.
+
+    The write is atomic (temp file + rename) so a scraper never reads a
+    half-written exposition.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def emit(self, trace: Trace) -> None:
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(trace))
+        os.replace(tmp, self.path)

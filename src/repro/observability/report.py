@@ -108,7 +108,7 @@ def render_text(trace: Trace, *, counters: bool = True) -> str:
         _render_span(root, total, "", True, lines, 0)
     if not trace.spans:
         lines.append("(no spans recorded)")
-    if counters and (trace.counters or trace.gauges):
+    if counters and (trace.counters or trace.gauges or trace.histograms):
         lines.append("")
         if trace.counters:
             lines.append("counters:")
@@ -122,4 +122,19 @@ def render_text(trace: Trace, *, counters: bool = True) -> str:
                 value = trace.gauges[name]
                 rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.3f}"
                 lines.append(f"  {name:<{width}}  {rendered:>14}")
+        if trace.histograms:
+            lines.append("histograms:")
+            width = max(len(k) for k in trace.histograms)
+            for name in sorted(trace.histograms):
+                hist = trace.histograms[name]
+                lines.append(
+                    f"  {name:<{width}}  n={hist.count:<8,} "
+                    f"p50={_sig(hist.p50)} p90={_sig(hist.p90)} "
+                    f"p99={_sig(hist.p99)} max={_sig(hist.max)}"
+                )
     return "\n".join(lines)
+
+
+def _sig(value: float) -> str:
+    """Compact 4-significant-digit rendering for histogram summaries."""
+    return f"{value:.4g}"

@@ -11,6 +11,10 @@ instrumentation instead of ad-hoc ``time.perf_counter()`` bookkeeping:
 * :func:`counter_add` / :func:`gauge_set` / :func:`gauge_max` — a
   process-wide counter/gauge registry (methods scanned, repeats found,
   bytes saved per mechanism, ...);
+* :func:`histogram_observe` — a :class:`Histogram` registry over fixed
+  log-scaled buckets (per-group outline latency, repeat lengths,
+  pool queue waits, cache lookup times) with tracked sum/count/min/max
+  and derived p50/p90/p99;
 * :class:`Tracer.record_span` — post-hoc spans for work whose timings
   arrive as numbers rather than as code to wrap (PlOpti worker
   partitions run in other processes; the parent reconstructs their
@@ -25,21 +29,30 @@ bench_observability_overhead.py`` verifies this stays true.
 Thread model: one tracer per process, one span stack — the pipeline is
 single-threaded and PlOpti parallelism is process-based, so worker
 processes simply see no active tracer (their numbers travel back in the
-stats objects).  ``CALIBRO_OBS_OFF=1`` (or :func:`set_disabled`)
-disables installation entirely; :mod:`repro.core.pipeline` then falls
-back to plain stopwatch timings — that path is the control arm of the
-overhead micro-benchmark.
+stats objects).  The counter/gauge/histogram *registries* are
+nevertheless guarded by a lock: worker-pool completion callbacks and
+service threads may feed them concurrently, and a lost increment is a
+silent lie in a report (``tests/observability/test_thread_safety.py``
+holds this).  Spans keep the single-threaded contract.
+``CALIBRO_OBS_OFF=1`` (or :func:`set_disabled`) disables installation
+entirely; :mod:`repro.core.pipeline` then falls back to plain stopwatch
+timings — that path is the control arm of the overhead micro-benchmark.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 __all__ = [
+    "HISTOGRAM_BOUNDS",
+    "Histogram",
     "Span",
+    "TRACE_SCHEMA_VERSION",
     "Trace",
     "Tracer",
     "counter_add",
@@ -47,12 +60,24 @@ __all__ = [
     "enabled",
     "gauge_max",
     "gauge_set",
+    "histogram_observe",
     "install_tracer",
     "set_disabled",
     "span",
     "tracing",
     "uninstall_tracer",
 ]
+
+#: Version of the serialized :class:`Trace` document.  v1: spans +
+#: counters + gauges.  v2: added ``histograms``.  Loaders accept any
+#: version up to this one (missing = v1) and refuse newer documents.
+TRACE_SCHEMA_VERSION = 2
+
+#: Log-scaled bucket upper bounds shared by every histogram: doubling
+#: from 1 µs to ~537 s (seconds-valued series) while still resolving
+#: small integers (lengths, benefits) — values above the last bound
+#: land in the implicit +Inf overflow bucket.
+HISTOGRAM_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(30))
 
 
 @dataclass
@@ -107,6 +132,126 @@ class Span:
         )
 
 
+class Histogram:
+    """A fixed-bucket log-scaled histogram of one value series.
+
+    Buckets are the process-wide :data:`HISTOGRAM_BOUNDS` (upper bounds,
+    half-open ``(prev, bound]`` ranges) plus an implicit +Inf overflow
+    slot, so every histogram in a trace is directly comparable and the
+    Prometheus exposition (cumulative ``le`` buckets) falls out for
+    free.  ``sum``/``count``/``min``/``max`` are tracked exactly;
+    quantiles are *derived* from the bucket counts — deterministic
+    functions of integers, so they survive JSON round-trips exactly.
+    """
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: list[int] = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        lo, hi = 0, len(HISTOGRAM_BOUNDS)
+        while lo < hi:  # first bound >= value; len(BOUNDS) = overflow
+            mid = (lo + hi) // 2
+            if HISTOGRAM_BOUNDS[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate, clamped to the observed
+        ``[min, max]`` (exact for q=0/1 and for single-bucket data)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                upper = (
+                    HISTOGRAM_BOUNDS[index]
+                    if index < len(HISTOGRAM_BOUNDS)
+                    else self.max
+                )
+                return min(max(upper, self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to count
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def to_dict(self) -> dict[str, Any]:
+        # Trailing zero buckets are trimmed for compact JSON; counts
+        # and exact sum/min/max round-trip losslessly.
+        counts = list(self.counts)
+        while counts and counts[-1] == 0:
+            counts.pop()
+        return {
+            "counts": counts,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Histogram":
+        hist = cls()
+        counts = list(data.get("counts", []))
+        hist.counts[: len(counts)] = [int(c) for c in counts]
+        hist.count = int(data.get("count", sum(hist.counts)))
+        hist.sum = float(data.get("sum", 0.0))
+        minimum = data.get("min")
+        maximum = data.get("max")
+        hist.min = math.inf if minimum is None else float(minimum)
+        hist.max = -math.inf if maximum is None else float(maximum)
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.count == other.count
+            and self.sum == other.sum
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, sum={self.sum}, "
+            f"p50={self.p50}, p99={self.p99})"
+        )
+
+
 @dataclass
 class Trace:
     """A finished measurement: the span forest plus the registries."""
@@ -114,6 +259,7 @@ class Trace:
     spans: list[Span] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
     meta: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -131,19 +277,47 @@ class Trace:
 
     def to_dict(self) -> dict[str, Any]:
         return {
-            "version": 1,
+            "version": TRACE_SCHEMA_VERSION,
             "spans": [s.to_dict() for s in self.spans],
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
             "meta": self.meta,
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Trace":
+        """Rebuild a trace from ``to_dict``'s shape.
+
+        Tolerant of *older* documents — a v1 trace (or one with no
+        ``version`` field at all) simply has no histograms.  A document
+        from a *newer* format raises
+        :class:`~repro.core.errors.CalibroError` (a clear refusal, not
+        a ``KeyError`` halfway through a misread payload).
+        """
+        version = data.get("version", 1)
+        if not isinstance(version, int) or version < 1:
+            from repro.core.errors import CalibroError
+
+            raise CalibroError(f"trace has an invalid version field: {version!r}")
+        if version > TRACE_SCHEMA_VERSION:
+            from repro.core.errors import CalibroError
+
+            raise CalibroError(
+                f"trace version {version} is newer than this build understands "
+                f"(max {TRACE_SCHEMA_VERSION}); upgrade calibro to read it"
+            )
         return cls(
             spans=[Span.from_dict(s) for s in data.get("spans", [])],
             counters={k: int(v) for k, v in data.get("counters", {}).items()},
             gauges={k: float(v) for k, v in data.get("gauges", {}).items()},
+            histograms={
+                k: Histogram.from_dict(v)
+                for k, v in data.get("histograms", {}).items()
+            },
             meta=dict(data.get("meta", {})),
         )
 
@@ -192,7 +366,12 @@ class Tracer:
         self._stack: list[Span] = []
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.meta: dict[str, Any] = {}
+        # Registry mutations may arrive from pool callbacks on other
+        # threads; read-modify-write on the dicts is not atomic, so the
+        # registries share one lock (spans stay single-threaded).
+        self._lock = threading.Lock()
 
     # -- spans ------------------------------------------------------------
 
@@ -243,17 +422,27 @@ class Tracer:
     def current_span(self) -> Span | None:
         return self._stack[-1] if self._stack else None
 
-    # -- counters / gauges -------------------------------------------------
+    # -- counters / gauges / histograms -------------------------------------
 
     def add(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def gauge_set(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def gauge_max(self, name: str, value: float) -> None:
-        if value > self.gauges.get(name, float("-inf")):
-            self.gauges[name] = value
+        with self._lock:
+            if value > self.gauges.get(name, float("-inf")):
+                self.gauges[name] = value
+
+    def histogram_observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
 
     # -- export ------------------------------------------------------------
 
@@ -264,12 +453,18 @@ class Tracer:
         for node in self._stack:
             if node.duration == 0.0:
                 node.duration = now - node.start
-        return Trace(
-            spans=list(self.roots),
-            counters=dict(self.counters),
-            gauges=dict(self.gauges),
-            meta={**self.meta, **meta},
-        )
+        with self._lock:
+            histograms = {
+                name: Histogram.from_dict(hist.to_dict())
+                for name, hist in self.histograms.items()
+            }
+            return Trace(
+                spans=list(self.roots),
+                counters=dict(self.counters),
+                gauges=dict(self.gauges),
+                histograms=histograms,
+                meta={**self.meta, **meta},
+            )
 
 
 # -- the process-wide registry ---------------------------------------------
@@ -364,3 +559,9 @@ def gauge_max(name: str, value: float) -> None:
     tracer = _ACTIVE
     if tracer is not None:
         tracer.gauge_max(name, value)
+
+
+def histogram_observe(name: str, value: float) -> None:
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.histogram_observe(name, value)

@@ -14,7 +14,12 @@ amortizing layer:
 * a compile cache over the same store, keyed on the dex content and
   compile flags, so an unchanged app skips dex2oat entirely;
 * ``service.*`` spans/counters in the existing observability layer, and
-  a versioned report (:meth:`BuildReport.summary`) per build.
+  a versioned report (:meth:`BuildReport.summary`) per build;
+* optional durable exhaust: a :class:`~repro.observability.ledger.
+  BuildLedger` receiving one entry per build (``ledger=``), and a
+  Prometheus exposition file refreshed after every build
+  (``metrics_path=`` — the mechanism behind ``calibro serve
+  --metrics-file``).
 
 Serial, uncached and cached builds produce **byte-identical** OAT
 images — ``benchmarks/bench_service_cache.py`` proves both that and the
@@ -90,8 +95,13 @@ class BuildService:
     ``cache_dir=None`` keeps the cache in memory only; point it at a
     directory to persist outline/compile results across service
     restarts (sharded, size-bounded — see
-    :class:`~repro.service.cache.OutlineCache`).  Use as a context
-    manager, or call :meth:`close` to release the worker pool.
+    :class:`~repro.service.cache.OutlineCache`).  ``ledger`` (a path or
+    a :class:`~repro.observability.ledger.BuildLedger`) makes every
+    build append its durable record; ``metrics_path`` keeps a
+    Prometheus exposition file refreshed after every build and at
+    :meth:`close` (requires an active tracer to have anything to
+    export).  Use as a context manager, or call :meth:`close` to
+    release the worker pool.
     """
 
     def __init__(
@@ -102,19 +112,34 @@ class BuildService:
         cache_memory_entries: int = 256,
         max_workers: int | None = None,
         group_timeout: float | None = None,
+        ledger: "obs.BuildLedger | str | None" = None,
+        metrics_path: str | None = None,
     ) -> None:
         self.cache = OutlineCache(
             cache_dir, max_bytes=cache_max_bytes, memory_entries=cache_memory_entries
         )
         self.pool = WorkerPool(max_workers=max_workers, timeout=group_timeout)
+        if ledger is None or isinstance(ledger, obs.BuildLedger):
+            self.ledger = ledger
+        else:
+            self.ledger = obs.BuildLedger(ledger)
+        self._metrics = obs.PromReporter(metrics_path) if metrics_path else None
         self.builds_completed = 0
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
+        self._emit_metrics()
         self.pool.close()
         self._closed = True
+
+    def _emit_metrics(self) -> None:
+        if self._metrics is None:
+            return
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            self._metrics.emit(tracer.snapshot())
 
     def __enter__(self) -> "BuildService":
         return self
@@ -137,6 +162,8 @@ class BuildService:
             raise ServiceError("build service is closed")
         config = config or CalibroConfig.baseline()
         start = time.perf_counter()
+        hits_before = self.cache.stats.hits
+        misses_before = self.cache.stats.misses
         with obs.span("service.build", label=label or config.name, config=config.name):
             compiled, compile_cached = self._compile_cached(dexfile, config)
             build = build_app(
@@ -150,10 +177,23 @@ class BuildService:
                 self.cache.store_object(self._compile_key(dexfile, config), build.dex2oat)
         self.builds_completed += 1
         obs.counter_add("service.builds")
+        seconds = time.perf_counter() - start
+        obs.histogram_observe("service.build.seconds", seconds)
+        if self.ledger is not None:
+            self.ledger.append(
+                obs.entry_from_build(
+                    build,
+                    label=label,
+                    wall_seconds=seconds,
+                    cache_hits=self.cache.stats.hits - hits_before,
+                    cache_misses=self.cache.stats.misses - misses_before,
+                )
+            )
+        self._emit_metrics()
         return BuildReport(
             label=label,
             build=build,
-            seconds=time.perf_counter() - start,
+            seconds=seconds,
             compile_cached=compile_cached,
             cached_groups=build.ltbo.cached_groups if build.ltbo else 0,
             total_groups=len(build.ltbo.group_stats) if build.ltbo else 0,

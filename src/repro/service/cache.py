@@ -37,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace as dc_replace
 from pathlib import Path
@@ -317,22 +318,28 @@ class OutlineCache:
     # -- the two tiers ------------------------------------------------------
 
     def _get(self, key: str):
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            obs.counter_add("service.cache.hits")
-            return self._memory[key]
-        value = self._disk_read(key)
-        if value is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            obs.counter_add("service.cache.hits")
-            obs.counter_add("service.cache.disk_hits")
-            self._memory_put(key, value)
-            return value
-        self.stats.misses += 1
-        obs.counter_add("service.cache.misses")
-        return None
+        t0 = time.perf_counter()
+        try:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                obs.counter_add("service.cache.hits")
+                return self._memory[key]
+            value = self._disk_read(key)
+            if value is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                obs.counter_add("service.cache.hits")
+                obs.counter_add("service.cache.disk_hits")
+                self._memory_put(key, value)
+                return value
+            self.stats.misses += 1
+            obs.counter_add("service.cache.misses")
+            return None
+        finally:
+            obs.histogram_observe(
+                "service.cache.lookup_seconds", time.perf_counter() - t0
+            )
 
     def _put(self, key: str, value) -> None:
         self.stats.stores += 1
@@ -402,7 +409,7 @@ class OutlineCache:
         entries = [(p.stat().st_mtime, p.stat().st_size, p) for p in self._entry_files()]
         total = sum(size for _, size, _ in entries)
         if total <= self.max_bytes:
-            obs.gauge_max("service.cache.bytes", total)
+            obs.gauge_set("service.cache.bytes", total)
             return
         entries.sort(key=lambda e: (e[0], e[2].name))
         for _, size, path in entries:
@@ -412,4 +419,4 @@ class OutlineCache:
             total -= size
             self.stats.evictions += 1
             obs.counter_add("service.cache.evictions")
-        obs.gauge_max("service.cache.bytes", total)
+        obs.gauge_set("service.cache.bytes", total)

@@ -22,6 +22,7 @@ plain serial execution — no processes, no pickling.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -127,12 +128,23 @@ class WorkerPool:
         self.stats.tasks += len(payloads)
         obs.counter_add("service.pool.tasks", len(payloads))
         if self.max_workers <= 1 or len(payloads) <= 1:
-            return [worker(p) for p in payloads]
+            results = []
+            for payload in payloads:
+                t0 = time.perf_counter()
+                results.append(worker(payload))
+                obs.histogram_observe(
+                    "service.pool.wait_seconds", time.perf_counter() - t0
+                )
+            return results
+        submitted = time.perf_counter()
         futures = [self._pool().submit(worker, p) for p in payloads]
-        return [
-            self._collect(worker, payload, future)
-            for payload, future in zip(payloads, futures)
-        ]
+        results = []
+        for payload, future in zip(payloads, futures):
+            results.append(self._collect(worker, payload, future))
+            obs.histogram_observe(
+                "service.pool.wait_seconds", time.perf_counter() - submitted
+            )
+        return results
 
     def _collect(self, worker, payload, future) -> object:
         try:

@@ -119,12 +119,16 @@ class SuffixTreeMiner:
         max_length: int | None = None,
     ) -> list[Repeat]:
         with obs.span("mine.suffixtree"):
-            return enumerate_repeats(
+            found = enumerate_repeats(
                 self._tree,
                 min_length=min_length,
                 min_count=min_count,
                 max_length=max_length,
             )
+        if obs.current_tracer() is not None:
+            for repeat in found:
+                obs.histogram_observe("mine.repeat.length", repeat.length)
+        return found
 
     def occurrences(self, repeat: Repeat) -> list[int]:
         return self._tree.occurrences(repeat.node)
@@ -170,7 +174,10 @@ class SuffixArrayMiner:
                 and (max_length is None or length <= max_length)
             ]
             out.sort(key=lambda r: (r.length, r.first))
-            return out
+        if obs.current_tracer() is not None:
+            for repeat in out:
+                obs.histogram_observe("mine.repeat.length", repeat.length)
+        return out
 
     def occurrences(self, repeat: Repeat) -> list[int]:
         _length, lb, rb, _first = self._intervals[repeat.node]

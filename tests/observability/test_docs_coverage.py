@@ -16,10 +16,12 @@ SRC = REPO / "src" / "repro"
 DOC = REPO / "docs" / "observability.md"
 
 #: obs.span(...) / tracer.span(...) / tracer.record_span(...) /
-#: obs.counter_add(...) / obs.gauge_set(...) / obs.gauge_max(...), with
-#: the name literal possibly wrapped onto the next line by the formatter.
+#: obs.counter_add(...) / obs.gauge_set(...) / obs.gauge_max(...) /
+#: obs.histogram_observe(...), with the name literal possibly wrapped
+#: onto the next line by the formatter.
 _NAME_CALL = re.compile(
-    r"\b(?:span|record_span|counter_add|gauge_set|gauge_max)\(\s*\"([^\"]+)\""
+    r"\b(?:span|record_span|counter_add|gauge_set|gauge_max|histogram_observe)"
+    r"\(\s*\"([^\"]+)\""
 )
 
 
@@ -37,7 +39,8 @@ def test_instrumentation_exists():
     # Canaries from each instrumented layer — if these disappear the
     # regex (or the instrumentation) broke.
     assert {"build", "dex2oat.codegen", "ltbo.group", "link.relocate",
-            "emulator.cycles", "suffix_tree.nodes"} <= names
+            "emulator.cycles", "suffix_tree.nodes",
+            "mine.repeat.length", "service.cache.lookup_seconds"} <= names
     assert len(names) > 40
 
 
@@ -47,5 +50,19 @@ def test_every_name_is_documented():
     missing = sorted(emitted_names() - documented)
     assert not missing, (
         f"span/counter names emitted in src/ but absent from "
+        f"docs/observability.md: {missing}"
+    )
+
+
+def test_every_ledger_field_is_documented():
+    """The ledger record schema is part of the documented surface."""
+    from repro.observability import LedgerEntry
+
+    entry = LedgerEntry(config="c", engine="e", meta={"k": 1})
+    doc = DOC.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`([a-z0-9_.]+)`", doc))
+    missing = sorted(set(entry.to_dict()) - documented)
+    assert not missing, (
+        f"ledger fields emitted by LedgerEntry.to_dict but absent from "
         f"docs/observability.md: {missing}"
     )

@@ -1,0 +1,182 @@
+"""Histograms and trace schema versioning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observability as obs
+from repro.core.errors import CalibroError
+from repro.observability import (
+    HISTOGRAM_BOUNDS,
+    Histogram,
+    TRACE_SCHEMA_VERSION,
+    Trace,
+    Tracer,
+    render_text,
+)
+
+
+# -- the Histogram primitive ------------------------------------------------
+
+
+def test_bounds_are_log_scaled_and_cover_the_useful_range():
+    assert len(HISTOGRAM_BOUNDS) == 30
+    assert HISTOGRAM_BOUNDS[0] == pytest.approx(1e-6)
+    assert HISTOGRAM_BOUNDS[-1] > 500  # ~537 s
+    for a, b in zip(HISTOGRAM_BOUNDS, HISTOGRAM_BOUNDS[1:]):
+        assert b == pytest.approx(2 * a)
+
+
+def test_observe_tracks_exact_extremes_and_sum():
+    hist = Histogram()
+    for value in (0.001, 0.003, 0.5, 12.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(12.504)
+    assert hist.min == 0.001
+    assert hist.max == 12.0
+    assert hist.mean == pytest.approx(12.504 / 4)
+
+
+def test_empty_histogram_quantiles_are_zero_and_serializes_null_extremes():
+    hist = Histogram()
+    assert hist.count == 0
+    assert hist.p50 == 0.0 and hist.p99 == 0.0 and hist.mean == 0.0
+    data = hist.to_dict()
+    assert data["min"] is None and data["max"] is None
+    assert Histogram.from_dict(data) == hist
+
+
+def test_quantiles_are_bucket_bounds_clamped_to_observed_range():
+    hist = Histogram()
+    hist.observe(5.0)
+    # A single observation: every quantile is that exact value.
+    assert hist.p50 == 5.0 and hist.p90 == 5.0 and hist.p99 == 5.0
+
+    hist = Histogram()
+    for _ in range(99):
+        hist.observe(0.001)
+    hist.observe(10.0)
+    # p50..p99 (ranks 50-99) sit in the 0.001 bucket; the top rank is
+    # the outlier, clamped to the exact max.
+    assert hist.p50 <= hist.p90 <= hist.p99 <= hist.max
+    assert hist.p99 < 0.002
+    assert hist.quantile(1.0) == 10.0
+
+
+def test_overflow_values_land_in_the_inf_slot():
+    hist = Histogram()
+    hist.observe(1e9)  # beyond the largest bound
+    assert hist.count == 1
+    assert hist.max == 1e9
+    assert hist.counts[len(HISTOGRAM_BOUNDS)] == 1
+    assert hist.p99 == 1e9  # clamped to max
+
+
+def test_non_positive_values_land_in_the_first_bucket():
+    hist = Histogram()
+    hist.observe(0.0)
+    hist.observe(-1.0)
+    assert hist.count == 2
+    assert hist.counts[0] == 2
+    assert hist.min == -1.0
+
+
+# -- serialization ----------------------------------------------------------
+
+
+def test_round_trip_preserves_quantiles_exactly():
+    """The acceptance property: quantiles are derived from integer
+    bucket counts plus exact min/max floats, so a JSON round trip
+    reproduces them bit-for-bit — no approx."""
+    hist = Histogram()
+    for i in range(1, 500):
+        hist.observe(i * 0.00137)
+    back = Histogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+    assert back == hist
+    assert back.p50 == hist.p50
+    assert back.p90 == hist.p90
+    assert back.p99 == hist.p99
+    assert back.min == hist.min and back.max == hist.max
+    assert back.sum == hist.sum and back.count == hist.count
+
+
+def test_to_dict_trims_trailing_empty_buckets():
+    hist = Histogram()
+    hist.observe(1e-6)  # first bucket only
+    data = hist.to_dict()
+    assert len(data["counts"]) <= 2
+    assert Histogram.from_dict(data) == hist
+
+
+# -- tracer + trace integration ---------------------------------------------
+
+
+def test_tracer_histogram_observe_and_snapshot_isolation():
+    tracer = Tracer()
+    tracer.histogram_observe("x.seconds", 0.25)
+    snap = tracer.snapshot()
+    tracer.histogram_observe("x.seconds", 0.5)
+    assert snap.histograms["x.seconds"].count == 1  # deep copy
+    assert tracer.histograms["x.seconds"].count == 2
+
+
+def test_module_helper_is_a_noop_without_a_tracer():
+    assert obs.current_tracer() is None
+    obs.histogram_observe("never.recorded", 1.0)  # must not raise
+    with obs.tracing() as tracer:
+        obs.histogram_observe("now.recorded", 1.0)
+    assert tracer.histograms["now.recorded"].count == 1
+
+
+def test_trace_json_round_trip_carries_histograms():
+    with obs.tracing() as tracer:
+        with obs.span("work"):
+            obs.histogram_observe("work.seconds", 0.125)
+            obs.histogram_observe("work.seconds", 0.25)
+    trace = tracer.snapshot()
+    doc = json.loads(json.dumps(trace.to_dict()))
+    assert doc["version"] == TRACE_SCHEMA_VERSION
+    back = Trace.from_dict(doc)
+    assert back.histograms["work.seconds"] == trace.histograms["work.seconds"]
+
+
+def test_render_text_includes_histogram_section():
+    with obs.tracing() as tracer:
+        with obs.span("work"):
+            obs.histogram_observe("work.seconds", 0.125)
+    text = render_text(tracer.snapshot())
+    assert "histograms:" in text
+    assert "work.seconds" in text
+    assert "p99=" in text
+
+
+# -- version tolerance ------------------------------------------------------
+
+
+def test_v1_trace_without_version_still_loads():
+    """Documents written before the version key existed load as v1."""
+    legacy = {
+        "spans": [{"name": "build", "start": 0.0, "duration": 1.0,
+                   "attrs": {}, "children": []}],
+        "counters": {"n": 1},
+        "gauges": {},
+        "meta": {},
+    }
+    trace = Trace.from_dict(legacy)
+    assert trace.spans[0].name == "build"
+    assert trace.histograms == {}
+
+
+def test_newer_trace_version_raises_a_clear_error():
+    doc = {"version": TRACE_SCHEMA_VERSION + 1, "spans": [],
+           "counters": {}, "gauges": {}, "meta": {}}
+    with pytest.raises(CalibroError, match="newer than this build"):
+        Trace.from_dict(doc)
+
+
+def test_invalid_trace_version_raises():
+    with pytest.raises(CalibroError):
+        Trace.from_dict({"version": "two", "spans": []})

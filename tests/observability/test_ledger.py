@@ -1,0 +1,144 @@
+"""The append-only JSONL build ledger."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import CalibroError
+from repro.observability import (
+    LEDGER_SCHEMA_VERSION,
+    BuildLedger,
+    LedgerEntry,
+    trace_digest,
+)
+
+
+def _entry(config="CTO+LTBO", label="app", before=10000, after=8000, **kw):
+    return LedgerEntry(
+        config=config,
+        engine="suffixtree",
+        label=label,
+        text_size_before=before,
+        text_size_after=after,
+        wall_seconds=kw.pop("wall_seconds", 1.5),
+        timestamp=kw.pop("timestamp", 1000.0),
+        **kw,
+    )
+
+
+# -- LedgerEntry ------------------------------------------------------------
+
+
+def test_reduction_matches_the_paper_formula():
+    assert _entry(before=10000, after=8081).reduction == pytest.approx(0.1919)
+    assert _entry(before=0, after=0).reduction == 0.0  # no division by zero
+
+
+def test_entry_round_trip():
+    entry = _entry(cache_hits=3, cache_misses=1, meta={"git": "abc123"})
+    back = LedgerEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+    assert back == entry
+
+
+def test_dict_carries_derived_reduction_and_schema_version():
+    data = _entry(before=10000, after=8000).to_dict()
+    assert data["schema_version"] == LEDGER_SCHEMA_VERSION
+    assert data["reduction"] == pytest.approx(0.2)
+
+
+def test_missing_schema_version_reads_as_v1():
+    data = _entry().to_dict()
+    del data["schema_version"]
+    assert LedgerEntry.from_dict(data).schema_version == 1
+
+
+def test_newer_schema_version_is_refused():
+    data = _entry().to_dict()
+    data["schema_version"] = LEDGER_SCHEMA_VERSION + 1
+    with pytest.raises(CalibroError, match="newer than this build"):
+        LedgerEntry.from_dict(data)
+
+
+def test_non_mapping_record_is_refused():
+    with pytest.raises(CalibroError, match="mapping"):
+        LedgerEntry.from_dict(["not", "a", "dict"])
+
+
+# -- BuildLedger ------------------------------------------------------------
+
+
+def test_append_and_iterate(tmp_path):
+    ledger = BuildLedger(tmp_path / "sub" / "ledger.jsonl")  # parents created
+    ledger.append(_entry(label="a"))
+    ledger.append(_entry(label="b"))
+    labels = [e.label for e in ledger.entries()]
+    assert labels == ["a", "b"]
+
+
+def test_missing_file_reads_as_empty(tmp_path):
+    assert BuildLedger(tmp_path / "absent.jsonl").entries() == []
+
+
+def test_truncated_final_line_is_tolerated(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = BuildLedger(path)
+    ledger.append(_entry(label="ok"))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"config": "crashed mid-wri')  # a dead writer's last gasp
+    assert [e.label for e in ledger.entries()] == ["ok"]
+
+
+def test_corrupt_interior_line_raises_with_line_number(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = BuildLedger(path)
+    ledger.append(_entry(label="a"))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("garbage\n")
+    ledger.append(_entry(label="b"))
+    with pytest.raises(CalibroError, match=":2"):
+        ledger.entries()
+
+
+def test_last_filters_by_config_and_label(tmp_path):
+    ledger = BuildLedger(tmp_path / "ledger.jsonl")
+    ledger.append(_entry(config="A", label="x", after=1))
+    ledger.append(_entry(config="B", label="x", after=2))
+    ledger.append(_entry(config="A", label="y", after=3))
+    assert ledger.last().text_size_after == 3
+    assert ledger.last(config="B").text_size_after == 2
+    assert ledger.last(config="A", label="x").text_size_after == 1
+    assert ledger.last(config="missing") is None
+    assert ledger.configs() == ["A", "B"]
+
+
+# -- distilling builds ------------------------------------------------------
+
+
+def test_trace_digest_is_canonical_and_none_safe():
+    assert trace_digest(None) == ""
+    from repro.observability import Trace
+
+    trace = Trace(spans=[], counters={"a": 1}, gauges={}, meta={})
+    digest = trace_digest(trace)
+    assert len(digest) == 64
+    assert digest == trace_digest(Trace(spans=[], counters={"a": 1},
+                                        gauges={}, meta={}))
+
+
+def test_entry_from_build_distills_a_real_build(small_app):
+    from repro.core import CalibroConfig, build_app
+    from repro.observability import entry_from_build
+
+    build = build_app(small_app.dexfile, CalibroConfig.cto_ltbo())
+    entry = entry_from_build(build, label="taobao", timestamp=123.0)
+    assert entry.config == build.config.name
+    assert entry.engine == build.config.engine
+    assert entry.label == "taobao"
+    assert entry.text_size_after == build.text_size
+    bytes_saved = sum(s.bytes_saved for s in build.outline_stats)
+    assert entry.text_size_before == build.text_size + bytes_saved
+    assert entry.reduction > 0
+    assert entry.wall_seconds == build.build_seconds
+    assert entry.timestamp == 123.0

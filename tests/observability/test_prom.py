@@ -1,0 +1,115 @@
+"""The Prometheus text exposition renderer and file reporter."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro import observability as obs
+from repro.observability import (
+    HISTOGRAM_BOUNDS,
+    Histogram,
+    PromReporter,
+    Trace,
+    prom_name,
+    render_prometheus,
+)
+
+#: One sample line of the 0.0.4 text format:
+#: ``name{label="value",...} number``.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[0-9.eE+-]+|NaN|\+Inf|-Inf)$"
+)
+_TYPE = re.compile(r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+                   r"(?P<kind>counter|gauge|histogram)$")
+
+
+def _parse(text: str):
+    """Parse an exposition document into ``{metric: kind}`` and
+    ``[(name, labels, value)]`` samples, validating every line."""
+    types: dict[str, str] = {}
+    samples: list[tuple[str, str, float]] = []
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("#"):
+            match = _TYPE.match(line)
+            assert match, f"malformed TYPE line: {line!r}"
+            types[match["name"]] = match["kind"]
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        samples.append(
+            (match["name"], match["labels"] or "", float(match["value"]
+             .replace("+Inf", "inf").replace("-Inf", "-inf")))
+        )
+    return types, samples
+
+
+def _trace(**kw) -> Trace:
+    return Trace(spans=[], counters=kw.pop("counters", {}),
+                 gauges=kw.pop("gauges", {}), meta={}, **kw)
+
+
+def test_prom_name_sanitizes_and_prefixes():
+    assert prom_name("service.cache.hits") == "calibro_service_cache_hits"
+    assert prom_name("ltbo.group.seconds") == "calibro_ltbo_group_seconds"
+    assert prom_name("weird-name!") == "calibro_weird_name_"
+
+
+def test_counters_and_gauges_render_with_types():
+    text = render_prometheus(_trace(counters={"a.count": 3},
+                                    gauges={"b.level": 1.5}))
+    types, samples = _parse(text)
+    assert types == {"calibro_a_count": "counter", "calibro_b_level": "gauge"}
+    assert ("calibro_a_count", "", 3.0) in samples
+    assert ("calibro_b_level", "", 1.5) in samples
+
+
+def test_histogram_renders_the_cumulative_triplet():
+    hist = Histogram()
+    for value in (0.001, 0.002, 0.5):
+        hist.observe(value)
+    trace = _trace()
+    trace.histograms["x.seconds"] = hist
+    types, samples = _parse(render_prometheus(trace))
+    assert types["calibro_x_seconds"] == "histogram"
+
+    buckets = [s for s in samples if s[0] == "calibro_x_seconds_bucket"]
+    assert len(buckets) == len(HISTOGRAM_BOUNDS) + 1  # + le="+Inf"
+    values = [v for _, _, v in buckets]
+    assert values == sorted(values)  # cumulative => monotone
+    assert buckets[-1][1] == 'le="+Inf"'
+    assert buckets[-1][2] == 3.0
+
+    [(_, _, total)] = [s for s in samples if s[0] == "calibro_x_seconds_count"]
+    assert total == 3.0
+    [(_, _, sum_)] = [s for s in samples if s[0] == "calibro_x_seconds_sum"]
+    assert sum_ == pytest.approx(0.503)
+
+
+def test_reporter_writes_atomically(tmp_path):
+    path = tmp_path / "metrics.prom"
+    reporter = PromReporter(str(path))
+    reporter.emit(_trace(counters={"n": 1}))
+    first = path.read_text(encoding="utf-8")
+    assert "calibro_n 1" in first
+    reporter.emit(_trace(counters={"n": 2}))
+    assert "calibro_n 2" in path.read_text(encoding="utf-8")
+    assert not path.with_suffix(".prom.tmp").exists()
+
+
+def test_live_tracer_snapshot_is_valid_exposition():
+    """The ``serve --metrics-file`` shape: a real tracer's snapshot must
+    always parse."""
+    with obs.tracing() as tracer:
+        with obs.span("build"):
+            obs.counter_add("things", 7)
+            obs.gauge_set("level", 2)
+            obs.histogram_observe("lat.seconds", 0.01)
+    types, samples = _parse(render_prometheus(tracer.snapshot()))
+    assert types["calibro_things"] == "counter"
+    assert types["calibro_lat_seconds"] == "histogram"
+    assert any(name == "calibro_level" for name, _, _ in samples)

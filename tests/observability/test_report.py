@@ -10,6 +10,7 @@ import pytest
 from repro.cli import main
 from repro.observability import (
     JsonReporter,
+    TRACE_SCHEMA_VERSION,
     Span,
     Trace,
     TextReporter,
@@ -53,7 +54,7 @@ def test_json_reporter_emits_versioned_document(tmp_path, trace):
     path = tmp_path / "t.json"
     JsonReporter(str(path)).emit(trace)
     data = json.loads(path.read_text())
-    assert data["version"] == 1
+    assert data["version"] == TRACE_SCHEMA_VERSION
     assert data["counters"]["ltbo.bytes_saved"] == 12345
 
 

@@ -1,0 +1,92 @@
+"""Concurrent registry updates must lose nothing.
+
+The service layer runs cache lookups and pool bookkeeping from whatever
+thread happens to drive a build, so ``Tracer``'s counter/gauge/histogram
+registries take a lock.  Spans stay single-threaded by contract (the
+current-span stack is deliberately unguarded); these tests hammer only
+the registries.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import observability as obs
+from repro.observability import Tracer
+
+THREADS = 8
+ITERATIONS = 2500
+
+
+def _hammer(tracer: Tracer, barrier: threading.Barrier) -> None:
+    barrier.wait()
+    for i in range(ITERATIONS):
+        tracer.add("shared.counter", 1)
+        tracer.gauge_max("shared.peak", i)
+        tracer.gauge_set("shared.level", i)
+        tracer.histogram_observe("shared.hist", 0.001 * (i % 7 + 1))
+
+
+def test_concurrent_updates_lose_no_increments():
+    tracer = Tracer()
+    barrier = threading.Barrier(THREADS)
+    threads = [
+        threading.Thread(target=_hammer, args=(tracer, barrier))
+        for _ in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert tracer.counters["shared.counter"] == THREADS * ITERATIONS
+    assert tracer.gauges["shared.peak"] == ITERATIONS - 1
+    hist = tracer.histograms["shared.hist"]
+    assert hist.count == THREADS * ITERATIONS
+    assert sum(hist.counts) == THREADS * ITERATIONS
+    assert hist.min == 0.001 and hist.max == 0.007
+
+
+def test_concurrent_module_helpers_through_an_installed_tracer():
+    with obs.tracing() as tracer:
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(1000):
+                obs.counter_add("helper.counter")
+                obs.histogram_observe("helper.hist", 0.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    assert tracer.counters["helper.counter"] == 4000
+    assert tracer.histograms["helper.hist"].count == 4000
+
+
+def test_snapshot_during_concurrent_writes_is_internally_consistent():
+    """A snapshot taken mid-hammer must satisfy the histogram's own
+    invariant (bucket counts sum to the total) even while writers race."""
+    tracer = Tracer()
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            tracer.histogram_observe("racing.hist", 0.01)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(50):
+            snap = tracer.snapshot()
+            hist = snap.histograms.get("racing.hist")
+            if hist is not None:
+                assert sum(hist.counts) == hist.count
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()

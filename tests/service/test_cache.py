@@ -152,6 +152,26 @@ def test_lru_eviction_is_size_bounded_and_recency_aware(tmp_path):
     assert fresh.lookup_object("cc" * 32) is not None
 
 
+def test_eviction_drops_the_bytes_gauge(tmp_path):
+    """``service.cache.bytes`` reports the *current* disk tier
+    (``gauge_set``): eviction must pull the gauge down, not leave the
+    pre-eviction peak standing."""
+    from repro import observability as obs
+
+    with obs.tracing() as tracer:
+        cache = OutlineCache(tmp_path, max_bytes=5000, memory_entries=1)
+        cache.store_object("aa" * 32, b"x" * 4000)
+        peak = tracer.gauges["service.cache.bytes"]
+        time.sleep(0.02)
+        cache.store_object("bb" * 32, b"y" * 800)
+        time.sleep(0.02)
+        cache.store_object("cc" * 32, b"z" * 800)  # over budget: evict "aa"
+    assert cache.stats.evictions >= 1
+    gauge = tracer.gauges["service.cache.bytes"]
+    assert gauge == cache.disk_bytes()
+    assert gauge < peak
+
+
 def test_clear_drops_both_tiers(tmp_path):
     cache = OutlineCache(tmp_path)
     cache.store_object("ee" * 32, b"v")

@@ -1,0 +1,57 @@
+"""Smoke test for ``scripts/run_benchmarks.py`` — the trajectory file
+format must not rot between the (rare) full benchmark runs."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "run_benchmarks.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("run_benchmarks", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_two_runs_append_two_points(bench, tmp_path, capsys):
+    out = tmp_path / "BENCH_sizes.json"
+    argv = ["--scale", "0.05", "--apps", "Wechat", "--groups", "2",
+            "--out", str(out)]
+    assert bench.main(argv) == 0
+    assert bench.main(argv) == 0
+    assert "avg reduction" in capsys.readouterr().out
+
+    points = json.loads(out.read_text(encoding="utf-8"))
+    assert isinstance(points, list) and len(points) == 2
+    for point in points:
+        assert point["schema_version"] == bench.POINT_SCHEMA_VERSION
+        assert point["git_sha"]  # short sha, or "unknown" outside git
+        assert point["timestamp"] > 0 and "T" in point["date"]
+        assert point["apps"] == ["Wechat"]
+        assert point["baseline"]["per_app"]["Wechat"]["text_size"] > 0
+        for key in bench.CONFIG_KEYS:
+            stack = point["configs"][key]
+            assert 0.0 < stack["avg_reduction"] < 1.0
+            assert stack["avg_build_seconds"] > 0.0
+            assert stack["per_app"]["Wechat"]["text_size"] > 0
+    # Trajectory points accumulate in order.
+    assert points[0]["timestamp"] <= points[1]["timestamp"]
+
+
+def test_append_point_refuses_a_non_array_file(bench, tmp_path):
+    out = tmp_path / "BENCH_sizes.json"
+    out.write_text('{"not": "an array"}')
+    with pytest.raises(SystemExit, match="array"):
+        bench.append_point(out, {"schema_version": 1})
+
+
+def test_git_sha_shape(bench):
+    sha = bench.git_sha()
+    assert sha == "unknown" or (4 <= len(sha) <= 40 and sha.isalnum())
