@@ -1,0 +1,89 @@
+"""Sharded group builds: dispatch accounting + byte-identical output.
+
+The shard executor's promise mirrors the cache's: whatever it does for
+throughput, the *bytes must not move*.  This benchmark builds the same
+apps three ways — plain serial ``build_app``, the in-process worker
+pool, and the multi-process :class:`ShardExecutor` at two widths — and
+asserts bit identity across all of them, while reporting wall time and
+the shard supervision stats (dispatches, memo hits, fallbacks).
+
+On this repo's reference container the host has a single usable CPU, so
+sharding is *not* expected to win wall-clock here — the interesting
+numbers are the per-shard dispatch counts (K groups collapse into N
+submissions instead of K) and the invariant that the recovery machinery
+stayed cold (no timeouts, no fallbacks) on a healthy run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import CalibroConfig, build_app
+from repro.reporting import format_table
+from repro.service import BuildService
+from repro.workloads import app_spec, generate_app
+
+from _bench_util import BENCH_SCALE, PLOPTI_GROUPS, emit
+
+_SCALE = max(1.0, BENCH_SCALE)
+_APPS = ["Taobao", "Wechat"]
+_SHARD_WIDTHS = (2, 4)
+
+
+def test_shard_scaling_byte_identity(benchmark):
+    def measure():
+        dexfiles = {
+            name: generate_app(app_spec(name, _SCALE)).dexfile for name in _APPS
+        }
+        config = CalibroConfig.cto_ltbo_plopti(groups=PLOPTI_GROUPS)
+        rows = []
+        identical = True
+        healthy = True
+        for name, dexfile in dexfiles.items():
+            t0 = time.perf_counter()
+            reference = build_app(dexfile, config).oat.to_bytes()
+            serial_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            with BuildService(max_workers=2) as pooled:
+                pool_bytes = pooled.submit(dexfile, config).build.oat.to_bytes()
+            pool_s = time.perf_counter() - t0
+            identical &= pool_bytes == reference
+            rows.append((name, "pool x2", pool_s, serial_s, "-", "-"))
+
+            for shards in _SHARD_WIDTHS:
+                t0 = time.perf_counter()
+                with BuildService(shards=shards) as service:
+                    report = service.submit(dexfile, config)
+                    stats = service.shard_executor.stats
+                shard_s = time.perf_counter() - t0
+                identical &= report.build.oat.to_bytes() == reference
+                healthy &= (
+                    stats.timeouts == 0
+                    and stats.serial_fallbacks == 0
+                    and stats.failures == 0
+                )
+                rows.append(
+                    (name, f"shards x{shards}", shard_s, serial_s,
+                     str(stats.dispatches), str(stats.memo_hits))
+                )
+        return rows, identical, healthy
+
+    rows, identical, healthy = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = format_table(
+        ["app", "executor", "wall (s)", "serial (s)", "dispatches", "memo hits"],
+        [
+            [name, mode, f"{wall:.3f}", f"{serial:.3f}", dispatches, memo]
+            for name, mode, wall, serial, dispatches, memo in rows
+        ],
+    )
+    emit(
+        "shard_scaling",
+        "sharded vs single-process group builds "
+        f"(scale {_SCALE}, K={PLOPTI_GROUPS}):\n{table}\n"
+        f"output bytes identical across all executors: {identical}",
+    )
+
+    assert identical, "sharded build output diverged from the serial build"
+    assert healthy, "shard recovery machinery engaged on a healthy run"

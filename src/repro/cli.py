@@ -248,6 +248,7 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_mb * 1024 * 1024,
         max_workers=args.jobs,
+        shards=args.shards,
         ledger=args.ledger,
         metrics_path=args.metrics_file,
     )
@@ -292,6 +293,14 @@ def _cmd_serve(args) -> int:
         f"pool {pool['tasks']} tasks "
         f"({pool['retries']} retries, {pool['serial_fallbacks']} serial fallbacks)"
     )
+    if "shard" in stats:
+        shard = stats["shard"]
+        print(
+            f"shards: {shard['shards']} x {shard['dispatches']} dispatches, "
+            f"{shard['tasks']} groups ({shard['retries']} retries, "
+            f"{shard['serial_fallbacks']} serial fallbacks, "
+            f"{shard['memo_hits']} memo hits)"
+        )
     if args.ledger:
         print(f"ledger -> {args.ledger}")
     if args.metrics_file:
@@ -610,6 +619,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="repeat-mining backend (overrides the --config file)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker pool width (default: usable CPUs)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="run group work in N worker shard processes "
+                        "(N >= 2; default: the in-process worker pool)")
     p.add_argument("--cache-dir",
                    help="persistent cache directory (default: in-memory only)")
     p.add_argument("--cache-mb", type=int, default=64,

@@ -109,10 +109,10 @@ def outline_partitioned(
     ``groups=1`` degenerates to the single global index.  ``engine``
     selects the mining backend for every group (validated here, before
     any worker forks — an unknown name is a :class:`ConfigError`, not a
-    ``KeyError`` inside the pool).  ``jobs`` defaults to ``groups``
-    *clamped to the CPU count* — asking for 64 groups on a 4-core host
-    schedules 4 jobs, not 64 (the chosen value is recorded as the
-    ``plopti.jobs`` gauge).  ``symbol_prefix`` namespaces the outlined
+    ``KeyError`` inside the pool).  ``jobs`` defaults to ``groups`` and
+    is *clamped to the CPU count* whether defaulted or explicit — asking
+    for 64 jobs on a 4-core host schedules 4, not 64 (the clamped value
+    is recorded as the ``plopti.jobs`` gauge).  ``symbol_prefix`` namespaces the outlined
     functions (multi-round callers pass a per-round prefix to keep
     symbols unique).  ``cache``/``pool`` are the optional build-service
     collaborators described in the module docstring.
@@ -129,7 +129,11 @@ def outline_partitioned(
          f"{symbol_prefix}$g{gi}")
         for gi, part in enumerate(partitions)
     ]
-    effective_jobs = jobs if jobs is not None else min(groups, available_parallelism())
+    # The documented clamp applies to *every* jobs value, explicit or
+    # defaulted: an explicit jobs=64 on a 4-core host schedules 4 jobs,
+    # and the plopti.jobs gauge records the clamped truth.
+    requested_jobs = jobs if jobs is not None else groups
+    effective_jobs = min(requested_jobs, groups, available_parallelism())
     obs.gauge_set("plopti.jobs", effective_jobs)
     # Static-literal gauge per engine (the docs-coverage convention):
     # a trace shows which backends mined this build.

@@ -173,6 +173,24 @@ class Histogram:
                 lo = mid + 1
         return lo
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one, exactly.
+
+        Buckets are process-wide constants, so a merge is pure integer
+        addition — the shard supervisor uses this to combine per-shard
+        registries into the build's registry without losing a single
+        observation (``sum``/``count``/``min``/``max`` stay exact; the
+        derived quantiles are functions of the merged integers).
+        """
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -443,6 +461,31 @@ class Tracer:
             if hist is None:
                 hist = self.histograms[name] = Histogram()
             hist.observe(value)
+
+    def merge_registry(self, other: Trace) -> None:
+        """Fold another trace's counter/gauge/histogram registries into
+        this tracer.
+
+        Shard processes measure with their own local tracer (no shared
+        memory with the supervisor); their snapshots travel back in the
+        shard result and land here.  Counters add, histograms merge
+        exactly (:meth:`Histogram.merge`), and gauges keep the maximum —
+        the conservative reading for the peak-style gauges that cross
+        process boundaries.  Spans are *not* merged; per-group timings
+        already travel in ``OutlineStats`` and are reconstructed as
+        ``ltbo.group`` spans by the parent.
+        """
+        with self._lock:
+            for name, value in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in other.gauges.items():
+                if value > self.gauges.get(name, float("-inf")):
+                    self.gauges[name] = value
+            for name, hist in other.histograms.items():
+                own = self.histograms.get(name)
+                if own is None:
+                    own = self.histograms[name] = Histogram()
+                own.merge(hist)
 
     # -- export ------------------------------------------------------------
 

@@ -17,7 +17,9 @@ from repro.service.cache import (
     OutlineCache,
     fingerprint_methods,
 )
+from repro.service.faults import FaultPlan, armed
 from repro.service.pool import PoolStats, WorkerPool
+from repro.service.shard import ShardExecutor, ShardStats
 
 __all__ = [
     "BuildReport",
@@ -25,8 +27,12 @@ __all__ = [
     "BuildService",
     "CacheStats",
     "DEFAULT_MAX_BYTES",
+    "FaultPlan",
     "OutlineCache",
     "PoolStats",
+    "ShardExecutor",
+    "ShardStats",
     "WorkerPool",
+    "armed",
     "fingerprint_methods",
 ]

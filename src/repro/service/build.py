@@ -47,6 +47,7 @@ from repro.dex.method import DexFile
 from repro.dex.serialize import dexfile_to_json
 from repro.service.cache import DEFAULT_MAX_BYTES, OutlineCache
 from repro.service.pool import WorkerPool
+from repro.service.shard import ShardExecutor
 
 __all__ = ["BuildReport", "BuildRequest", "BuildService"]
 
@@ -100,8 +101,11 @@ class BuildService:
     build append its durable record; ``metrics_path`` keeps a
     Prometheus exposition file refreshed after every build and at
     :meth:`close` (requires an active tracer to have anything to
-    export).  Use as a context manager, or call :meth:`close` to
-    release the worker pool.
+    export).  ``shards >= 2`` routes group work through the
+    multi-process :class:`~repro.service.shard.ShardExecutor` instead
+    of the in-process worker pool (``shard_timeout`` is its per-batch
+    budget) — output bytes are identical either way.  Use as a context
+    manager, or call :meth:`close` to release the worker pool.
     """
 
     def __init__(
@@ -112,13 +116,25 @@ class BuildService:
         cache_memory_entries: int = 256,
         max_workers: int | None = None,
         group_timeout: float | None = None,
+        shards: int | None = None,
+        shard_timeout: float | None = None,
         ledger: "obs.BuildLedger | str | None" = None,
         metrics_path: str | None = None,
     ) -> None:
+        if shards is not None and shards < 1:
+            raise ServiceError("shards must be >= 1")
         self.cache = OutlineCache(
             cache_dir, max_bytes=cache_max_bytes, memory_entries=cache_memory_entries
         )
         self.pool = WorkerPool(max_workers=max_workers, timeout=group_timeout)
+        # shards >= 2 swaps the per-group worker pool for the
+        # multi-process shard executor (repro.service.shard) — coarser
+        # dispatch units, byte-identical output.
+        self.shard_executor = (
+            ShardExecutor(shards=shards, timeout=shard_timeout)
+            if shards is not None and shards >= 2
+            else None
+        )
         if ledger is None or isinstance(ledger, obs.BuildLedger):
             self.ledger = ledger
         else:
@@ -132,6 +148,8 @@ class BuildService:
     def close(self) -> None:
         self._emit_metrics()
         self.pool.close()
+        if self.shard_executor is not None:
+            self.shard_executor.close()
         self._closed = True
 
     def _emit_metrics(self) -> None:
@@ -171,7 +189,7 @@ class BuildService:
                 config,
                 compiled=compiled,
                 cache=self.cache,
-                pool=self.pool,
+                pool=self.shard_executor if self.shard_executor is not None else self.pool,
             )
             if not compile_cached:
                 self.cache.store_object(self._compile_key(dexfile, config), build.dex2oat)
@@ -238,9 +256,12 @@ class BuildService:
     def stats(self) -> dict[str, object]:
         """Service-level bookkeeping (the ``calibro serve`` footer and
         the ``--json`` report's ``service`` section)."""
-        return {
+        out: dict[str, object] = {
             "schema_version": SUMMARY_SCHEMA_VERSION,
             "builds": self.builds_completed,
             "cache": self.cache.stats.as_dict(),
             "pool": self.pool.stats.as_dict(),
         }
+        if self.shard_executor is not None:
+            out["shard"] = self.shard_executor.stats.as_dict()
+        return out

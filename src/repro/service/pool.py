@@ -5,7 +5,12 @@ the fork-and-teardown per ``map_over_groups`` call the pipeline used to
 pay), and every group task gets robustness the bare pool lacks:
 
 * **timeout** — a group that exceeds ``timeout`` seconds is abandoned
-  (`service.pool.timeouts`);
+  (`service.pool.timeouts`) and the executor is **replaced**: a
+  ``Future`` past its start cannot be cancelled, so merely abandoning it
+  would leave a zombie task occupying a worker slot and the retry would
+  queue behind it (the PR-5 timeout leak).  Replacing the executor —
+  terminating its worker processes — guarantees the retry starts on a
+  healthy pool;
 * **one retry** — a failed or timed-out group is resubmitted once
   (`service.pool.retries`), after restarting the pool if the worker
   process died (`service.pool.restarts`);
@@ -15,6 +20,17 @@ pay), and every group task gets robustness the bare pool lacks:
   function* raises deterministically still raises here — bugs must
   surface, only infrastructure failures are absorbed.
 
+Queue-wait accounting is per task: every submission stamps its own
+submit time and a done-callback observes ``service.pool.wait_seconds``
+the moment the future completes — not when the in-order collection loop
+finally reads it, which used to fold every earlier task's collect
+latency into later observations and inflate the p99.
+
+When the ``CALIBRO_FAULTS`` environment variable is set
+(:mod:`repro.service.faults`), submissions are wrapped so deterministic
+crash/hang/slow faults fire inside the worker children — the mechanism
+the fault-injection suite uses to drive this ladder.
+
 ``max_workers=1`` (the default on a single-CPU host) short-circuits to
 plain serial execution — no processes, no pickling.
 """
@@ -23,13 +39,14 @@ from __future__ import annotations
 
 import concurrent.futures
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 from repro import observability as obs
 from repro.core.errors import ServiceError
+from repro.service import faults
 from repro.suffixtree.parallel import available_parallelism
 
 __all__ = ["PoolStats", "WorkerPool"]
@@ -104,13 +121,28 @@ class WorkerPool:
             self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._executor
 
-    def _restart(self) -> None:
-        """Replace a broken executor (its worker died mid-task)."""
+    def _restart(self, *, terminate: bool = False) -> None:
+        """Replace the executor.
+
+        ``terminate=False`` for a pool whose worker already died
+        (``BrokenProcessPool`` — nothing left to kill).  ``terminate=True``
+        for the timeout path: the abandoned task is still *running* in a
+        worker, and only terminating the process actually reclaims the
+        slot — without it the zombie serves out its sentence while every
+        retry queues behind it.
+        """
         self.stats.restarts += 1
         obs.counter_add("service.pool.restarts")
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        executor.shutdown(wait=False, cancel_futures=True)
+        if terminate:
+            try:
+                for process in list(getattr(executor, "_processes", {}).values()):
+                    process.terminate()
+            except Exception:  # pragma: no cover - best-effort reaping
+                pass
 
     # -- execution ----------------------------------------------------------
 
@@ -129,30 +161,60 @@ class WorkerPool:
         obs.counter_add("service.pool.tasks", len(payloads))
         if self.max_workers <= 1 or len(payloads) <= 1:
             results = []
-            for payload in payloads:
+            for index, payload in enumerate(payloads):
                 t0 = time.perf_counter()
-                results.append(worker(payload))
+                if faults.faults_armed():
+                    results.append(
+                        faults.call_with_faults(worker, "pool", str(index), payload)
+                    )
+                else:
+                    results.append(worker(payload))
                 obs.histogram_observe(
                     "service.pool.wait_seconds", time.perf_counter() - t0
                 )
             return results
-        submitted = time.perf_counter()
-        futures = [self._pool().submit(worker, p) for p in payloads]
-        results = []
-        for payload, future in zip(payloads, futures):
-            results.append(self._collect(worker, payload, future))
-            obs.histogram_observe(
-                "service.pool.wait_seconds", time.perf_counter() - submitted
-            )
-        return results
+        futures = [self._submit(worker, i, p) for i, p in enumerate(payloads)]
+        return [
+            self._collect(worker, index, payload, future)
+            for index, (payload, future) in enumerate(zip(payloads, futures))
+        ]
 
-    def _collect(self, worker, payload, future) -> object:
+    def _submit(self, worker, index: int, payload) -> Future:
+        """Submit one task, stamping its own submit time so the wait
+        histogram records per-task submit→completion latency (the
+        done-callback fires when the future settles, succeed or fail —
+        not when the in-order collection loop gets to it)."""
+        if faults.faults_armed():
+            future = self._pool().submit(
+                faults.call_with_faults, worker, "pool", str(index), payload
+            )
+        else:
+            future = self._pool().submit(worker, payload)
+        submitted = time.perf_counter()
+
+        def _record(_future: Future, _t0: float = submitted) -> None:
+            obs.histogram_observe(
+                "service.pool.wait_seconds", time.perf_counter() - _t0
+            )
+
+        future.add_done_callback(_record)
+        return future
+
+    def _collect(self, worker, index: int, payload, future: Future) -> object:
         try:
             return future.result(timeout=self.timeout)
         except concurrent.futures.TimeoutError:
-            future.cancel()
             self.stats.timeouts += 1
             obs.counter_add("service.pool.timeouts")
+            # cancel() cannot stop a task already running in a worker;
+            # replace the executor (terminating its processes) so the
+            # retry does not queue behind the zombie.
+            self._restart(terminate=True)
+        except concurrent.futures.CancelledError:
+            # A sibling task's timeout restarted the executor while this
+            # future was still queued. Infrastructure, not the worker.
+            self.stats.failures += 1
+            obs.counter_add("service.pool.failures")
         except BrokenProcessPool:
             self.stats.failures += 1
             obs.counter_add("service.pool.failures")
@@ -164,12 +226,19 @@ class WorkerPool:
         self.stats.retries += 1
         obs.counter_add("service.pool.retries")
         try:
-            return self._pool().submit(worker, payload).result(timeout=self.timeout)
+            return self._submit(worker, index, payload).result(timeout=self.timeout)
+        except concurrent.futures.TimeoutError:
+            self.stats.timeouts += 1
+            obs.counter_add("service.pool.timeouts")
+            self._restart(terminate=True)
         except BrokenProcessPool:
             self._restart()
+        except concurrent.futures.CancelledError:
+            pass
         except Exception:
             pass
-        # ... then the serial fallback.
+        # ... then the serial fallback (faults stay off here: they fire
+        # in children only, so the landing is guaranteed clean).
         self.stats.serial_fallbacks += 1
         obs.counter_add("service.pool.serial_fallbacks")
         return worker(payload)

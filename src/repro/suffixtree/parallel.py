@@ -34,6 +34,7 @@ __all__ = [
     "available_parallelism",
     "map_over_groups",
     "partition_evenly",
+    "round_robin_shards",
     "shared_pool",
     "shutdown_shared_pool",
 ]
@@ -96,6 +97,26 @@ def partition_evenly(items: Sequence[_T], groups: int, seed: int = 0) -> list[li
     for rank, idx in enumerate(indices):
         buckets[rank % len(buckets)].append(items[idx])
     return [b for b in buckets if b]
+
+
+def round_robin_shards(count: int, shards: int) -> list[list[int]]:
+    """Deterministically assign ``count`` item indices to at most
+    ``shards`` buckets, round-robin; empty buckets are dropped.
+
+    This is the group→shard placement of the multi-process shard
+    executor (:mod:`repro.service.shard`).  Round-robin keeps shard
+    loads within one group of each other — matching the paper's
+    even-by-method-count partitioning philosophy one level up — and is a
+    pure function of ``(count, shards)``, so a sharded build touches
+    exactly the same payloads in exactly the same per-shard order on
+    every run.
+    """
+    if shards < 1:
+        raise ConfigError("shards must be >= 1")
+    buckets: list[list[int]] = [[] for _ in range(min(shards, max(1, count)))]
+    for index in range(count):
+        buckets[index % len(buckets)].append(index)
+    return [bucket for bucket in buckets if bucket]
 
 
 def map_over_groups(

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro import observability as obs
 from repro.compiler import dex2oat
 from repro.core.candidates import select_candidates
 from repro.core.parallel import outline_partitioned
+from repro.suffixtree.parallel import available_parallelism
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +63,27 @@ def test_rewritten_indices_disjoint_across_groups(candidates):
 def test_invalid_groups_rejected(candidates):
     with pytest.raises(ValueError):
         outline_partitioned(candidates, groups=0)
+
+
+def test_explicit_jobs_clamped_to_cpus_and_groups(candidates):
+    """Regression (PR 5): the CPU clamp used to apply only when ``jobs``
+    was defaulted — an explicit ``jobs=64`` on a small host scheduled 64
+    workers.  Now every jobs value is clamped to
+    ``min(jobs, groups, available_parallelism())`` and the ``plopti.jobs``
+    gauge records the clamped truth."""
+    expected = min(64, 4, available_parallelism())
+    with obs.tracing() as tracer:
+        oversubscribed = outline_partitioned(candidates, groups=4, jobs=64)
+    assert tracer.gauges["plopti.jobs"] == expected
+    # The clamp is scheduling-only: the outcome matches the unclamped ask.
+    baseline = outline_partitioned(candidates, groups=4)
+    assert [f.name for f in oversubscribed.outlined] == [
+        f.name for f in baseline.outlined
+    ]
+    # jobs can never exceed the group count either.
+    with obs.tracing() as tracer:
+        outline_partitioned(candidates, groups=2, jobs=3)
+    assert tracer.gauges["plopti.jobs"] == min(3, 2, available_parallelism())
 
 
 def test_smaller_trees_per_group(candidates):

@@ -16,12 +16,44 @@ import time
 
 import pytest
 
+from repro import observability as obs
 from repro.core.errors import ServiceError
 from repro.service import WorkerPool
 
 
 def _double(value):
     return value * 2
+
+
+def _sleep_for(value):
+    """Sleep ``value`` seconds (anywhere), then return it."""
+    time.sleep(value)
+    return value
+
+
+def _hang_on_one(value):
+    """Hang in a pool child only for payload 1; instant otherwise."""
+    if value == 1 and multiprocessing.parent_process() is not None:
+        time.sleep(5.0)
+    return value + 100
+
+
+def _hang_once(payload):
+    """Hang in a pool child on the *first* attempt for values 1 and 2.
+
+    The marker file is written before the nap, so after the supervisor
+    terminates the hung worker, a retry of the same payload in a fresh
+    child returns instantly — the retry succeeds if (and only if) it is
+    running on a healthy pool instead of queueing behind zombies.
+    """
+    value, marker_dir = payload
+    if value in (1, 2) and multiprocessing.parent_process() is not None:
+        marker = os.path.join(marker_dir, f"ran-{value}")
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            time.sleep(5.0)
+    return value + 100
 
 
 def _raise_value_error(value):
@@ -85,6 +117,81 @@ def test_dead_worker_restarts_pool_and_falls_back():
         assert pool.stats.serial_fallbacks >= 1
         # The replacement pool is healthy.
         assert pool.map_groups(_double, [5, 6]) == [10, 12]
+
+
+def test_timeout_restarts_executor_so_retry_is_not_starved(tmp_path):
+    """The PR-5 timeout-leak regression test.
+
+    ``future.cancel()`` cannot stop a task already running in a worker,
+    so before the fix a timeout left the zombie occupying its slot.
+    Saturate a 2-wide pool with two first-attempt hangs: the old code's
+    retries (and the third payload) queued behind the zombies and timed
+    out in cascade (~6 timeouts, every payload degraded to serial
+    fallback).  Now the first timeout *replaces* the executor —
+    terminating its processes — so the retries run on a healthy pool and
+    return instantly (the hang-once markers already exist).
+    """
+    pool = WorkerPool(max_workers=2, timeout=0.5)
+    payloads = [(1, str(tmp_path)), (2, str(tmp_path)), (3, str(tmp_path))]
+    started = time.perf_counter()
+    try:
+        assert pool.map_groups(_hang_once, payloads) == [101, 102, 103]
+    finally:
+        pool._restart(terminate=True)
+        pool._closed = True
+    elapsed = time.perf_counter() - started
+    # At most one timeout per payload (sibling futures orphaned by a
+    # restart can surface as their own timeout) — not the old cascade of
+    # six, where every *retry* also starved behind the zombies.
+    assert 1 <= pool.stats.timeouts <= 3
+    # Every retry SUCCEEDED in the pool: nothing fell back to serial.
+    assert pool.stats.serial_fallbacks == 0
+    assert pool.stats.restarts >= 1
+    # Bounded by the timeout plus overhead — not by any 5 s nap.
+    assert elapsed < 4.0
+
+
+def test_timeout_restart_terminates_hung_workers():
+    """The zombie process itself is reaped, not just abandoned: after
+    the ladder exhausts (hang, timeout, restart, retry hang, timeout,
+    restart, serial fallback) no executor — and no worker process — is
+    left holding the batch."""
+    pool = WorkerPool(max_workers=2, timeout=0.4)
+    try:
+        assert pool.map_groups(_hang_on_one, [1, 2]) == [101, 102]
+        assert pool._executor is None or not getattr(
+            pool._executor, "_processes", {}
+        )
+        assert pool.stats.timeouts == 2
+        assert pool.stats.serial_fallbacks == 1
+    finally:
+        pool._restart(terminate=True)
+        pool._closed = True
+
+
+def test_wait_histogram_records_per_task_wait():
+    """Regression: wait_seconds used one batch-wide ``submitted`` stamp
+    observed at *collection* time, so every later future's observation
+    included all earlier futures' collect latency (a fast task collected
+    after a 0.6 s task appeared to wait >= 0.6 s).  Waits are now
+    recorded per task by a done-callback, at completion time."""
+    with obs.tracing() as tracer:
+        with WorkerPool(max_workers=2) as pool:
+            # Task 0 is slow; tasks 1..3 are near-instant and complete
+            # on the second worker long before task 0 is collected.
+            out = pool.map_groups(_sleep_for, [0.6, 0.0, 0.0, 0.0])
+    assert out == [0.6, 0.0, 0.0, 0.0]
+    hist = tracer.histograms["service.pool.wait_seconds"]
+    assert hist.count == 4
+    # Before the fix every observation was >= the slow task's 0.6 s;
+    # now only the slow task itself records a wait that long.
+    slow_waits = sum(
+        count
+        for index, count in enumerate(hist.counts)
+        if index > 0 and obs.HISTOGRAM_BOUNDS[index - 1] >= 0.5
+    )
+    assert slow_waits == 1, f"expected 1 slow observation, histogram={hist.to_dict()}"
+    assert hist.min < 0.5
 
 
 def test_closed_pool_rejects_work():
