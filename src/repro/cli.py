@@ -42,7 +42,7 @@ from typing import Callable
 
 from repro import observability as obs
 from repro.compiler.package import CompilationPackage
-from repro.core.errors import CalibroError
+from repro.core.errors import CalibroError, ConfigError
 from repro.core.hotfilter import HotFunctionFilter
 from repro.core.pipeline import CalibroConfig, build_app
 from repro.core.staged import compile_stage, link_stage, outline_stage
@@ -209,6 +209,43 @@ def _build_config(args) -> CalibroConfig:
 def _cmd_build(args) -> int:
     dexfile = load_dexfile(args.input)
     config = _build_config(args)
+    if args.incremental and not args.cache_dir:
+        raise ConfigError(
+            "--incremental requires --cache-dir (the graph state and "
+            "outlined-chunk store live there)"
+        )
+    label = args.label or _input_label(args.input)
+    if args.cache_dir:
+        # Cached (and optionally incremental) one-shot: route through
+        # the build service so the delta build, the ledger's graph
+        # field and the metrics all share one code path with serve.
+        from repro.service import BuildService
+
+        with _maybe_trace(args):
+            with BuildService(
+                cache_dir=args.cache_dir,
+                incremental=args.incremental,
+                ledger=args.ledger or None,
+            ) as service:
+                report = service.submit(dexfile, config, label=label)
+        build = report.build
+        oat = build.oat
+        with open(args.output, "wb") as fh:
+            fh.write(oat.to_bytes())
+        if args.json:
+            print(json.dumps(report.summary(), indent=1))
+        else:
+            note = ""
+            if report.graph is not None:
+                note = (
+                    f" ({report.graph.nodes_reused}/{report.graph.nodes_total} "
+                    f"nodes reused)"
+                )
+            print(
+                f"built {args.output}: text {oat.text_size}B, "
+                f"{len(oat.methods)} methods{note}"
+            )
+        return 0
     with _maybe_trace(args):
         build = build_app(dexfile, config)
     oat = build.oat
@@ -217,9 +254,7 @@ def _cmd_build(args) -> int:
     if args.ledger:
         from repro.observability import BuildLedger, entry_from_build
 
-        BuildLedger(args.ledger).append(
-            entry_from_build(build, label=_input_label(args.input))
-        )
+        BuildLedger(args.ledger).append(entry_from_build(build, label=label))
     if args.json:
         print(build.to_json(indent=1))
     else:
@@ -251,6 +286,7 @@ def _cmd_serve(args) -> int:
         shards=args.shards,
         ledger=args.ledger,
         metrics_path=args.metrics_file,
+        incremental=args.incremental,
     )
     # The exporter renders the active tracer's registries; a bare
     # --metrics-file (no --trace) still needs one installed.
@@ -280,10 +316,17 @@ def _cmd_serve(args) -> int:
         return 0
     for report in reports:
         compile_note = "hit" if report.compile_cached else "miss"
+        graph_note = ""
+        if report.graph is not None:
+            graph_note = (
+                f", {report.graph.nodes_reused}/{report.graph.nodes_total} "
+                f"nodes reused"
+            )
         print(
             f"{report.label}: text {report.build.oat.text_size}B in "
             f"{report.seconds:.3f}s (compile cache {compile_note}, "
-            f"{report.cached_groups}/{report.total_groups} groups cached)"
+            f"{report.cached_groups}/{report.total_groups} groups cached"
+            f"{graph_note})"
         )
     cache = stats["cache"]
     pool = stats["pool"]
@@ -598,6 +641,16 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="repeat-mining backend for LTBO.2")
     p.add_argument("--hot-profile")
     p.add_argument("--coverage", type=float, default=0.80)
+    p.add_argument("--cache-dir",
+                   help="persistent artifact cache directory (enables warm "
+                        "rebuilds; shared with calibro serve)")
+    p.add_argument("--incremental", action="store_true",
+                   help="delta build via the keyed dependency graph — only "
+                        "changed nodes re-execute (requires --cache-dir)")
+    p.add_argument("--label",
+                   help="app label for the graph state and ledger (default: "
+                        "the input basename) — keep it fixed across versions "
+                        "of one app so delta builds find the prior state")
     p.add_argument("--json", action="store_true",
                    help="print the versioned build summary as JSON")
     p.add_argument("--ledger", metavar="LEDGER.jsonl",
@@ -626,6 +679,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="persistent cache directory (default: in-memory only)")
     p.add_argument("--cache-mb", type=int, default=64,
                    help="disk cache size bound in MiB")
+    p.add_argument("--incremental", action="store_true",
+                   help="delta builds via the keyed dependency graph — "
+                        "re-executes only nodes whose content hash moved")
     p.add_argument("--json", action="store_true",
                    help="print per-build summaries + service stats as JSON")
     p.add_argument("--ledger", metavar="LEDGER.jsonl",

@@ -18,9 +18,10 @@ Two optional collaborators extend this for the build service
 (:mod:`repro.service`), both duck-typed so this module stays below the
 service layer:
 
-* ``cache`` — an outline cache with ``lookup_group(payload)`` /
-  ``store_group(payload, result)``; cached groups skip the suffix-tree
-  work entirely (see :class:`repro.service.OutlineCache`);
+* ``cache`` — an outline cache with ``group_key(payload)``,
+  ``lookup_chunk(key, prefix)`` and ``store_chunk(key, prefix, result)``;
+  cached groups skip the suffix-tree work entirely (see
+  :class:`repro.service.OutlineCache`);
 * ``pool`` — a worker pool with ``map_groups(worker, payloads)``; used
   instead of :func:`repro.suffixtree.parallel.map_over_groups` (see
   :class:`repro.service.WorkerPool` for the robust variant).
@@ -66,6 +67,14 @@ class ParallelOutlineResult:
     group_stats: list[OutlineStats] = field(default_factory=list)
     #: Number of groups served from the outline cache (0 without one).
     cached_groups: int = 0
+    #: Content key per group (``OutlineCache.group_key`` order-aligned
+    #: with ``group_stats``); empty when no cache was supplied.  The
+    #: build dependency graph (:mod:`repro.service.graph`) records these
+    #: as its chunk node keys.
+    group_keys: list[str] = field(default_factory=list)
+    #: Indices of the groups served from the cache (subset of
+    #: ``range(len(group_stats))``; empty without a cache).
+    cached_indices: list[int] = field(default_factory=list)
 
     @property
     def total_occurrences(self) -> int:
@@ -145,10 +154,15 @@ def outline_partitioned(
     with obs.span("ltbo.outline") as outline_span:
         results: list[GroupOutlineResult | None] = [None] * len(payloads)
         misses = list(range(len(payloads)))
+        keys: list[str] = []
         if cache is not None:
+            # Hash each payload exactly once; the same key serves the
+            # cache lookup, the store on miss, and the graph's chunk
+            # node bookkeeping (via ``group_keys`` on the result).
+            keys = [cache.group_key(p) for p in payloads]
             misses = []
             for index, payload in enumerate(payloads):
-                hit = cache.lookup_group(payload)
+                hit = cache.lookup_chunk(keys[index], payload[6])
                 if hit is not None:
                     results[index] = hit
                 else:
@@ -162,9 +176,14 @@ def outline_partitioned(
             for index, result in zip(misses, computed):
                 results[index] = result
                 if cache is not None:
-                    cache.store_group(payloads[index], result)
+                    cache.store_chunk(keys[index], payloads[index][6], result)
+    miss_set = set(misses)
     combined = ParallelOutlineResult(
-        rewritten={}, outlined=[], cached_groups=len(payloads) - len(misses)
+        rewritten={},
+        outlined=[],
+        cached_groups=len(payloads) - len(misses),
+        group_keys=keys,
+        cached_indices=[i for i in range(len(payloads)) if i not in miss_set],
     )
     for result in results:
         assert result is not None

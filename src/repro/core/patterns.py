@@ -133,6 +133,21 @@ class ThunkCache:
             lambda: stack_check_pattern() + [ins.Br(rn=regs.ART_BRANCH_REG)],
         )
 
+    def merge(self, other: "ThunkCache") -> None:
+        """Fold ``other``'s thunks into this cache (``other`` is not
+        mutated).
+
+        Labels are content-deterministic and bodies are pure functions
+        of their label, so first-wins union is exact: merging the
+        per-method caches of an incremental build
+        (:mod:`repro.service.graph`) reproduces the single shared cache
+        a whole-dex ``dex2oat`` run would have built.
+        """
+        for label, body in other._bodies.items():
+            self._bodies.setdefault(label, body)
+        for label, count in other.hits.items():
+            self.hits[label] = self.hits.get(label, 0) + count
+
     def compiled_thunks(self) -> list[CompiledMethod]:
         """Render every cached sequence as a linkable method."""
         out = []

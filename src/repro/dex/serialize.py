@@ -16,7 +16,13 @@ from repro.dex import bytecode as bc
 from repro.dex.method import DexClass, DexFile, DexMethod
 from repro.dex.verifier import verify_dexfile
 
-__all__ = ["dexfile_from_json", "dexfile_to_json", "load_dexfile", "save_dexfile"]
+__all__ = [
+    "dexfile_from_json",
+    "dexfile_to_json",
+    "load_dexfile",
+    "method_to_json",
+    "save_dexfile",
+]
 
 #: Opcode name ↔ instruction class.
 _OPCODES: dict[str, type] = {
@@ -65,6 +71,23 @@ def _instr_from_json(entry: list[Any]) -> bc.Instruction:
     return cls(**kwargs)
 
 
+def method_to_json(method: DexMethod) -> dict[str, Any]:
+    """One method's JSON shape (every field that drives compilation).
+
+    Besides the file format, this is the content a build-graph method
+    node hashes (:mod:`repro.service.graph`): two methods with equal
+    ``method_to_json`` documents compile to identical bytes.
+    """
+    return {
+        "name": method.name,
+        "num_registers": method.num_registers,
+        "num_inputs": method.num_inputs,
+        "is_native": method.is_native,
+        "returns_value": method.returns_value,
+        "code": [_instr_to_json(i) for i in method.code],
+    }
+
+
 def dexfile_to_json(dexfile: DexFile) -> dict[str, Any]:
     """Serialise to a JSON-compatible dict."""
     return {
@@ -73,17 +96,7 @@ def dexfile_to_json(dexfile: DexFile) -> dict[str, Any]:
         "classes": [
             {
                 "name": cls.name,
-                "methods": [
-                    {
-                        "name": m.name,
-                        "num_registers": m.num_registers,
-                        "num_inputs": m.num_inputs,
-                        "is_native": m.is_native,
-                        "returns_value": m.returns_value,
-                        "code": [_instr_to_json(i) for i in m.code],
-                    }
-                    for m in cls.methods
-                ],
+                "methods": [method_to_json(m) for m in cls.methods],
             }
             for cls in dexfile.classes
         ],

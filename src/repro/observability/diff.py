@@ -198,4 +198,32 @@ def diff_entries(
             and before.reduction > 0,
         )
     )
+    # Incremental delta-build gating: when both entries carry graph
+    # accounting (same label/config re-built over time), growth in the
+    # re-executed node count is a regression — an invalidation bug or a
+    # broken cache turns cheap deltas back into full rebuilds long
+    # before wall time noticeably degrades on small apps.
+    if before.graph and after.graph:
+        nodes_before = float(before.graph.get("nodes_rebuilt", 0))
+        nodes_after = float(after.graph.get("nodes_rebuilt", 0))
+        report.sizes.append(
+            Delta(
+                "graph.nodes_rebuilt",
+                nodes_before,
+                nodes_after,
+                nodes_after > nodes_before * (1.0 + threshold),
+            )
+        )
+        report.phases.append(
+            Delta(
+                "graph.delta_seconds",
+                float(before.graph.get("seconds", 0.0)),
+                float(after.graph.get("seconds", 0.0)),
+                float(after.graph.get("seconds", 0.0))
+                > float(before.graph.get("seconds", 0.0)) * (1.0 + threshold)
+                and float(after.graph.get("seconds", 0.0))
+                - float(before.graph.get("seconds", 0.0))
+                >= min_seconds,
+            )
+        )
     return report

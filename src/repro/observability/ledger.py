@@ -44,7 +44,8 @@ __all__ = [
 #: Version of one serialized ledger record.  Bump on any key addition,
 #: removal or meaning change; readers accept records up to this version
 #: (missing = v1) and refuse newer ones with a clear error.
-LEDGER_SCHEMA_VERSION = 1
+#: v2 added the optional ``graph`` field (incremental delta accounting).
+LEDGER_SCHEMA_VERSION = 2
 
 
 def trace_digest(trace: "Trace | None") -> str:
@@ -92,6 +93,10 @@ class LedgerEntry:
     #: Free-form extras (git sha, host, scale, ...) — round-tripped
     #: verbatim, never interpreted by the ledger itself.
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Incremental delta accounting (``GraphDelta.as_dict()`` — nodes
+    #: reused/rebuilt, full-rebuild flag, delta seconds); empty for
+    #: non-incremental builds.  ``calibro compare`` gates on it.
+    graph: dict[str, Any] = field(default_factory=dict)
 
     @property
     def reduction(self) -> float:
@@ -117,6 +122,8 @@ class LedgerEntry:
         }
         if self.meta:
             out["meta"] = self.meta
+        if self.graph:
+            out["graph"] = self.graph
         return out
 
     @classmethod
@@ -148,6 +155,7 @@ class LedgerEntry:
             timestamp=float(data.get("timestamp", 0.0)),
             schema_version=version,
             meta=dict(data.get("meta", {})),
+            graph=dict(data.get("graph", {})),
         )
 
 
@@ -160,10 +168,12 @@ def entry_from_build(
     cache_misses: int = 0,
     timestamp: float | None = None,
     meta: dict[str, Any] | None = None,
+    graph: dict[str, Any] | None = None,
 ) -> LedgerEntry:
     """Distill one :class:`~repro.core.pipeline.CalibroBuild` into its
     ledger record.  ``wall_seconds`` defaults to the build's own total;
-    service callers pass their (cache-lookup-inclusive) wall time."""
+    service callers pass their (cache-lookup-inclusive) wall time and,
+    on incremental builds, the graph delta dict (``graph``)."""
     bytes_saved = sum(s.bytes_saved for s in build.outline_stats)
     return LedgerEntry(
         config=build.config.name,
@@ -177,6 +187,7 @@ def entry_from_build(
         trace_digest=trace_digest(build.trace),
         timestamp=time.time() if timestamp is None else timestamp,
         meta=dict(meta or {}),
+        graph=dict(graph or {}),
     )
 
 

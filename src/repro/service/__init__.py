@@ -18,16 +18,26 @@ from repro.service.cache import (
     fingerprint_methods,
 )
 from repro.service.faults import FaultPlan, armed
+from repro.service.graph import (
+    GRAPH_SCHEMA_VERSION,
+    BuildGraph,
+    GraphDelta,
+    GraphState,
+)
 from repro.service.pool import PoolStats, WorkerPool
 from repro.service.shard import ShardExecutor, ShardStats
 
 __all__ = [
+    "BuildGraph",
     "BuildReport",
     "BuildRequest",
     "BuildService",
     "CacheStats",
     "DEFAULT_MAX_BYTES",
     "FaultPlan",
+    "GRAPH_SCHEMA_VERSION",
+    "GraphDelta",
+    "GraphState",
     "OutlineCache",
     "PoolStats",
     "ShardExecutor",

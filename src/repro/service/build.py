@@ -29,8 +29,6 @@ suite.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import time
 from dataclasses import dataclass
 
@@ -44,8 +42,8 @@ from repro.core.pipeline import (
     build_app,
 )
 from repro.dex.method import DexFile
-from repro.dex.serialize import dexfile_to_json
 from repro.service.cache import DEFAULT_MAX_BYTES, OutlineCache
+from repro.service.graph import BuildGraph, GraphDelta, dex_node_key
 from repro.service.pool import WorkerPool
 from repro.service.shard import ShardExecutor
 
@@ -77,16 +75,22 @@ class BuildReport:
     #: PlOpti groups served from the outline cache / total groups.
     cached_groups: int
     total_groups: int
+    #: Delta accounting when the service ran incrementally
+    #: (``BuildService(incremental=True)``); ``None`` otherwise.
+    graph: GraphDelta | None = None
 
     def summary(self) -> dict[str, object]:
         """The build's versioned summary plus the service fields
-        (``label``, ``seconds``, ``compile_cached``, ``total_groups``;
-        all documented in ``docs/cli.md``)."""
+        (``label``, ``seconds``, ``compile_cached``, ``total_groups``,
+        and — on incremental builds — ``graph``; all documented in
+        ``docs/cli.md``)."""
         out = self.build.summary()
         out["label"] = self.label
         out["seconds"] = round(self.seconds, 4)
         out["compile_cached"] = self.compile_cached
         out["total_groups"] = self.total_groups
+        if self.graph is not None:
+            out["graph"] = self.graph.as_dict()
         return out
 
 
@@ -104,8 +108,14 @@ class BuildService:
     export).  ``shards >= 2`` routes group work through the
     multi-process :class:`~repro.service.shard.ShardExecutor` instead
     of the in-process worker pool (``shard_timeout`` is its per-batch
-    budget) — output bytes are identical either way.  Use as a context
-    manager, or call :meth:`close` to release the worker pool.
+    budget) — output bytes are identical either way.
+    ``incremental=True`` replaces the all-or-nothing compile cache with
+    the keyed build dependency graph (:mod:`repro.service.graph`):
+    only nodes whose content hash moved re-execute, the rest splice
+    from the cache, and each report carries a
+    :class:`~repro.service.graph.GraphDelta` — byte-identical output,
+    delta-build cost.  Use as a context manager, or call :meth:`close`
+    to release the worker pool.
     """
 
     def __init__(
@@ -120,11 +130,26 @@ class BuildService:
         shard_timeout: float | None = None,
         ledger: "obs.BuildLedger | str | None" = None,
         metrics_path: str | None = None,
+        incremental: bool = False,
     ) -> None:
         if shards is not None and shards < 1:
             raise ServiceError("shards must be >= 1")
         self.cache = OutlineCache(
             cache_dir, max_bytes=cache_max_bytes, memory_entries=cache_memory_entries
+        )
+        # incremental=True routes every submit through the keyed build
+        # dependency graph (repro.service.graph): per-node reuse instead
+        # of the all-or-nothing whole-dex compile cache.  Graph state
+        # persists next to the cache when one is on disk.
+        self.graph = (
+            BuildGraph(
+                self.cache,
+                self.cache.directory / "graph"
+                if self.cache.directory is not None
+                else None,
+            )
+            if incremental
+            else None
         )
         self.pool = WorkerPool(max_workers=max_workers, timeout=group_timeout)
         # shards >= 2 swaps the per-group worker pool for the
@@ -182,17 +207,30 @@ class BuildService:
         start = time.perf_counter()
         hits_before = self.cache.stats.hits
         misses_before = self.cache.stats.misses
+        pool = self.shard_executor if self.shard_executor is not None else self.pool
+        graph_delta: GraphDelta | None = None
         with obs.span("service.build", label=label or config.name, config=config.name):
-            compiled, compile_cached = self._compile_cached(dexfile, config)
-            build = build_app(
-                dexfile,
-                config,
-                compiled=compiled,
-                cache=self.cache,
-                pool=self.shard_executor if self.shard_executor is not None else self.pool,
-            )
-            if not compile_cached:
-                self.cache.store_object(self._compile_key(dexfile, config), build.dex2oat)
+            if self.graph is not None:
+                build, graph_delta = self.graph.build(
+                    dexfile, config, label=label or config.name, pool=pool
+                )
+                compile_cached = (
+                    graph_delta.methods_total > 0
+                    and graph_delta.methods_rebuilt == 0
+                )
+            else:
+                compiled, compile_cached = self._compile_cached(dexfile, config)
+                build = build_app(
+                    dexfile,
+                    config,
+                    compiled=compiled,
+                    cache=self.cache,
+                    pool=pool,
+                )
+                if not compile_cached:
+                    self.cache.store_object(
+                        self._compile_key(dexfile, config), build.dex2oat
+                    )
         self.builds_completed += 1
         obs.counter_add("service.builds")
         seconds = time.perf_counter() - start
@@ -205,6 +243,7 @@ class BuildService:
                     wall_seconds=seconds,
                     cache_hits=self.cache.stats.hits - hits_before,
                     cache_misses=self.cache.stats.misses - misses_before,
+                    graph=graph_delta.as_dict() if graph_delta is not None else None,
                 )
             )
         self._emit_metrics()
@@ -215,6 +254,7 @@ class BuildService:
             compile_cached=compile_cached,
             cached_groups=build.ltbo.cached_groups if build.ltbo else 0,
             total_groups=len(build.ltbo.group_stats) if build.ltbo else 0,
+            graph=graph_delta,
         )
 
     def build_many(self, requests: list[BuildRequest]) -> list[BuildReport]:
@@ -230,16 +270,10 @@ class BuildService:
     @staticmethod
     def _compile_key(dexfile: DexFile, config: CalibroConfig) -> str:
         """Content address of one dex2oat invocation: the full dex
-        document plus the flags that shape compilation."""
-        h = hashlib.sha256()
-        h.update(b"compile:v1:")
-        h.update(b"cto" if config.cto_enabled else b"-")
-        h.update(b"inline" if config.inlining else b"-")
-        h.update(
-            json.dumps(dexfile_to_json(dexfile), sort_keys=True, separators=(",", ":"))
-            .encode("utf-8")
-        )
-        return f"compile:{h.hexdigest()}"
+        document plus the flags that shape compilation.  Canonically
+        defined as the build graph's whole-dex node key, so incremental
+        and batch builds share compile artifacts."""
+        return dex_node_key(dexfile, config)
 
     def _compile_cached(
         self, dexfile: DexFile, config: CalibroConfig
@@ -264,4 +298,6 @@ class BuildService:
         }
         if self.shard_executor is not None:
             out["shard"] = self.shard_executor.stats.as_dict()
+        if self.graph is not None:
+            out["incremental"] = True
         return out

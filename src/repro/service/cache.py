@@ -38,6 +38,7 @@ import hashlib
 import os
 import pickle
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace as dc_replace
 from pathlib import Path
@@ -71,6 +72,46 @@ def _hash_str(h, value: str) -> None:
 
 def _hash_method(h, method: CompiledMethod) -> None:
     """Feed every result-affecting field of one method into ``h``.
+
+    The byte stream per method is memoized (keyed by object identity,
+    evicted by a weakref finalizer) — an incremental build fingerprints
+    the same spliced :class:`CompiledMethod` objects build after build,
+    and the field walk was a measurable slice of the delta wall time.
+    Sound because compiled methods are immutable by convention once
+    codegen returns; the memo replays the *exact* byte sequence the
+    walk would produce, so keys are unchanged.
+    """
+    ident = id(method)
+    stream = _method_stream_memo.get(ident)
+    if stream is None:
+        sink = _ByteSink()
+        _hash_method_fields(sink, method)
+        stream = sink.getvalue()
+        _method_stream_memo[ident] = stream
+        weakref.finalize(method, _method_stream_memo.pop, ident, None)
+    h.update(stream)
+
+
+_method_stream_memo: dict[int, bytes] = {}
+
+
+class _ByteSink:
+    """Duck-typed hash target that records the update stream."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def update(self, raw) -> None:
+        self._parts.append(bytes(raw))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+def _hash_method_fields(h, method: CompiledMethod) -> None:
+    """The full field walk behind :func:`_hash_method`.
 
     The rewritten method a cached result carries reproduces the input
     method's name, relocations, metadata, StackMaps, frame size and
@@ -275,6 +316,11 @@ class OutlineCache:
         backend's results verifiable on their own (a cross-engine hit
         would mask an engine divergence instead of surfacing it), and
         the guarantee is cheap — one rebuild per engine switch.
+
+        This key doubles as the **chunk node key** in the build
+        dependency graph (:mod:`repro.service.graph`): a group node
+        whose key is unchanged splices its outlined chunk from here
+        instead of re-mining.
         """
         candidates, hot_names, min_length, max_length, min_saved, engine, _prefix = (
             payload
@@ -295,15 +341,34 @@ class OutlineCache:
     def lookup_group(self, payload) -> GroupOutlineResult | None:
         """Return the cached result for ``payload`` (re-branded to its
         symbol prefix), or ``None`` on a miss."""
-        prefix = payload[6]
-        entry = self._get(self.group_key(payload))
+        return self.lookup_chunk(self.group_key(payload), payload[6])
+
+    def store_group(self, payload, result: GroupOutlineResult) -> None:
+        self.store_chunk(self.group_key(payload), payload[6], result)
+
+    # -- chunk access by node key (the build-graph splice path) -------------
+
+    def lookup_chunk(self, key: str, prefix: str) -> GroupOutlineResult | None:
+        """Fetch an outlined chunk by its graph node key, re-branded to
+        ``prefix``.
+
+        Chunks are stored under the prefix they were *computed* with,
+        which is excluded from the key — so any keyed access (graph
+        nodes splicing cached chunks included) must re-brand on the way
+        out, exactly like :meth:`lookup_group` does.  Returning the
+        stored tuple unrebranded would leak another build's symbol
+        prefix into this build's OAT image.
+        """
+        entry = self._get(key)
         if entry is None:
             return None
         stored_prefix, result = entry
         return _rebrand_result(result, stored_prefix, prefix)
 
-    def store_group(self, payload, result: GroupOutlineResult) -> None:
-        self._put(self.group_key(payload), (payload[6], result))
+    def store_chunk(self, key: str, prefix: str, result: GroupOutlineResult) -> None:
+        """Store an outlined chunk under its graph node key, remembering
+        the symbol prefix it was computed with (the re-brand origin)."""
+        self._put(key, (prefix, result))
 
     # -- generic content-addressed objects ----------------------------------
 

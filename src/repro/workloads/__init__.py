@@ -2,6 +2,12 @@
 paper-app profiles."""
 
 from repro.workloads.appgen import AppSpec, GeneratedApp, UiScript, generate_app
+from repro.workloads.diffstream import (
+    MUTATION_KINDS,
+    Mutation,
+    diff_stream,
+    mutate_app,
+)
 from repro.workloads.oracle import Mismatch, OracleResult, default_configs, verify_app
 from repro.workloads.apps import (
     APP_NAMES,
@@ -15,14 +21,18 @@ __all__ = [
     "APP_NAMES",
     "AppSpec",
     "GeneratedApp",
+    "MUTATION_KINDS",
     "Mismatch",
+    "Mutation",
     "OracleResult",
     "PAPER_BASELINE_MB",
     "UiScript",
     "app_spec",
     "default_suite",
+    "diff_stream",
     "generate_app",
     "default_configs",
     "generate_suite",
+    "mutate_app",
     "verify_app",
 ]

@@ -1,0 +1,198 @@
+"""Diff-stream generator — an app as a sequence of versions.
+
+App-store traffic is not a set of independent apps but a stream of
+*small diffs*: version N+1 of an app shares almost every method with
+version N.  This module turns one generated (or hand-built) dex file
+into such a stream: a deterministic, seeded sequence of **mutations** —
+method edits, additions and deletions — each producing a new, verified
+:class:`~repro.dex.method.DexFile` that differs from its predecessor in
+exactly one method.
+
+It is the workload behind the incremental-build suite
+(``tests/service/test_incremental.py``) and
+``benchmarks/bench_incremental.py``: the build dependency graph
+(:mod:`repro.service.graph`) promises byte-identical delta builds
+under *any* edit/add/delete sequence, and the stream is how that
+promise gets exercised.
+
+Mutation semantics (all verified through ``verify_dexfile``):
+
+* **edit** — pick a non-native method carrying a ``const`` and nudge
+  one immediate.  Touches one method's bytes, nothing else: in the
+  rebuild model this invalidates one method node and (positionally)
+  one group node.
+* **add** — append a fresh two-argument arithmetic method to a random
+  class.  Changes the method table and the candidate count, so every
+  partition reshuffles — all group nodes rebuild, method nodes mostly
+  survive.
+* **delete** — remove a method no other method invokes (so linking
+  still resolves every call).  Same blast radius as **add**.
+
+Inputs are never mutated in place — every step deep-copies, so session
+fixtures stay pristine.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dex import bytecode as bc
+from repro.dex.builder import MethodBuilder
+from repro.dex.method import DexFile
+from repro.dex.verifier import verify_dexfile
+
+__all__ = ["MUTATION_KINDS", "Mutation", "diff_stream", "mutate_app"]
+
+#: The mutation vocabulary, in the order a defaulted stream cycles it.
+MUTATION_KINDS = ("edit", "add", "delete")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One applied diff: what happened, and to which method."""
+
+    kind: str
+    #: Fully-qualified name of the edited/added/deleted method.
+    method: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"{self.kind}:{self.method}"
+
+
+def _editable_methods(dexfile: DexFile, protected: frozenset[str]) -> list[str]:
+    out = []
+    for method in dexfile.all_methods():
+        if method.is_native or method.name in protected:
+            continue
+        if any(isinstance(i, bc.Const) for i in method.code):
+            out.append(method.name)
+    return out
+
+
+def _deletable_methods(dexfile: DexFile, protected: frozenset[str]) -> list[str]:
+    """Methods safe to drop: nobody invokes them (the linker resolves
+    calls by symbol, so deleting a callee would be a LinkError)."""
+    invoked: set[str] = set()
+    for method in dexfile.all_methods():
+        invoked.update(method.invoked_methods)
+    return [
+        m.name
+        for m in dexfile.all_methods()
+        if m.name not in invoked and m.name not in protected
+    ]
+
+
+def _edit(dexfile: DexFile, name: str, rng: random.Random) -> None:
+    method = dexfile.find_method(name)
+    spots = [i for i, instr in enumerate(method.code) if isinstance(instr, bc.Const)]
+    index = rng.choice(spots)
+    old = method.code[index]
+    # A different immediate, bounded so the interpreter oracle stays in
+    # comfortable integer territory.
+    value = (old.value + rng.randrange(1, 4096)) % 65536
+    if value == old.value:
+        value = (value + 1) % 65536
+    method.code[index] = bc.Const(dst=old.dst, value=value)
+
+
+def _added_method(class_name: str, serial: int, rng: random.Random):
+    """A small fresh arithmetic method (the appgen two-int-args shape),
+    unique per serial so repeated adds keep distinct names."""
+    b = MethodBuilder(
+        f"{class_name}->diffAdded{serial}", num_inputs=2, num_registers=6
+    )
+    b.const(2, rng.randrange(1, 65536))
+    b.binop("add", 3, 0, 2)
+    ops = ("xor", "and", "or", "add", "sub", "mul")
+    for _ in range(rng.randrange(2, 6)):
+        b.binop(rng.choice(ops), 3, 3, rng.choice((0, 1, 2)))
+    b.binop_lit("add", 4, 3, rng.randrange(0, 255))
+    b.ret(4)
+    return b.build()
+
+
+def _delete(dexfile: DexFile, name: str) -> None:
+    for cls in dexfile.classes:
+        for method in list(cls.methods):
+            if method.name == name:
+                cls.methods.remove(method)
+                return
+    raise KeyError(name)
+
+
+def mutate_app(
+    dexfile: DexFile,
+    *,
+    seed: int = 0,
+    kind: str | None = None,
+    protected: frozenset[str] = frozenset(),
+) -> tuple[DexFile, Mutation]:
+    """Apply one mutation, returning ``(new_dexfile, mutation)``.
+
+    ``kind`` forces a specific mutation (``"edit"``/``"add"``/
+    ``"delete"``); ``None`` draws one uniformly.  ``protected`` names
+    are never edited or deleted (keep entry points runnable for
+    interpreter oracles).  The input dex file is not modified.  Raises
+    ``ValueError`` when the requested mutation has no eligible target
+    (e.g. deleting from an app where every method is invoked).
+    """
+    if kind is not None and kind not in MUTATION_KINDS:
+        raise ValueError(f"unknown mutation kind {kind!r}; expected {MUTATION_KINDS}")
+    rng = random.Random(seed)
+    out = copy.deepcopy(dexfile)
+    chosen = kind or rng.choice(MUTATION_KINDS)
+    if chosen == "edit":
+        targets = _editable_methods(out, protected)
+        if not targets:
+            raise ValueError("no editable method (need a non-native with a const)")
+        name = rng.choice(targets)
+        _edit(out, name, rng)
+    elif chosen == "add":
+        cls = rng.choice(out.classes)
+        serial = rng.randrange(1 << 30)
+        method = _added_method(cls.name, serial, rng)
+        cls.methods.append(method)
+        name = method.name
+    else:
+        targets = _deletable_methods(out, protected)
+        if not targets:
+            raise ValueError("no deletable method (every method is invoked)")
+        name = rng.choice(targets)
+        _delete(out, name)
+    verify_dexfile(out)
+    return out, Mutation(kind=chosen, method=name)
+
+
+def diff_stream(
+    dexfile: DexFile,
+    *,
+    steps: int,
+    seed: int = 0,
+    kinds: tuple[str, ...] = MUTATION_KINDS,
+    protected: frozenset[str] = frozenset(),
+) -> Iterator[tuple[DexFile, Mutation]]:
+    """Yield ``steps`` successive versions of ``dexfile``.
+
+    Each yielded ``(version, mutation)`` builds on the previous version
+    (a true diff stream, not independent perturbations of v0); the
+    mutation kinds cycle through ``kinds`` so a defaulted stream
+    exercises edit, add *and* delete.  Fully deterministic in
+    ``seed``.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    for name in kinds:
+        if name not in MUTATION_KINDS:
+            raise ValueError(f"unknown mutation kind {name!r}; expected {MUTATION_KINDS}")
+    current = dexfile
+    for step in range(steps):
+        current, mutation = mutate_app(
+            current,
+            seed=seed * 1_000_003 + step,
+            kind=kinds[step % len(kinds)],
+            protected=protected,
+        )
+        yield current, mutation

@@ -139,3 +139,25 @@ def test_report_kinds():
     assert isinstance(diff_traces(_trace({}), _trace({})), DiffReport)
     assert diff_traces(_trace({}), _trace({})).kind == "trace"
     assert diff_entries(_entry(), _entry()).kind == "ledger"
+
+
+def test_graph_deltas_are_gated_when_both_sides_carry_them():
+    """``calibro compare`` on two incremental entries flags a grown
+    rebuild set and a slower delta; entries without graph accounting
+    are untouched."""
+    lean = _entry()
+    lean_graph = LedgerEntry(
+        config="c", engine="e", text_size_before=10000, text_size_after=8000,
+        wall_seconds=1.0, graph={"nodes_rebuilt": 2, "seconds": 0.5},
+    )
+    fat_graph = LedgerEntry(
+        config="c", engine="e", text_size_before=10000, text_size_after=8000,
+        wall_seconds=1.0, graph={"nodes_rebuilt": 40, "seconds": 2.0},
+    )
+    report = diff_entries(lean_graph, fat_graph)
+    names = [d.name for d in report.regression_list()]
+    assert "graph.nodes_rebuilt" in names
+    assert "graph.delta_seconds" in names
+    # One side without accounting -> no graph deltas at all.
+    one_sided = diff_entries(lean, fat_graph)
+    assert not any(d.name.startswith("graph.") for d in one_sided.phases + one_sided.sizes)

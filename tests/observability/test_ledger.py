@@ -142,3 +142,16 @@ def test_entry_from_build_distills_a_real_build(small_app):
     assert entry.reduction > 0
     assert entry.wall_seconds == build.build_seconds
     assert entry.timestamp == 123.0
+
+
+def test_graph_field_round_trips_and_stays_optional():
+    """v2: incremental builds attach the delta accounting dict; plain
+    builds serialize without the key at all (old readers unaffected)."""
+    plain = _entry()
+    assert "graph" not in plain.to_dict()
+    delta = {"full_rebuild": False, "nodes_total": 9, "nodes_reused": 8,
+             "nodes_rebuilt": 1, "seconds": 0.04}
+    entry = _entry(graph=delta)
+    data = json.loads(json.dumps(entry.to_dict()))
+    assert data["graph"] == delta
+    assert LedgerEntry.from_dict(data) == entry

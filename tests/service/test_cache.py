@@ -185,3 +185,43 @@ def test_constructor_validation():
         OutlineCache(max_bytes=0)
     with pytest.raises(ServiceError):
         OutlineCache(memory_entries=0)
+
+
+# -- keyed chunk API (the graph's view of the cache) --------------------------
+
+
+def test_lookup_chunk_matches_lookup_group(candidates):
+    """``lookup_chunk(group_key(p), prefix)`` is exactly ``lookup_group``
+    spelled with a precomputed key — the graph layer relies on the two
+    never diverging."""
+    cache = OutlineCache()
+    payload = _payload(candidates)
+    key = OutlineCache.group_key(payload)
+    cache.store_chunk(key, payload[6], _worker(payload))
+    via_key = cache.lookup_chunk(key, payload[6])
+    via_payload = cache.lookup_group(payload)
+    assert via_key is not None and via_payload is not None
+    assert [m.name for m in via_key.outlined] == [
+        m.name for m in via_payload.outlined
+    ]
+
+
+def test_lookup_chunk_rebrands_stored_prefix(candidates):
+    """Regression: a chunk stored through the keyed API under one
+    symbol prefix must come back rebranded when a graph node asks for
+    it under another — outlined names, callsite relocations and
+    decisions all move to the new prefix."""
+    cache = OutlineCache()
+    payload = _payload(candidates, prefix="PrefixA$g0")
+    cache.store_chunk(OutlineCache.group_key(payload), "PrefixA$g0", _worker(payload))
+
+    hit = cache.lookup_chunk(OutlineCache.group_key(payload), "PrefixB$g5")
+    assert hit is not None
+    fresh = _worker(_payload(candidates, prefix="PrefixB$g5"))
+    assert [m.name for m in hit.outlined] == [m.name for m in fresh.outlined]
+    assert all(m.name.startswith("PrefixB$g5$") for m in hit.outlined)
+    for index in hit.rewritten:
+        assert [r.symbol for r in hit.rewritten[index].relocations] == [
+            r.symbol for r in fresh.rewritten[index].relocations
+        ]
+    assert [d.name for d in hit.decisions] == [d.name for d in fresh.decisions]

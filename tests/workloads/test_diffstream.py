@@ -1,0 +1,106 @@
+"""Diff-stream generator: determinism, blast radius and edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dex import bytecode as bc
+from repro.dex.builder import MethodBuilder
+from repro.dex.method import DexClass, DexFile, DexMethod
+from repro.workloads import MUTATION_KINDS, diff_stream, mutate_app
+
+
+def _method_names(dexfile):
+    return [m.name for m in dexfile.all_methods()]
+
+
+def test_mutate_is_deterministic_and_pure(small_app):
+    before = _method_names(small_app.dexfile)
+    a, ma = mutate_app(small_app.dexfile, seed=42)
+    b, mb = mutate_app(small_app.dexfile, seed=42)
+    assert ma == mb
+    assert [m.code for m in a.all_methods()] == [m.code for m in b.all_methods()]
+    # The input was deep-copied, not touched.
+    assert _method_names(small_app.dexfile) == before
+
+
+def test_edit_touches_exactly_one_method(small_app):
+    mutated, mutation = mutate_app(small_app.dexfile, seed=7, kind="edit")
+    assert mutation.kind == "edit"
+    changed = [
+        m.name
+        for m, n in zip(mutated.all_methods(), small_app.dexfile.all_methods())
+        if m.code != n.code
+    ]
+    assert changed == [mutation.method]
+    assert _method_names(mutated) == _method_names(small_app.dexfile)
+
+
+def test_add_appends_one_method(small_app):
+    mutated, mutation = mutate_app(small_app.dexfile, seed=8, kind="add")
+    assert mutation.kind == "add"
+    assert "diffAdded" in mutation.method
+    before, after = set(_method_names(small_app.dexfile)), set(_method_names(mutated))
+    assert after - before == {mutation.method}
+    assert before <= after
+
+
+def test_delete_removes_an_uninvoked_method(small_app):
+    mutated, mutation = mutate_app(small_app.dexfile, seed=9, kind="delete")
+    before, after = set(_method_names(small_app.dexfile)), set(_method_names(mutated))
+    assert before - after == {mutation.method}
+    invoked = set()
+    for m in small_app.dexfile.all_methods():
+        invoked.update(m.invoked_methods)
+    assert mutation.method not in invoked
+
+
+def test_protected_methods_survive(small_app):
+    protected = frozenset(_method_names(small_app.dexfile))
+    # Every edit/delete target is protected -> no eligible target.
+    with pytest.raises(ValueError):
+        mutate_app(small_app.dexfile, seed=1, kind="edit", protected=protected)
+    with pytest.raises(ValueError):
+        mutate_app(small_app.dexfile, seed=1, kind="delete", protected=protected)
+    # Adds still work: nothing existing is touched.
+    mutated, mutation = mutate_app(
+        small_app.dexfile, seed=1, kind="add", protected=protected
+    )
+    assert protected <= set(_method_names(mutated))
+
+
+def test_unknown_kind_rejected(small_app):
+    with pytest.raises(ValueError, match="unknown mutation kind"):
+        mutate_app(small_app.dexfile, kind="rename")
+    with pytest.raises(ValueError, match="unknown mutation kind"):
+        list(diff_stream(small_app.dexfile, steps=1, kinds=("edit", "rename")))
+
+
+def test_no_eligible_target_is_a_value_error():
+    main = MethodBuilder("LOnly;->main", num_inputs=0, num_registers=2)
+    main.const(0, 1)
+    main.ret(0)
+    helper = DexMethod(
+        name="LOnly;->helper", num_registers=2, num_inputs=1,
+        code=[bc.Return(src=0)],
+    )
+    app = DexFile(classes=[DexClass(name="LOnly;", methods=[main.build(), helper])])
+    # helper carries no const -> only main is editable; protect it.
+    with pytest.raises(ValueError, match="no editable"):
+        mutate_app(app, kind="edit", protected=frozenset({"LOnly;->main"}))
+
+
+def test_stream_is_cumulative_and_cycles_kinds(small_app):
+    versions = list(diff_stream(small_app.dexfile, steps=6, seed=3))
+    assert [m.kind for _, m in versions] == list(MUTATION_KINDS) * 2
+    # Cumulative: the add from step 2 is still present at step 6.
+    added = versions[1][1].method
+    assert added in _method_names(versions[-1][0])
+    # Deterministic end to end.
+    replay = list(diff_stream(small_app.dexfile, steps=6, seed=3))
+    assert [m for _, m in replay] == [m for _, m in versions]
+
+
+def test_stream_rejects_negative_steps(small_app):
+    with pytest.raises(ValueError, match="steps"):
+        list(diff_stream(small_app.dexfile, steps=-1))
