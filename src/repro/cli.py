@@ -219,13 +219,15 @@ def _cmd_build(args) -> int:
         # Cached (and optionally incremental) one-shot: route through
         # the build service so the delta build, the ledger's graph
         # field and the metrics all share one code path with serve.
-        from repro.service import BuildService
+        from repro.service import BuildService, ServiceConfig
 
         with _maybe_trace(args):
             with BuildService(
-                cache_dir=args.cache_dir,
-                incremental=args.incremental,
-                ledger=args.ledger or None,
+                ServiceConfig(
+                    cache_dir=args.cache_dir,
+                    incremental=args.incremental,
+                    ledger=args.ledger or None,
+                )
             ) as service:
                 report = service.submit(dexfile, config, label=label)
         build = report.build
@@ -262,24 +264,25 @@ def _cmd_build(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    from repro.service import BuildRequest, BuildService
-
+def _serve_config(args) -> CalibroConfig:
+    """The pipeline config ``serve``/``submit`` builds with."""
     if args.config:
         with open(args.config, encoding="utf-8") as fh:
             config = CalibroConfig.from_dict(json.load(fh))
     else:
         config = CalibroConfig.cto_ltbo_plopti(groups=args.groups)
-    if args.engine:
+    if getattr(args, "engine", None):
         from dataclasses import replace as dc_replace
 
         config = dc_replace(config, engine=args.engine)
-    os.makedirs(args.outdir, exist_ok=True)
-    requests = [
-        BuildRequest(load_dexfile(path), config, label=_input_label(path))
-        for path in args.inputs
-    ]
-    service = BuildService(
+    return config
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import BuildRequest, BuildService, ServiceConfig
+
+    config = _serve_config(args)
+    service_config = ServiceConfig(
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_mb * 1024 * 1024,
         max_workers=args.jobs,
@@ -288,6 +291,23 @@ def _cmd_serve(args) -> int:
         metrics_path=args.metrics_file,
         incremental=args.incremental,
     )
+    if args.listen:
+        if args.inputs:
+            raise ConfigError(
+                "--listen mode takes no positional inputs; clients submit "
+                "builds over the socket (calibro submit)"
+            )
+        return _serve_listen(args, service_config, config)
+    if not args.inputs:
+        raise ConfigError("batch mode needs at least one input dex (or --listen)")
+    if not args.outdir:
+        raise ConfigError("batch mode needs -o/--outdir for the .oat outputs")
+    os.makedirs(args.outdir, exist_ok=True)
+    requests = [
+        BuildRequest(load_dexfile(path), config, label=_input_label(path))
+        for path in args.inputs
+    ]
+    service = BuildService(service_config)
     # The exporter renders the active tracer's registries; a bare
     # --metrics-file (no --trace) still needs one installed.
     own_tracer = (
@@ -348,6 +368,99 @@ def _cmd_serve(args) -> int:
         print(f"ledger -> {args.ledger}")
     if args.metrics_file:
         print(f"metrics -> {args.metrics_file}")
+    return 0
+
+
+def _serve_listen(args, service_config, config) -> int:
+    """``calibro serve --listen SOCK``: the async multi-tenant front
+    door.  Runs until a client sends ``shutdown`` (or Ctrl-C)."""
+    import asyncio
+
+    from repro.service import PROTOCOL_VERSION, AsyncBuildServer, BuildService
+
+    service = BuildService(service_config)
+    server = AsyncBuildServer(
+        service,
+        args.listen,
+        queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        max_concurrent=args.max_concurrent,
+        flush_interval=args.flush_interval,
+        default_config=config,
+    )
+    print(
+        f"listening on {args.listen} (protocol v{PROTOCOL_VERSION}, "
+        f"queue {args.queue_depth}, quota {args.tenant_quota}/tenant); "
+        f"submit with: calibro submit {args.listen} APP.dex.json -o APP.oat"
+    )
+    with _maybe_trace(args), service:
+        try:
+            asyncio.run(server.serve())
+        except KeyboardInterrupt:
+            pass
+        stats = server.stats()
+    if args.json:
+        print(json.dumps(stats, indent=1))
+        return 0
+    print(
+        f"served {stats['results']} builds for "
+        f"{len(stats['tenants'])} tenants ({stats['accepted']} accepted, "
+        f"{stats['rejected']} rejected, {stats['cancelled']} cancelled, "
+        f"{stats['errors']} errors)"
+    )
+    if args.ledger:
+        print(f"ledger -> {args.ledger}")
+    if args.metrics_file:
+        print(f"metrics -> {args.metrics_file}")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import CalibroClient
+
+    client = CalibroClient(args.socket, tenant=args.tenant, timeout=args.timeout)
+    if args.status:
+        print(json.dumps(client.status(), indent=1))
+        return 0
+    if args.cancel:
+        ok = client.cancel(args.cancel)
+        print(f"cancel {args.cancel}: {'cancelled' if ok else 'not queued'}")
+        return 0 if ok else 1
+    if args.shutdown:
+        client.shutdown()
+        print("server draining")
+        return 0
+    if not args.input or not args.output:
+        raise ConfigError(
+            "submit needs INPUT and -o/--output "
+            "(or one of --status / --cancel / --shutdown)"
+        )
+    dexfile = load_dexfile(args.input)
+    config = None
+    if args.config:
+        with open(args.config, encoding="utf-8") as fh:
+            config = CalibroConfig.from_dict(json.load(fh))
+    label = args.label or _input_label(args.input)
+
+    def on_progress(phase: str) -> None:
+        if not args.json:
+            print(f"  {phase}")
+
+    result = client.build(
+        dexfile, config, label=label, on_progress=on_progress
+    )
+    with open(args.output, "wb") as fh:
+        fh.write(result.oat_bytes)
+    if args.json:
+        print(json.dumps(
+            {"build": result.build_id, "summary": result.summary}, indent=1
+        ))
+    else:
+        summary = result.summary
+        print(
+            f"built {args.output} via {args.socket} ({result.build_id}): "
+            f"text {summary.get('text_size')}B in {summary.get('seconds')}s"
+        )
     return 0
 
 
@@ -661,9 +774,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve", help="batch build service: shared pool + persistent cache"
     )
-    p.add_argument("inputs", nargs="+", help="dex json files to build")
-    p.add_argument("-o", "--outdir", required=True,
-                   help="directory for the <label>.oat outputs")
+    p.add_argument("inputs", nargs="*",
+                   help="dex json files to build (batch mode; empty with "
+                        "--listen)")
+    p.add_argument("-o", "--outdir",
+                   help="directory for the <label>.oat outputs (batch mode)")
+    p.add_argument("--listen", metavar="SOCK",
+                   help="run the async multi-tenant front door on a local "
+                        "socket instead of a one-shot batch; clients connect "
+                        "with calibro submit")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="--listen: max builds in flight before overloaded")
+    p.add_argument("--tenant-quota", type=int, default=4,
+                   help="--listen: max in-flight builds per tenant")
+    p.add_argument("--max-concurrent", type=int, default=1,
+                   help="--listen: builds executing at once (requests still "
+                        "interleave at the socket)")
+    p.add_argument("--flush-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="--listen: refresh --metrics-file on a timer even "
+                        "when the serve loop is idle")
     p.add_argument("--config", metavar="CONFIG.json",
                    help="CalibroConfig dict (the to_dict/from_dict format)")
     p.add_argument("--groups", type=int, default=8,
@@ -691,6 +821,31 @@ def _build_parser() -> argparse.ArgumentParser:
                         "after every build")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one build to a running serve --listen front door"
+    )
+    p.add_argument("socket", help="the --listen socket of a running calibro serve")
+    p.add_argument("input", nargs="?", help="dex json file to build")
+    p.add_argument("-o", "--output", help="output OAT path (required with INPUT)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant id for the server's per-tenant quota")
+    p.add_argument("--label",
+                   help="app label for cache/ledger keys (default: the input "
+                        "basename)")
+    p.add_argument("--config", metavar="CONFIG.json",
+                   help="CalibroConfig dict (default: the server's config)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="socket timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the build id + versioned summary as JSON")
+    p.add_argument("--status", action="store_true",
+                   help="print the server's status document and exit")
+    p.add_argument("--cancel", metavar="BUILD_ID",
+                   help="cooperatively cancel a queued build and exit")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the server to drain and stop")
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("analyze", help="§2.2 redundancy analysis of a package")
     p.add_argument("input")

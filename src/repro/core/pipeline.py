@@ -283,6 +283,7 @@ def build_app(
     compiled: Dex2OatResult | None = None,
     cache=None,
     pool=None,
+    phase_hook=None,
 ) -> CalibroBuild:
     """Compile, (optionally) outline, and link one application.
 
@@ -296,18 +297,28 @@ def build_app(
 
     The keyword-only extras are the build-service integration points:
     ``compiled`` injects an existing :class:`Dex2OatResult` (skipping
-    dex2oat — the compile cache), while ``cache``/``pool`` flow to
+    dex2oat — the compile cache), ``cache``/``pool`` flow to
     :func:`~repro.core.parallel.outline_partitioned` (the outline cache
-    and the persistent worker pool).
+    and the persistent worker pool), and ``phase_hook`` — a
+    ``callable(phase: str)`` — fires as each pipeline phase starts
+    (``"dex2oat"``, ``"ltbo"``, ``"link"``): the mechanism behind the
+    serve protocol's streamed ``progress`` events.
     """
     config = config or CalibroConfig.baseline()
     if not obs.enabled():
-        return _build_untraced(dexfile, config, compiled, cache, pool)
+        return _build_untraced(dexfile, config, compiled, cache, pool, phase_hook)
     tracer = obs.current_tracer()
     if tracer is None:
         with obs.tracing() as tracer:
-            return _build_traced(dexfile, config, tracer, compiled, cache, pool)
-    return _build_traced(dexfile, config, tracer, compiled, cache, pool)
+            return _build_traced(
+                dexfile, config, tracer, compiled, cache, pool, phase_hook
+            )
+    return _build_traced(dexfile, config, tracer, compiled, cache, pool, phase_hook)
+
+
+def _phase(phase_hook, name: str) -> None:
+    if phase_hook is not None:
+        phase_hook(name)
 
 
 def _build_traced(
@@ -317,9 +328,11 @@ def _build_traced(
     compiled: Dex2OatResult | None = None,
     cache=None,
     pool=None,
+    phase_hook=None,
 ) -> CalibroBuild:
     ltbo_seconds = 0.0
     with tracer.span("build", config=config.name) as build_span:
+        _phase(phase_hook, "dex2oat")
         with tracer.span(
             "build.dex2oat", cto=config.cto_enabled, cached=compiled is not None
         ) as compile_span:
@@ -331,6 +344,7 @@ def _build_traced(
         selection = None
         ltbo_result = None
         if config.ltbo_enabled:
+            _phase(phase_hook, "ltbo")
             with tracer.span(
                 "build.ltbo", groups=config.parallel_groups, engine=config.engine
             ) as ltbo_span:
@@ -360,6 +374,7 @@ def _build_traced(
                     methods.extend(ltbo_result.outlined)
             ltbo_seconds = ltbo_span.duration
 
+        _phase(phase_hook, "link")
         with tracer.span("build.link") as link_span:
             oat = link(methods, dexfile)
 
@@ -391,10 +406,12 @@ def _build_untraced(
     compiled: Dex2OatResult | None = None,
     cache=None,
     pool=None,
+    phase_hook=None,
 ) -> CalibroBuild:
     """The pre-observability stopwatch path (``CALIBRO_OBS_OFF=1``)."""
     t_start = time.perf_counter()
 
+    _phase(phase_hook, "dex2oat")
     compile_result = compiled if compiled is not None else dex2oat(
         dexfile, cto=config.cto_enabled, inline=config.inlining
     )
@@ -404,6 +421,7 @@ def _build_untraced(
     selection = None
     ltbo_result = None
     if config.ltbo_enabled:
+        _phase(phase_hook, "ltbo")
         selection = select_candidates(methods)
         hot_names = (
             config.hot_filter.hot_names if config.hot_filter is not None else frozenset()
@@ -426,6 +444,7 @@ def _build_untraced(
         methods.extend(ltbo_result.outlined)
     t_ltbo = time.perf_counter()
 
+    _phase(phase_hook, "link")
     oat = link(methods, dexfile)
     t_link = time.perf_counter()
 

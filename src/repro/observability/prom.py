@@ -23,7 +23,7 @@ import re
 
 from repro.observability.trace import HISTOGRAM_BOUNDS, Trace
 
-__all__ = ["PromReporter", "prom_name", "render_prometheus"]
+__all__ = ["PromReporter", "format_labels", "prom_name", "render_prometheus"]
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -31,6 +31,23 @@ _INVALID = re.compile(r"[^a-zA-Z0-9_]")
 def prom_name(name: str) -> str:
     """The Prometheus metric name for one registry name."""
     return "calibro_" + _INVALID.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: dict[str, str]) -> str:
+    """Render one ``{k="v",...}`` label set (escaped, key-sorted)."""
+    inner = ",".join(
+        f'{key}="{_escape_label(labels[key])}"' for key in sorted(labels)
+    )
+    return "{" + inner + "}"
 
 
 def _format_value(value: float) -> str:
@@ -49,9 +66,26 @@ def _format_bound(bound: float) -> str:
     return repr(bound)
 
 
-def render_prometheus(trace: Trace) -> str:
-    """Render a trace's counters/gauges/histograms as exposition text."""
+def render_prometheus(
+    trace: Trace,
+    *,
+    info: "dict[str, str] | None" = None,
+    extra_lines: "tuple[str, ...] | list[str]" = (),
+) -> str:
+    """Render a trace's counters/gauges/histograms as exposition text.
+
+    ``info`` adds the static ``calibro_build_info`` labelset (value
+    always ``1`` — the node-exporter ``build_info`` idiom: version,
+    protocol version, engine travel as labels, so a scraper can join
+    them onto any series).  ``extra_lines`` appends caller-rendered
+    exposition lines verbatim — the mechanism behind the serve front
+    door's per-tenant labeled series, which have no place in the
+    label-less registry model.
+    """
     lines: list[str] = []
+    if info:
+        lines.append("# TYPE calibro_build_info gauge")
+        lines.append(f"calibro_build_info{format_labels(info)} 1")
     for name in sorted(trace.counters):
         metric = prom_name(name)
         lines.append(f"# TYPE {metric} counter")
@@ -73,6 +107,7 @@ def render_prometheus(trace: Trace) -> str:
         lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
         lines.append(f"{metric}_sum {_format_value(hist.sum)}")
         lines.append(f"{metric}_count {hist.count}")
+    lines.extend(extra_lines)
     return "\n".join(lines) + "\n"
 
 
@@ -80,14 +115,27 @@ class PromReporter:
     """Writes the exposition text to a file on :meth:`emit`.
 
     The write is atomic (temp file + rename) so a scraper never reads a
-    half-written exposition.
+    half-written exposition.  ``info`` (static labels for
+    ``calibro_build_info``) is stamped into every exposition;
+    ``extra_source`` — a zero-argument callable returning exposition
+    lines — is polled at every emit (the serve front door hangs its
+    per-tenant labeled series on it).
     """
 
-    def __init__(self, path: str):
+    def __init__(
+        self,
+        path: str,
+        *,
+        info: "dict[str, str] | None" = None,
+        extra_source=None,
+    ):
         self.path = path
+        self.info = info
+        self.extra_source = extra_source
 
     def emit(self, trace: Trace) -> None:
+        extra = tuple(self.extra_source()) if self.extra_source is not None else ()
         tmp = f"{self.path}.tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(render_prometheus(trace))
+            fh.write(render_prometheus(trace, info=self.info, extra_lines=extra))
         os.replace(tmp, self.path)

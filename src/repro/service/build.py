@@ -29,10 +29,12 @@ suite.
 
 from __future__ import annotations
 
+import threading
 import time
+import warnings
 from dataclasses import dataclass
 
-from repro import observability as obs
+from repro import __version__, observability as obs
 from repro.compiler.driver import Dex2OatResult
 from repro.core.errors import ServiceError
 from repro.core.pipeline import (
@@ -42,12 +44,26 @@ from repro.core.pipeline import (
     build_app,
 )
 from repro.dex.method import DexFile
-from repro.service.cache import DEFAULT_MAX_BYTES, OutlineCache
+from repro.service.cache import OutlineCache
+from repro.service.config import ServiceConfig
 from repro.service.graph import BuildGraph, GraphDelta, dex_node_key
 from repro.service.pool import WorkerPool
+from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.shard import ShardExecutor
+from repro.suffixtree import DEFAULT_ENGINE
 
-__all__ = ["BuildReport", "BuildRequest", "BuildService"]
+__all__ = ["BuildReport", "BuildRequest", "BuildService", "build_info_labels"]
+
+
+def build_info_labels() -> dict[str, str]:
+    """The static ``calibro_build_info`` labelset: package version, wire
+    protocol version and default mining engine (see
+    ``docs/observability.md``)."""
+    return {
+        "version": __version__,
+        "protocol": str(PROTOCOL_VERSION),
+        "engine": DEFAULT_ENGINE,
+    }
 
 
 @dataclass(frozen=True)
@@ -94,18 +110,43 @@ class BuildReport:
         return out
 
 
+#: The pre-``ServiceConfig`` keyword surface, kept alive behind
+#: ``DeprecationWarning`` shims (one field each on
+#: :class:`~repro.service.config.ServiceConfig`).
+_LEGACY_KWARGS = (
+    "cache_dir",
+    "cache_max_bytes",
+    "cache_memory_entries",
+    "max_workers",
+    "group_timeout",
+    "shards",
+    "shard_timeout",
+    "metrics_path",
+    "incremental",
+)
+
+
 class BuildService:
     """A long-lived builder for batches of apps.
+
+    Configuration lives in one validated value —
+    :class:`~repro.service.config.ServiceConfig` — instead of nine
+    loose keyword arguments::
+
+        with BuildService(ServiceConfig(cache_dir="cache", shards=4)) as svc:
+            ...
 
     ``cache_dir=None`` keeps the cache in memory only; point it at a
     directory to persist outline/compile results across service
     restarts (sharded, size-bounded — see
-    :class:`~repro.service.cache.OutlineCache`).  ``ledger`` (a path or
-    a :class:`~repro.observability.ledger.BuildLedger`) makes every
-    build append its durable record; ``metrics_path`` keeps a
-    Prometheus exposition file refreshed after every build and at
-    :meth:`close` (requires an active tracer to have anything to
-    export).  ``shards >= 2`` routes group work through the
+    :class:`~repro.service.cache.OutlineCache`).  ``config.ledger`` (or
+    the ``ledger`` keyword — a path or an existing
+    :class:`~repro.observability.ledger.BuildLedger`) makes every build
+    append its durable record; ``metrics_path`` keeps a Prometheus
+    exposition file refreshed after every build and at :meth:`close`
+    (requires an active tracer to have anything to export; the
+    exposition always carries the static ``calibro_build_info``
+    labelset).  ``shards >= 2`` routes group work through the
     multi-process :class:`~repro.service.shard.ShardExecutor` instead
     of the in-process worker pool (``shard_timeout`` is its per-batch
     budget) — output bytes are identical either way.
@@ -116,26 +157,44 @@ class BuildService:
     :class:`~repro.service.graph.GraphDelta` — byte-identical output,
     delta-build cost.  Use as a context manager, or call :meth:`close`
     to release the worker pool.
+
+    The old per-knob keywords (``BuildService(cache_dir=...,
+    shards=...)``) still work but emit a ``DeprecationWarning``; they
+    are folded into an equivalent ``ServiceConfig``.
     """
 
     def __init__(
         self,
+        config: ServiceConfig | None = None,
         *,
-        cache_dir: str | None = None,
-        cache_max_bytes: int = DEFAULT_MAX_BYTES,
-        cache_memory_entries: int = 256,
-        max_workers: int | None = None,
-        group_timeout: float | None = None,
-        shards: int | None = None,
-        shard_timeout: float | None = None,
         ledger: "obs.BuildLedger | str | None" = None,
-        metrics_path: str | None = None,
-        incremental: bool = False,
+        **legacy,
     ) -> None:
-        if shards is not None and shards < 1:
-            raise ServiceError("shards must be >= 1")
+        if legacy:
+            unknown = sorted(set(legacy) - set(_LEGACY_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"BuildService got unexpected keyword argument(s): "
+                    f"{', '.join(unknown)}"
+                )
+            if config is not None:
+                raise ServiceError(
+                    "pass either a ServiceConfig or the legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                f"BuildService({', '.join(sorted(legacy))}=...) keyword "
+                f"arguments are deprecated; pass "
+                f"BuildService(ServiceConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = ServiceConfig(**legacy)
+        self.config = config if config is not None else ServiceConfig()
         self.cache = OutlineCache(
-            cache_dir, max_bytes=cache_max_bytes, memory_entries=cache_memory_entries
+            self.config.cache_dir,
+            max_bytes=self.config.cache_max_bytes,
+            memory_entries=self.config.cache_memory_entries,
         )
         # incremental=True routes every submit through the keyed build
         # dependency graph (repro.service.graph): per-node reuse instead
@@ -148,41 +207,70 @@ class BuildService:
                 if self.cache.directory is not None
                 else None,
             )
-            if incremental
+            if self.config.incremental
             else None
         )
-        self.pool = WorkerPool(max_workers=max_workers, timeout=group_timeout)
+        self.pool = WorkerPool(
+            max_workers=self.config.max_workers, timeout=self.config.group_timeout
+        )
         # shards >= 2 swaps the per-group worker pool for the
         # multi-process shard executor (repro.service.shard) — coarser
         # dispatch units, byte-identical output.
         self.shard_executor = (
-            ShardExecutor(shards=shards, timeout=shard_timeout)
-            if shards is not None and shards >= 2
+            ShardExecutor(
+                shards=self.config.shards, timeout=self.config.shard_timeout
+            )
+            if self.config.shards is not None and self.config.shards >= 2
             else None
         )
+        if ledger is None:
+            ledger = self.config.ledger
         if ledger is None or isinstance(ledger, obs.BuildLedger):
             self.ledger = ledger
         else:
             self.ledger = obs.BuildLedger(ledger)
-        self._metrics = obs.PromReporter(metrics_path) if metrics_path else None
+        self._metrics = (
+            obs.PromReporter(self.config.metrics_path, info=build_info_labels())
+            if self.config.metrics_path
+            else None
+        )
         self.builds_completed = 0
+        #: Guards submit-side bookkeeping: the async front door may run
+        #: builds from executor threads (registry updates are already
+        #: locked inside the tracer; this covers the service's own
+        #: counters and the ledger append ordering).
+        self._submit_lock = threading.Lock()
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        self._emit_metrics()
+        self.flush_metrics()
         self.pool.close()
         if self.shard_executor is not None:
             self.shard_executor.close()
         self._closed = True
 
-    def _emit_metrics(self) -> None:
+    def flush_metrics(self) -> bool:
+        """Refresh the Prometheus exposition file now (no-op without
+        ``metrics_path`` or an active tracer).  Runs after every build
+        and at :meth:`close`; the async front door additionally calls it
+        on a timer so a long-idle serve loop still exposes fresh
+        scrape data.  Returns whether a file was written."""
         if self._metrics is None:
-            return
+            return False
         tracer = obs.current_tracer()
-        if tracer is not None:
-            self._metrics.emit(tracer.snapshot())
+        if tracer is None:
+            return False
+        self._metrics.emit(tracer.snapshot())
+        return True
+
+    @property
+    def metrics_reporter(self) -> "obs.PromReporter | None":
+        """The service's Prometheus reporter (``None`` without
+        ``metrics_path``) — the front door attaches its per-tenant
+        labeled series through ``metrics_reporter.extra_source``."""
+        return self._metrics
 
     def __enter__(self) -> "BuildService":
         return self
@@ -199,8 +287,15 @@ class BuildService:
         config: CalibroConfig | None = None,
         *,
         label: str = "",
+        phase_hook=None,
     ) -> BuildReport:
-        """Build one app through the shared pool and caches."""
+        """Build one app through the shared pool and caches.
+
+        ``phase_hook`` — a ``callable(phase: str)`` — fires as each
+        pipeline phase starts (``"dex2oat"``/``"ltbo"``/``"link"``, or
+        ``"graph.delta"`` on the incremental path): the mechanism
+        behind the serve protocol's streamed ``progress`` events.
+        """
         if self._closed:
             raise ServiceError("build service is closed")
         config = config or CalibroConfig.baseline()
@@ -211,6 +306,8 @@ class BuildService:
         graph_delta: GraphDelta | None = None
         with obs.span("service.build", label=label or config.name, config=config.name):
             if self.graph is not None:
+                if phase_hook is not None:
+                    phase_hook("graph.delta")
                 build, graph_delta = self.graph.build(
                     dexfile, config, label=label or config.name, pool=pool
                 )
@@ -226,12 +323,14 @@ class BuildService:
                     compiled=compiled,
                     cache=self.cache,
                     pool=pool,
+                    phase_hook=phase_hook,
                 )
                 if not compile_cached:
                     self.cache.store_object(
                         self._compile_key(dexfile, config), build.dex2oat
                     )
-        self.builds_completed += 1
+        with self._submit_lock:
+            self.builds_completed += 1
         obs.counter_add("service.builds")
         seconds = time.perf_counter() - start
         obs.histogram_observe("service.build.seconds", seconds)
@@ -246,7 +345,7 @@ class BuildService:
                     graph=graph_delta.as_dict() if graph_delta is not None else None,
                 )
             )
-        self._emit_metrics()
+        self.flush_metrics()
         return BuildReport(
             label=label,
             build=build,
@@ -289,10 +388,13 @@ class BuildService:
 
     def stats(self) -> dict[str, object]:
         """Service-level bookkeeping (the ``calibro serve`` footer and
-        the ``--json`` report's ``service`` section)."""
+        the ``--json`` report's ``service`` section).  ``config`` is the
+        service's :class:`ServiceConfig` as its versioned dict
+        (``config["schema_version"]`` tracks the config schema)."""
         out: dict[str, object] = {
             "schema_version": SUMMARY_SCHEMA_VERSION,
             "builds": self.builds_completed,
+            "config": self.config.to_dict(),
             "cache": self.cache.stats.as_dict(),
             "pool": self.pool.stats.as_dict(),
         }

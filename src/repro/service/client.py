@@ -1,0 +1,292 @@
+"""The first-class client API for the serve front door.
+
+:class:`CalibroClient` is the synchronous counterpart of
+:class:`~repro.service.server.AsyncBuildServer`: it speaks the
+schema-versioned JSONL protocol (:mod:`repro.service.protocol`) over
+the server's local stream socket, one connection per request, so a
+plain blocking caller — the ``calibro submit`` CLI, a build-farm hook,
+a benchmark harness — never has to touch asyncio.
+
+The shape mirrors the wire contract: :meth:`CalibroClient.submit`
+returns as soon as the server admits (or refuses) the build, handing
+back a :class:`PendingBuild`; :meth:`PendingBuild.wait` streams
+``progress`` events until the one terminal event arrives.
+:meth:`CalibroClient.build` is the submit-and-wait convenience.
+Refusals and failures surface as the protocol's typed errors:
+:class:`~repro.service.protocol.OverloadedError` when admission is
+refused, :class:`~repro.service.protocol.BuildFailed` when a served
+build ends in a structured ``error`` response.
+"""
+
+from __future__ import annotations
+
+import base64
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import ServiceError
+from repro.core.pipeline import CalibroConfig
+from repro.dex.method import DexFile
+from repro.dex.serialize import dexfile_to_json
+from repro.service.protocol import (
+    TERMINAL_EVENTS,
+    BuildFailed,
+    OverloadedError,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    validate_response,
+)
+
+__all__ = ["BuildResult", "CalibroClient", "PendingBuild"]
+
+
+@dataclass
+class BuildResult:
+    """A successfully served build, decoded off the wire."""
+
+    build_id: str
+    #: The build's versioned summary document (same shape as
+    #: ``calibro build --json``).
+    summary: dict[str, Any]
+    #: The OAT image bytes, when the request asked for them
+    #: (``want_oat``, the default); ``None`` otherwise.
+    oat_bytes: "bytes | None"
+    #: Phase names streamed as ``progress`` events, in arrival order.
+    phases: list[str] = field(default_factory=list)
+
+
+class _Connection:
+    """One line-framed protocol exchange over a fresh socket."""
+
+    def __init__(self, path: str, timeout: "float | None") -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(path)
+        except OSError as exc:
+            self._sock.close()
+            raise ServiceError(
+                f"cannot reach serve front door at {path}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rb")
+
+    def send(self, message: dict[str, Any]) -> None:
+        self._sock.sendall(encode_message(message))
+
+    def recv(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("serve front door closed the connection")
+        data = decode_message(line)
+        validate_response(data)
+        return data
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+class PendingBuild:
+    """A build the server has admitted but not yet finished.
+
+    Holds the connection open; :meth:`wait` drains ``progress`` events
+    (optionally relaying each phase to ``on_progress``) until the
+    terminal event, then closes the connection and returns the
+    :class:`BuildResult` — or raises :class:`BuildFailed` /
+    :class:`ServiceError` (cancelled) as the wire dictates.
+    """
+
+    def __init__(self, connection: _Connection, build_id: str) -> None:
+        self._connection = connection
+        self.build_id = build_id
+        self.phases: list[str] = []
+        self._result: "BuildResult | None" = None
+
+    def wait(
+        self, *, on_progress: "Callable[[str], None] | None" = None
+    ) -> BuildResult:
+        if self._result is not None:
+            return self._result
+        try:
+            while True:
+                data = self._connection.recv()
+                event = data["event"]
+                if event == "progress":
+                    phase = str(data.get("phase", ""))
+                    self.phases.append(phase)
+                    if on_progress is not None:
+                        on_progress(phase)
+                    continue
+                if event == "result":
+                    oat_b64 = data.get("oat_b64")
+                    self._result = BuildResult(
+                        build_id=self.build_id,
+                        summary=data.get("summary") or {},
+                        oat_bytes=(
+                            base64.b64decode(oat_b64)
+                            if oat_b64 is not None
+                            else None
+                        ),
+                        phases=self.phases,
+                    )
+                    return self._result
+                if event == "error":
+                    raise BuildFailed(
+                        str(data.get("message", "build failed")),
+                        code=str(data.get("code", "")),
+                    )
+                if event == "cancelled":
+                    raise ServiceError(
+                        f"build {self.build_id} was cancelled before running"
+                    )
+                if event in TERMINAL_EVENTS:  # overloaded post-accept: never
+                    raise ProtocolError(
+                        f"unexpected terminal event after accept: {event}"
+                    )
+                # Any other event mid-stream is a protocol breach.
+                raise ProtocolError(f"unexpected event mid-build: {event}")
+        finally:
+            self._connection.close()
+
+
+class CalibroClient:
+    """Synchronous client for one serve front door socket.
+
+    Every call opens its own connection, so one client instance is
+    safe to share across threads — N threads calling :meth:`build`
+    concurrently is exactly the multi-tenant workload the server's
+    admission control exists for.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        tenant: str = "default",
+        timeout: "float | None" = 60.0,
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- build --------------------------------------------------------------
+
+    def submit(
+        self,
+        dexfile: "DexFile | None" = None,
+        config: "CalibroConfig | None" = None,
+        *,
+        dex_path: "str | None" = None,
+        label: str = "",
+        want_oat: bool = True,
+        request_id: "Any | None" = None,
+    ) -> PendingBuild:
+        """Admit one build; returns once the server answers.
+
+        Exactly one of ``dexfile`` (serialized inline) or ``dex_path``
+        (a server-local file) must be given.  Raises
+        :class:`OverloadedError` on refusal, :class:`BuildFailed` on a
+        rejected request document.
+        """
+        if (dexfile is None) == (dex_path is None):
+            raise ServiceError("submit needs exactly one of dexfile or dex_path")
+        request: dict[str, Any] = {
+            "op": "build",
+            "tenant": self.tenant,
+            "label": label,
+            "want_oat": want_oat,
+        }
+        if request_id is not None:
+            request["id"] = request_id
+        if dexfile is not None:
+            request["dex"] = dexfile_to_json(dexfile)
+        else:
+            request["dex_path"] = dex_path
+        if config is not None:
+            request["config"] = config.to_dict()
+        connection = _Connection(self.socket_path, self.timeout)
+        try:
+            connection.send(request)
+            data = connection.recv()
+        except BaseException:
+            connection.close()
+            raise
+        event = data["event"]
+        if event == "accepted":
+            return PendingBuild(connection, str(data.get("build", "")))
+        connection.close()
+        if event == "overloaded":
+            raise OverloadedError(
+                f"serve front door refused the build: {data.get('reason')}",
+                reason=str(data.get("reason", "")),
+            )
+        if event == "error":
+            raise BuildFailed(
+                str(data.get("message", "request rejected")),
+                code=str(data.get("code", "")),
+            )
+        raise ProtocolError(f"unexpected event answering a build: {event}")
+
+    def build(
+        self,
+        dexfile: "DexFile | None" = None,
+        config: "CalibroConfig | None" = None,
+        *,
+        dex_path: "str | None" = None,
+        label: str = "",
+        want_oat: bool = True,
+        on_progress: "Callable[[str], None] | None" = None,
+    ) -> BuildResult:
+        """Submit and wait: the one-call path most callers want."""
+        pending = self.submit(
+            dexfile,
+            config,
+            dex_path=dex_path,
+            label=label,
+            want_oat=want_oat,
+        )
+        return pending.wait(on_progress=on_progress)
+
+    # -- control ops --------------------------------------------------------
+
+    def _roundtrip(self, request: dict[str, Any]) -> dict[str, Any]:
+        connection = _Connection(self.socket_path, self.timeout)
+        try:
+            connection.send(request)
+            return connection.recv()
+        finally:
+            connection.close()
+
+    def status(self) -> dict[str, Any]:
+        """The server's ``status`` document (front-door counters, queue
+        and tenant occupancy, nested service stats)."""
+        data = self._roundtrip({"op": "status"})
+        if data["event"] == "error":
+            raise ServiceError(str(data.get("message", "status failed")))
+        if data["event"] != "status":
+            raise ProtocolError(f"unexpected event answering status: {data['event']}")
+        return data.get("stats") or {}
+
+    def cancel(self, build_id: str) -> bool:
+        """Cooperatively cancel a queued build.  ``True`` if the server
+        cancelled it; ``False`` if it was already running or finished."""
+        data = self._roundtrip({"op": "cancel", "build": build_id})
+        if data["event"] == "error":
+            raise ServiceError(str(data.get("message", "cancel failed")))
+        if data["event"] != "cancelled":
+            raise ProtocolError(
+                f"unexpected event answering cancel: {data['event']}"
+            )
+        return bool(data.get("ok"))
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and stop."""
+        data = self._roundtrip({"op": "shutdown"})
+        if data["event"] != "shutdown":
+            raise ProtocolError(
+                f"unexpected event answering shutdown: {data['event']}"
+            )

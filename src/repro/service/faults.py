@@ -91,6 +91,13 @@ class FaultPlan:
     hang: float = 0.0
     #: Probability that a matched task sleeps ``slow_seconds`` first.
     slow: float = 0.0
+    #: Probability that a matched task raises :class:`ServiceError`
+    #: instead of running.  Unlike ``crash`` this is safe to fire in the
+    #: supervising process (``in_parent=True``) — a raise unwinds, a
+    #: crash exits — which is what the serve front door's ``serve:`` site
+    #: uses to prove a failed build becomes a structured ``error``
+    #: response instead of a wedged accept loop.
+    error: float = 0.0
     hang_seconds: float = 30.0
     slow_seconds: float = 0.05
     #: Exact ``"site:key"`` strings eligible to fire; empty = all.
@@ -100,11 +107,11 @@ class FaultPlan:
     in_parent: bool = False
 
     def __post_init__(self) -> None:
-        for name in ("crash", "hang", "slow"):
+        for name in ("crash", "hang", "slow", "error"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ServiceError(f"fault rate {name} must be in [0, 1], got {rate}")
-        if self.crash + self.hang + self.slow > 1.0 + 1e-9:
+        if self.crash + self.hang + self.slow + self.error > 1.0 + 1e-9:
             raise ServiceError("fault rates must sum to at most 1.0")
         if self.hang_seconds < 0 or self.slow_seconds < 0:
             raise ServiceError("fault durations must be >= 0")
@@ -117,6 +124,7 @@ class FaultPlan:
             "crash": self.crash,
             "hang": self.hang,
             "slow": self.slow,
+            "error": self.error,
             "hang_seconds": self.hang_seconds,
             "slow_seconds": self.slow_seconds,
             "match": list(self.match),
@@ -131,8 +139,8 @@ class FaultPlan:
         match = payload.pop("match", [])
         if not isinstance(match, (list, tuple)):
             raise ServiceError("fault plan 'match' must be a list of site:key strings")
-        known = {"seed", "crash", "hang", "slow", "hang_seconds", "slow_seconds",
-                 "in_parent"}
+        known = {"seed", "crash", "hang", "slow", "error", "hang_seconds",
+                 "slow_seconds", "in_parent"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ServiceError(f"unknown fault plan keys: {', '.join(unknown)}")
@@ -170,6 +178,8 @@ class FaultPlan:
             return "hang"
         if draw < self.crash + self.hang + self.slow:
             return "slow"
+        if draw < self.crash + self.hang + self.slow + self.error:
+            return "error"
         return None
 
 
@@ -221,6 +231,8 @@ def maybe_inject(site: str, key: str) -> str | None:
     obs.counter_add("service.faults.injected")
     if action == "crash":
         os._exit(CRASH_EXIT_CODE)
+    if action == "error":
+        raise ServiceError(f"injected fault at {site}:{key}")
     time.sleep(plan.hang_seconds if action == "hang" else plan.slow_seconds)
     return action
 

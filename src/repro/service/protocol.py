@@ -1,0 +1,174 @@
+"""The serve wire protocol: schema-versioned JSONL request/response.
+
+The async front door (:mod:`repro.service.server`) and the client API
+(:mod:`repro.service.client`) speak one line-framed protocol over a
+local stream socket: every message is a single JSON object terminated
+by ``\\n`` — no length prefixes, so a human can drive a server with
+``nc -U`` and a transcript is greppable.  Every message carries the
+protocol version in ``"v"``; a peer receiving a *newer* version than it
+understands must refuse the message (``error`` with code
+``"version"``), never guess at fields.  The full op/field reference
+lives in ``docs/service.md`` ("Serving protocol"), held to this module
+by ``tests/observability/test_docs_service.py``.
+
+Requests (client → server) carry ``op`` ∈ :data:`OPS`; responses
+(server → client) carry ``event`` ∈ :data:`EVENTS` and echo the
+request's ``id``.  A ``build`` request streams zero or more
+``progress`` events and finishes with exactly one terminal event
+(:data:`TERMINAL_EVENTS`): ``result``, ``error``, ``overloaded`` or
+``cancelled``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.errors import ServiceError
+
+__all__ = [
+    "EVENTS",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "TERMINAL_EVENTS",
+    "BuildFailed",
+    "OverloadedError",
+    "ProtocolError",
+    "decode_message",
+    "encode_message",
+    "validate_request",
+    "validate_response",
+]
+
+#: Version of the wire format.  Bump on any op/event/field addition,
+#: removal or meaning change; both peers refuse newer messages.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one JSONL frame.  A ``build`` request carries the
+#: whole dexfile document inline, so the server's stream reader must
+#: accept far more than asyncio's 64 KiB default line limit.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Request operations.
+#:
+#: * ``build``  — admit one build (inline ``dex`` document or a
+#:   server-local ``dex_path``), stream progress, return the result;
+#: * ``status`` — service stats, queue/tenant occupancy, versions;
+#: * ``cancel`` — cooperatively cancel a *queued* build by ``build`` id;
+#: * ``shutdown`` — drain and stop the server.
+OPS = ("build", "status", "cancel", "shutdown")
+
+#: Response events.  ``accepted`` acknowledges admission (carries the
+#: server-assigned ``build`` id), ``progress`` streams one build phase,
+#: and the rest are terminal.
+EVENTS = (
+    "accepted",
+    "progress",
+    "result",
+    "error",
+    "overloaded",
+    "cancelled",
+    "status",
+    "shutdown",
+)
+
+#: Events that end a ``build`` exchange.
+TERMINAL_EVENTS = ("result", "error", "overloaded", "cancelled")
+
+
+class ProtocolError(ServiceError):
+    """A malformed or version-incompatible wire message."""
+
+
+class OverloadedError(ServiceError):
+    """The server refused admission (queue full or tenant quota).
+
+    ``reason`` is the server's machine-readable refusal code
+    (``"queue-full"`` or ``"tenant-quota"``).
+    """
+
+    def __init__(self, message: str, *, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class BuildFailed(ServiceError):
+    """A served build ended in a structured ``error`` response.
+
+    ``code`` is the server's error class (e.g. ``"build-error"``);
+    the message carries the server-side detail.
+    """
+
+    def __init__(self, message: str, *, code: str = "") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline.  Stamps ``"v"`` if the
+    caller didn't."""
+    out = dict(message)
+    out.setdefault("v", PROTOCOL_VERSION)
+    text = json.dumps(out, sort_keys=True, separators=(",", ":"))
+    if "\n" in text:  # json.dumps never emits raw newlines; belt and braces
+        raise ProtocolError("encoded message must be newline-free")
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_message(line: "bytes | str") -> dict[str, Any]:
+    """Parse one frame and check the version envelope.
+
+    Raises :class:`ProtocolError` on non-JSON input, a non-object
+    document, a missing/malformed ``"v"`` or a version newer than
+    :data:`PROTOCOL_VERSION`.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("v")
+    if not isinstance(version, int) or version < 1:
+        raise ProtocolError(f"frame has no usable protocol version: {version!r}")
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol v{version}, this build understands "
+            f"up to v{PROTOCOL_VERSION}"
+        )
+    return data
+
+
+# -- envelope validation ------------------------------------------------------
+
+
+def validate_request(data: dict[str, Any]) -> str:
+    """Check a decoded request envelope; returns the ``op``."""
+    op = data.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of: {', '.join(OPS)}"
+        )
+    if op == "build" and not (data.get("dex") or data.get("dex_path")):
+        raise ProtocolError("build request needs 'dex' (inline) or 'dex_path'")
+    if op == "cancel" and not data.get("build"):
+        raise ProtocolError("cancel request needs the 'build' id")
+    return op
+
+
+def validate_response(data: dict[str, Any]) -> str:
+    """Check a decoded response envelope; returns the ``event``."""
+    event = data.get("event")
+    if event not in EVENTS:
+        raise ProtocolError(
+            f"unknown event {event!r}; expected one of: {', '.join(EVENTS)}"
+        )
+    return event

@@ -40,7 +40,9 @@ def test_instrumentation_exists():
     # regex (or the instrumentation) broke.
     assert {"build", "dex2oat.codegen", "ltbo.group", "link.relocate",
             "emulator.cycles", "suffix_tree.nodes",
-            "mine.repeat.length", "service.cache.lookup_seconds"} <= names
+            "mine.repeat.length", "service.cache.lookup_seconds",
+            "service.server.accepted", "service.server.rejected_quota",
+            "service.server.queue_wait_seconds"} <= names
     assert len(names) > 40
 
 

@@ -1,0 +1,86 @@
+"""The serve wire protocol: framing, version envelope, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    EVENTS,
+    OPS,
+    PROTOCOL_VERSION,
+    TERMINAL_EVENTS,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    validate_request,
+    validate_response,
+)
+
+
+def test_encode_stamps_version_and_newline():
+    frame = encode_message({"op": "status"})
+    assert frame.endswith(b"\n")
+    doc = json.loads(frame)
+    assert doc["v"] == PROTOCOL_VERSION
+
+
+def test_encode_respects_explicit_version():
+    doc = json.loads(encode_message({"op": "status", "v": 1}))
+    assert doc["v"] == 1
+
+
+def test_round_trip():
+    message = {"op": "build", "dex_path": "a.dex.json", "tenant": "t"}
+    assert decode_message(encode_message(message))["op"] == "build"
+
+
+@pytest.mark.parametrize("line", [
+    b"not json\n",
+    b"[1, 2, 3]\n",          # not an object
+    b"{\"op\": \"build\"}\n",  # missing version
+    b"{\"v\": \"one\"}\n",     # malformed version
+    b"{\"v\": 0}\n",
+])
+def test_decode_rejects_bad_frames(line):
+    with pytest.raises(ProtocolError):
+        decode_message(line)
+
+
+def test_decode_refuses_newer_version():
+    line = json.dumps({"op": "status", "v": PROTOCOL_VERSION + 1}).encode()
+    with pytest.raises(ProtocolError, match="newer|understands"):
+        decode_message(line)
+
+
+def test_validate_request_ops():
+    assert validate_request({"op": "status"}) == "status"
+    assert validate_request({"op": "shutdown"}) == "shutdown"
+    with pytest.raises(ProtocolError):
+        validate_request({"op": "explode"})
+
+
+def test_build_request_needs_a_dex():
+    with pytest.raises(ProtocolError):
+        validate_request({"op": "build"})
+    assert validate_request({"op": "build", "dex_path": "a"}) == "build"
+    assert validate_request({"op": "build", "dex": {"methods": []}}) == "build"
+
+
+def test_cancel_request_needs_a_build_id():
+    with pytest.raises(ProtocolError):
+        validate_request({"op": "cancel"})
+    assert validate_request({"op": "cancel", "build": "b1"}) == "cancel"
+
+
+def test_validate_response_events():
+    for event in EVENTS:
+        assert validate_response({"event": event}) == event
+    with pytest.raises(ProtocolError):
+        validate_response({"event": "nope"})
+
+
+def test_terminal_events_are_events():
+    assert set(TERMINAL_EVENTS) <= set(EVENTS)
+    assert set(OPS).isdisjoint(TERMINAL_EVENTS)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro import observability as obs
-from repro.core.errors import ServiceError
+from repro.core.errors import ConfigError, ServiceError
 from repro.core.pipeline import CalibroConfig, build_app
 from repro.service import BuildService, ShardExecutor
 from repro.suffixtree.parallel import round_robin_shards
@@ -107,7 +107,9 @@ def test_closed_executor_rejects_work():
 def test_shard_count_validation():
     with pytest.raises(ServiceError):
         ShardExecutor(shards=0)
-    with pytest.raises(ServiceError):
+    # Service-level validation moved into ServiceConfig.__post_init__,
+    # which speaks ConfigError like every other config surface.
+    with pytest.raises(ConfigError):
         BuildService(shards=0)
 
 

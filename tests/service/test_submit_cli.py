@@ -1,0 +1,106 @@
+"""``calibro serve --listen`` / ``calibro submit``: the CLI front door.
+
+The serve loop runs ``main([...])`` on a daemon thread (exactly the
+deployment shape), submits drive it through ``main`` in the foreground,
+and a ``submit --shutdown`` drains it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.dex.serialize import save_dexfile
+from repro.oat.oatfile import OatFile
+from repro.workloads import app_spec, generate_app
+
+
+@pytest.fixture(scope="module")
+def dex_json(tmp_path_factory):
+    path = tmp_path_factory.mktemp("submit") / "meituan.dex.json"
+    save_dexfile(
+        generate_app(app_spec("Meituan", scale=0.1)).dexfile, str(path)
+    )
+    return path
+
+
+@pytest.fixture()
+def listening(tmp_path):
+    """A live ``calibro serve --listen`` on a short-path socket."""
+    sockdir = tempfile.mkdtemp(prefix="calibro-sock-")
+    sock = os.path.join(sockdir, "s")
+    rc: list[int] = []
+    argv = [
+        "serve", "--listen", sock, "--groups", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--metrics-file", str(tmp_path / "serve.prom"),
+        "--json",
+    ]
+    thread = threading.Thread(target=lambda: rc.append(main(argv)), daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not os.path.exists(sock) and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert os.path.exists(sock), "serve --listen never bound its socket"
+    try:
+        yield sock
+    finally:
+        if thread.is_alive():
+            main(["submit", sock, "--shutdown"])
+        thread.join(timeout=15.0)
+        shutil.rmtree(sockdir, ignore_errors=True)
+        assert rc == [0]
+
+
+def test_submit_builds_and_writes_the_oat(listening, dex_json, tmp_path, capsys):
+    out = tmp_path / "app.oat"
+    argv = ["submit", listening, str(dex_json), "-o", str(out),
+            "--tenant", "alice", "--json"]
+    capsys.readouterr()  # drop the server's own "listening on ..." line
+    assert main(argv) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["build"].startswith("b")
+    assert doc["summary"]["label"] == "meituan"  # _input_label strips .dex.json
+    oat = OatFile.from_bytes(out.read_bytes())
+    assert oat.methods
+
+    assert main(["submit", listening, "--status"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["accepted"] == 1
+    assert status["tenants"]["alice"]["accepted"] == 1
+
+
+def test_submit_without_input_or_control_op_is_an_error(listening, capsys):
+    assert main(["submit", listening]) == 2  # ConfigError exit code
+    assert "submit needs" in capsys.readouterr().err
+
+
+def test_submit_cancel_of_unknown_build_fails_cleanly(listening, capsys):
+    assert main(["submit", listening, "--cancel", "b999"]) == 5
+    assert "no such build" in capsys.readouterr().err
+
+
+def test_submit_against_dead_socket_is_a_service_error(tmp_path, capsys):
+    gone = str(tmp_path / "nobody-home.sock")
+    assert main(["submit", gone, "--status"]) == 5
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_listen_mode_rejects_positional_inputs(dex_json, capsys):
+    rc = main(["serve", str(dex_json), "--listen", "/tmp/unused.sock"])
+    assert rc == 2
+    assert "--listen" in capsys.readouterr().err
+
+
+def test_batch_mode_still_needs_inputs_and_outdir(tmp_path, dex_json, capsys):
+    assert main(["serve"]) == 2
+    assert "batch mode" in capsys.readouterr().err
+    assert main(["serve", str(dex_json)]) == 2
+    assert "--outdir" in capsys.readouterr().err

@@ -58,6 +58,25 @@ def test_every_positional_is_documented(doc_text):
     assert not missing, f"positionals absent from docs/cli.md: {missing}"
 
 
+def test_serve_front_door_surface_is_enforced(doc_text):
+    """Canaries for the serve/submit surface: if these flags vanish from
+    the parser (or their docs), the front-door docs drifted."""
+    subs = _subparsers()
+    assert "submit" in subs
+    serve_flags = {
+        opt for a in subs["serve"]._actions for opt in a.option_strings
+    }
+    assert {"--listen", "--queue-depth", "--tenant-quota",
+            "--max-concurrent", "--flush-interval"} <= serve_flags
+    submit_flags = {
+        opt for a in subs["submit"]._actions for opt in a.option_strings
+    }
+    assert {"--tenant", "--status", "--cancel", "--shutdown"} <= submit_flags
+    for flag in ("--listen", "--queue-depth", "--tenant-quota",
+                 "--max-concurrent", "--flush-interval", "--tenant"):
+        assert f"`{flag}`" in doc_text
+
+
 def test_documented_subcommands_exist(doc_text):
     """The doc may not describe subcommands that were removed."""
     import re
