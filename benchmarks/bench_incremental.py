@@ -23,7 +23,7 @@ import time
 
 from repro.core import CalibroConfig, build_app
 from repro.reporting import format_table
-from repro.service import BuildService
+from repro.service import BuildService, ServiceConfig
 from repro.workloads import app_spec, generate_app, mutate_app
 
 from _bench_util import BENCH_SCALE, PLOPTI_GROUPS, emit, _ARTIFACTS
@@ -46,8 +46,8 @@ def test_one_method_diff_rebuild_speedup(benchmark):
         _ARTIFACTS.mkdir(exist_ok=True)
         scratch_s = delta_s = float("inf")
         with tempfile.TemporaryDirectory(prefix="calibro-bench-incr-") as cache_dir:
-            with BuildService(cache_dir=cache_dir, incremental=True,
-                              max_workers=1, ledger=_LEDGER) as service:
+            with BuildService(ServiceConfig(cache_dir=cache_dir, incremental=True,
+                                            max_workers=1, ledger=_LEDGER)) as service:
                 t0 = time.perf_counter()
                 cold = service.submit(dexfile, config, label="incremental")
                 cold_s = time.perf_counter() - t0

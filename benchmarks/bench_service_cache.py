@@ -25,7 +25,7 @@ import time
 
 from repro.core import CalibroConfig, build_app
 from repro.reporting import format_table
-from repro.service import BuildService
+from repro.service import BuildService, ServiceConfig
 from repro.workloads import app_spec, generate_app
 
 from _bench_util import BENCH_SCALE, PLOPTI_GROUPS, emit
@@ -45,7 +45,7 @@ def test_service_cache_speedup_and_byte_identity(benchmark):
         rows = []
         identical = True
         with tempfile.TemporaryDirectory(prefix="calibro-bench-cache-") as cache_dir:
-            with BuildService(cache_dir=cache_dir, max_workers=1) as service:
+            with BuildService(ServiceConfig(cache_dir=cache_dir, max_workers=1)) as service:
                 for name, dexfile in dexfiles.items():
                     reference = build_app(dexfile, config).oat.to_bytes()
 

@@ -20,7 +20,7 @@ import time
 
 from repro.core import CalibroConfig, build_app
 from repro.reporting import format_table
-from repro.service import BuildService
+from repro.service import BuildService, ServiceConfig
 from repro.workloads import app_spec, generate_app
 
 from _bench_util import BENCH_SCALE, PLOPTI_GROUPS, emit
@@ -45,7 +45,7 @@ def test_shard_scaling_byte_identity(benchmark):
             serial_s = time.perf_counter() - t0
 
             t0 = time.perf_counter()
-            with BuildService(max_workers=2) as pooled:
+            with BuildService(ServiceConfig(max_workers=2)) as pooled:
                 pool_bytes = pooled.submit(dexfile, config).build.oat.to_bytes()
             pool_s = time.perf_counter() - t0
             identical &= pool_bytes == reference
@@ -53,7 +53,7 @@ def test_shard_scaling_byte_identity(benchmark):
 
             for shards in _SHARD_WIDTHS:
                 t0 = time.perf_counter()
-                with BuildService(shards=shards) as service:
+                with BuildService(ServiceConfig(shards=shards)) as service:
                     report = service.submit(dexfile, config)
                     stats = service.shard_executor.stats
                 shard_s = time.perf_counter() - t0

@@ -55,6 +55,10 @@ class SuiteCache:
             return CalibroConfig.cto_ltbo()
         if key == "CTO+LTBO+PlOpti":
             return CalibroConfig.cto_ltbo_plopti(PLOPTI_GROUPS)
+        if key == "CTO+LTBO+Merge":
+            return CalibroConfig.cto_ltbo().with_merging()
+        if key == "CTO+LTBO+PlOpti+Merge":
+            return CalibroConfig.cto_ltbo_plopti(PLOPTI_GROUPS).with_merging()
         if key == "CTO+LTBO+PlOpti+HfOpti":
             return CalibroConfig.full(
                 self.profile(app.name), groups=PLOPTI_GROUPS, coverage=0.80

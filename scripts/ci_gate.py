@@ -19,7 +19,10 @@ Keys with no baseline are reported as ``new`` and never fail the gate;
 regressions use the same thresholded
 :func:`repro.observability.diff.diff_entries` semantics as ``calibro
 compare`` (``--threshold``, ``--min-seconds``), so a noisy host needs a
-real wall-time jump — not jitter — to go red.
+real wall-time jump — not jitter — to go red.  Entries that carry
+incremental (``graph``) or merging (``merge``) accounting are gated on
+those too: a grown rebuild set or shrunken ``merge.saved_bytes`` fails
+the run just like a text-size regression.
 
     python scripts/ci_gate.py .ci/ledger.jsonl
     python scripts/ci_gate.py fresh.jsonl --baseline known-good.jsonl

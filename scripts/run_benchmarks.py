@@ -41,7 +41,13 @@ DEFAULT_OUT = REPO / "benchmarks" / "BENCH_sizes.json"
 
 #: The Table-4 stacks, cheapest first.  ``baseline`` is measured too but
 #: reported as the denominator, not a stack of its own.
-CONFIG_KEYS = ("CTO", "CTO+LTBO", "CTO+LTBO+PlOpti", "CTO+LTBO+PlOpti+HfOpti")
+CONFIG_KEYS = (
+    "CTO",
+    "CTO+LTBO",
+    "CTO+LTBO+PlOpti",
+    "CTO+LTBO+PlOpti+Merge",
+    "CTO+LTBO+PlOpti+HfOpti",
+)
 
 
 def git_sha() -> str:
@@ -64,6 +70,8 @@ def _config(key: str, cycles: dict[str, int], groups: int) -> CalibroConfig:
         return CalibroConfig.cto_ltbo()
     if key == "CTO+LTBO+PlOpti":
         return CalibroConfig.cto_ltbo_plopti(groups)
+    if key == "CTO+LTBO+PlOpti+Merge":
+        return CalibroConfig.cto_ltbo_plopti(groups).with_merging()
     if key == "CTO+LTBO+PlOpti+HfOpti":
         return CalibroConfig.full(cycles, groups=groups, coverage=0.80)
     raise KeyError(key)

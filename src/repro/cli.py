@@ -196,12 +196,15 @@ def _build_config(args) -> CalibroConfig:
             parts.append("PlOpti")
         if hot_filter is not None:
             parts.append("HfOpti")
+    if args.merging:
+        parts.append("Merge")
     return CalibroConfig(
         cto_enabled=not args.no_cto,
         ltbo_enabled=not args.no_ltbo,
         parallel_groups=args.groups,
         hot_filter=hot_filter,
         engine=args.engine,
+        merging=args.merging,
         name="+".join(parts) if parts else "baseline",
     )
 
@@ -275,6 +278,8 @@ def _serve_config(args) -> CalibroConfig:
         from dataclasses import replace as dc_replace
 
         config = dc_replace(config, engine=args.engine)
+    if getattr(args, "merging", False) and not config.merging:
+        config = config.with_merging()
     return config
 
 
@@ -752,6 +757,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--groups", type=int, default=1)
     p.add_argument("--engine", choices=sorted(ENGINES), default=DEFAULT_ENGINE,
                    help="repeat-mining backend for LTBO.2")
+    p.add_argument("--merging", action="store_true",
+                   help="run the global function merging pass after "
+                        "outlining (fold identical functions, parameterize "
+                        "near-identical ones)")
     p.add_argument("--hot-profile")
     p.add_argument("--coverage", type=float, default=0.80)
     p.add_argument("--cache-dir",
@@ -787,9 +796,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="--listen: max builds in flight before overloaded")
     p.add_argument("--tenant-quota", type=int, default=4,
                    help="--listen: max in-flight builds per tenant")
-    p.add_argument("--max-concurrent", type=int, default=1,
+    p.add_argument("--max-concurrent", type=int,
+                   default=min(4, os.cpu_count() or 1),
                    help="--listen: builds executing at once (requests still "
-                        "interleave at the socket)")
+                        "interleave at the socket; default: min(4, cpus))")
     p.add_argument("--flush-interval", type=float, default=None,
                    metavar="SECONDS",
                    help="--listen: refresh --metrics-file on a timer even "
@@ -800,6 +810,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="PlOpti partitions when no --config is given")
     p.add_argument("--engine", choices=sorted(ENGINES), default=None,
                    help="repeat-mining backend (overrides the --config file)")
+    p.add_argument("--merging", action="store_true",
+                   help="run the global function merging pass after "
+                        "outlining (overrides the --config file)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker pool width (default: usable CPUs)")
     p.add_argument("--shards", type=int, default=None,

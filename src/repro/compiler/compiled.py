@@ -32,8 +32,11 @@ class RelocKind:
     ABS64 = "abs64"
     #: 8-byte absolute address of a method-local offset (jump tables).
     LOCAL_ABS64 = "local_abs64"
+    #: ``b`` — 26-bit PC-relative tail jump (R_AARCH64_JUMP26); emitted
+    #: by the merge pass's thunks.
+    JUMP26 = "jump26"
 
-    ALL = (CALL26, ADRP_PAGE21, ADD_LO12, ABS64, LOCAL_ABS64)
+    ALL = (CALL26, ADRP_PAGE21, ADD_LO12, ABS64, LOCAL_ABS64, JUMP26)
 
 
 @dataclass(frozen=True)

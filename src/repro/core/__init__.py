@@ -7,7 +7,9 @@
   :mod:`repro.core.patch` (§3.3.4)
 * PlOpti — :mod:`repro.core.parallel` (§3.4.1)
 * HfOpti — :mod:`repro.core.hotfilter` (§3.4.2)
-* The Fig. 5 pipeline — :mod:`repro.core.pipeline`
+* The Fig. 5 pipeline — :mod:`repro.core.pipeline`, with its
+  size-reduction passes registered through :mod:`repro.core.passes`
+* Global function merging — :mod:`repro.core.merge` (post-outlining)
 * The Fig. 2 benefit model — :mod:`repro.core.benefit`
 
 Attributes resolve lazily (PEP 562): the compiler substrate imports
@@ -19,8 +21,23 @@ from typing import TYPE_CHECKING
 
 _EXPORTS = {
     "BenefitModel": "repro.core.benefit",
+    "MergeBenefit": "repro.core.benefit",
     "estimate_reduction_ratio": "repro.core.benefit",
     "evaluate": "repro.core.benefit",
+    "evaluate_merge": "repro.core.benefit",
+    "MergePlan": "repro.core.merge",
+    "MergeResult": "repro.core.merge",
+    "MergeStats": "repro.core.merge",
+    "merge_functions": "repro.core.merge",
+    "merge_node_key": "repro.core.merge",
+    "MergePass": "repro.core.passes",
+    "OutlinePass": "repro.core.passes",
+    "PassContext": "repro.core.passes",
+    "PassState": "repro.core.passes",
+    "SizePass": "repro.core.passes",
+    "get_pass": "repro.core.passes",
+    "pass_names": "repro.core.passes",
+    "register_pass": "repro.core.passes",
     "CandidateSelection": "repro.core.candidates",
     "select_candidates": "repro.core.candidates",
     "CalibroError": "repro.core.errors",
@@ -66,7 +83,13 @@ def __getattr__(name: str):
 
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
-    from repro.core.benefit import BenefitModel, estimate_reduction_ratio, evaluate
+    from repro.core.benefit import (
+        BenefitModel,
+        MergeBenefit,
+        estimate_reduction_ratio,
+        evaluate,
+        evaluate_merge,
+    )
     from repro.core.candidates import CandidateSelection, select_candidates
     from repro.core.errors import (
         CalibroError,
@@ -76,6 +99,13 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         ServiceError,
     )
     from repro.core.hotfilter import HotFunctionFilter
+    from repro.core.merge import (
+        MergePlan,
+        MergeResult,
+        MergeStats,
+        merge_functions,
+        merge_node_key,
+    )
     from repro.core.metadata import DataExtent, MethodMetadata, PcRelativeRef, SlowpathExtent
     from repro.core.outline import (
         GroupOutlineResult,
@@ -84,6 +114,16 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         outline_group,
     )
     from repro.core.parallel import ParallelOutlineResult, outline_partitioned
+    from repro.core.passes import (
+        MergePass,
+        OutlinePass,
+        PassContext,
+        PassState,
+        SizePass,
+        get_pass,
+        pass_names,
+        register_pass,
+    )
     from repro.core.patch import PatchError, patch_pc_relative
     from repro.core.patterns import ThunkCache, count_pattern_occurrences
     from repro.core.pipeline import (

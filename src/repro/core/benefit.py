@@ -14,6 +14,22 @@ outlined function).  Sizes are in instructions (4 bytes each on A64).
 The same model drives three decisions in the paper: estimating the
 app-level redundancy (Table 1), deciding whether a repeat is worth
 outlining, and choosing among overlapping repeats (Section 3.3.3).
+
+The global function merging pass (:mod:`repro.core.merge`) extends the
+model to whole functions.  For ``members`` near-identical functions of
+``length`` instructions whose streams differ at ``params``
+parameterizable sites::
+
+    OriginalSize   = Length * Members
+    OptimizedSize  = Length + Members * (Params + 1)
+
+``OptimizedSize`` keeps one merged body and replaces every member with
+a thunk of ``Params`` parameter loads plus one jump — the thunk/call
+overhead charged against the saved bytes.  Byte-identical folds
+(``params == 0`` with the body itself dropped) are modelled by
+:func:`evaluate_merge` with ``params=0`` minus the retained thunks:
+folding keeps *no* thunk at all (the linker aliases the symbol), so its
+benefit is simply ``length * (members - 1)``.
 """
 
 from __future__ import annotations
@@ -22,7 +38,13 @@ from dataclasses import dataclass
 
 from repro.core.errors import ConfigError
 
-__all__ = ["BenefitModel", "estimate_reduction_ratio", "evaluate"]
+__all__ = [
+    "BenefitModel",
+    "MergeBenefit",
+    "estimate_reduction_ratio",
+    "evaluate",
+    "evaluate_merge",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +88,64 @@ class BenefitModel:
 def evaluate(length: int, repeats: int) -> int:
     """Instructions saved by outlining (may be negative)."""
     return length * repeats - (repeats + 1 + length)
+
+
+@dataclass(frozen=True)
+class MergeBenefit:
+    """Benefit of merging one group of near-identical functions.
+
+    ``length`` is the shared body length in instructions, ``members``
+    the number of functions merged, ``params`` the number of
+    parameterized difference sites (0 for a byte-identical fold).
+    """
+
+    length: int
+    members: int
+    params: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ConfigError("length must be >= 1")
+        if self.members < 2:
+            raise ConfigError("members must be >= 2")
+        if self.params < 0:
+            raise ConfigError("params must be >= 0")
+
+    @property
+    def original_size(self) -> int:
+        return self.length * self.members
+
+    @property
+    def optimized_size(self) -> int:
+        if self.params == 0:
+            # A fold keeps one body and aliases the other symbols to it:
+            # no thunks at all.
+            return self.length
+        return self.length + self.members * (self.params + 1)
+
+    @property
+    def saved(self) -> int:
+        """Instructions saved; negative when merging would grow code."""
+        return self.original_size - self.optimized_size
+
+    @property
+    def saved_bytes(self) -> int:
+        return 4 * self.saved
+
+    def profitable(self, min_saved: int = 1) -> bool:
+        return self.saved >= min_saved
+
+
+def evaluate_merge(length: int, members: int, params: int = 0) -> int:
+    """Instructions saved by merging (may be negative).
+
+    With ``params == 0`` this is the identical-fold benefit (the merged
+    symbols alias the canonical body — no thunk); otherwise each member
+    is replaced by a ``params``-load + jump thunk.
+    """
+    if params == 0:
+        return length * (members - 1)
+    return length * members - (length + members * (params + 1))
 
 
 def estimate_reduction_ratio(

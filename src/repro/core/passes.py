@@ -1,0 +1,215 @@
+"""The pluggable size-reduction pass pipeline.
+
+Historically the Fig. 5 pipeline hard-coded one branch per reduction
+(``if config.ltbo_enabled: ...``).  With global function merging the
+pipeline gained a second pass, so — mirroring how repeat mining sits
+behind the :class:`~repro.suffixtree.RepeatMiner` protocol — the
+passes themselves are now registered, ordered instances of a
+:class:`SizePass` protocol:
+
+* ``"outline"`` — LTBO.2 (candidate selection → partitioned repeat
+  mining → occurrence rewriting), :class:`OutlinePass`;
+* ``"merge"`` — post-outlining global function merging
+  (:mod:`repro.core.merge`), :class:`MergePass`.
+
+:meth:`CalibroConfig.passes <repro.core.pipeline.CalibroConfig.passes>`
+exposes the ordered pass list (derived from ``ltbo_enabled`` /
+``merging``, or overridden by the validated ``size_passes`` field) and
+``build_app`` simply runs each named pass over a shared
+:class:`PassState`.  Unknown names raise
+:class:`~repro.core.errors.ConfigError` — at config construction *and*
+at :func:`get_pass`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro import observability as obs
+from repro.core.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.compiled import CompiledMethod
+    from repro.core.candidates import CandidateSelection
+    from repro.core.merge import MergeResult
+    from repro.core.parallel import ParallelOutlineResult
+    from repro.core.pipeline import CalibroConfig
+    from repro.dex.method import DexFile
+
+__all__ = [
+    "MergePass",
+    "OutlinePass",
+    "PASSES",
+    "PassContext",
+    "PassState",
+    "SizePass",
+    "get_pass",
+    "pass_names",
+    "register_pass",
+]
+
+
+@dataclass
+class PassContext:
+    """Build-wide resources a pass may use (never owns)."""
+
+    dexfile: "DexFile | None" = None
+    #: The service's content-addressed :class:`~repro.service.cache.
+    #: OutlineCache` (outline chunks, merge plans), or ``None``.
+    cache: object | None = None
+    #: The persistent worker pool for partitioned mining, or ``None``.
+    pool: object | None = None
+
+
+@dataclass
+class PassState:
+    """The mutable build state threaded through the pass pipeline.
+
+    ``methods`` is the full method list the linker will see; passes
+    rewrite it in place (outlining appends outlined functions, merging
+    replaces members with thunks and records ``aliases`` for the
+    linker's symbol binding).
+    """
+
+    methods: list["CompiledMethod"]
+    #: Folded symbol → canonical symbol, accumulated for the linker.
+    aliases: dict[str, str] = field(default_factory=dict)
+    selection: "CandidateSelection | None" = None
+    ltbo: "ParallelOutlineResult | None" = None
+    merge: "MergeResult | None" = None
+
+
+@runtime_checkable
+class SizePass(Protocol):
+    """What the pipeline requires of one size-reduction pass.
+
+    Attributes
+    ----------
+    name:
+        The registry key (``config.passes`` lists these).
+    phase:
+        The progress-phase / timing-bucket label (``"ltbo"``,
+        ``"merge"``) reported through ``phase_hook`` and
+        ``CalibroBuild.timings``.
+    """
+
+    name: str
+    phase: str
+
+    def run(
+        self, state: PassState, config: "CalibroConfig", context: PassContext
+    ) -> None:
+        """Transform ``state`` in place.  Must be deterministic in the
+        state and config (byte-identical reruns), and must leave
+        ``state.methods`` linkable (unique names, resolvable
+        relocations given ``state.aliases``)."""
+        ...
+
+
+class OutlinePass:
+    """LTBO.2 as a registered pass (paper §3.3, §3.4.1)."""
+
+    name = "outline"
+    phase = "ltbo"
+
+    def run(
+        self, state: PassState, config: "CalibroConfig", context: PassContext
+    ) -> None:
+        from repro.core.candidates import select_candidates
+        from repro.core.parallel import outline_partitioned
+
+        with obs.span(
+            "build.ltbo", groups=config.parallel_groups, engine=config.engine
+        ):
+            with obs.span("ltbo.select_candidates"):
+                state.selection = select_candidates(state.methods)
+            hot_names = (
+                config.hot_filter.hot_names
+                if config.hot_filter is not None
+                else frozenset()
+            )
+            state.ltbo = outline_partitioned(
+                state.selection.candidates,
+                groups=config.parallel_groups,
+                hot_names=hot_names,
+                min_length=config.min_length,
+                max_length=config.max_length,
+                min_saved=config.min_saved,
+                engine=config.engine,
+                jobs=config.jobs,
+                seed=config.partition_seed,
+                cache=context.cache,
+                pool=context.pool,
+            )
+            with obs.span("ltbo.apply"):
+                for index, rewritten in state.ltbo.rewritten.items():
+                    state.methods[index] = rewritten
+                state.methods.extend(state.ltbo.outlined)
+
+
+class MergePass:
+    """Global function merging as a registered pass
+    (:mod:`repro.core.merge`)."""
+
+    name = "merge"
+    phase = "merge"
+
+    def run(
+        self, state: PassState, config: "CalibroConfig", context: PassContext
+    ) -> None:
+        from repro.core.merge import merge_functions
+
+        with obs.span("build.merge"):
+            hot_names = (
+                config.hot_filter.hot_names
+                if config.hot_filter is not None
+                else frozenset()
+            )
+            result = merge_functions(
+                state.methods,
+                hot_names=hot_names,
+                min_saved=config.min_saved,
+                cache=context.cache,
+            )
+            state.methods = result.methods
+            state.aliases.update(result.aliases)
+            state.merge = result
+
+
+#: Registered pass name → zero-argument factory, in default pipeline
+#: order.  :func:`register_pass` extends it (tests, experiments).
+PASSES: dict[str, type] = {
+    OutlinePass.name: OutlinePass,
+    MergePass.name: MergePass,
+}
+
+
+def pass_names() -> tuple[str, ...]:
+    """The registered pass names, registry order."""
+    return tuple(PASSES)
+
+
+def get_pass(name: str) -> SizePass:
+    """Instantiate a registered pass; unknown names raise
+    :class:`~repro.core.errors.ConfigError`."""
+    factory = PASSES.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown size pass {name!r}; expected one of: "
+            f"{', '.join(sorted(PASSES))}"
+        )
+    instance = factory()
+    if not isinstance(instance, SizePass):  # pragma: no cover - registry misuse
+        raise ConfigError(f"registered pass {name!r} does not implement SizePass")
+    return instance
+
+
+def register_pass(factory: type) -> type:
+    """Register a :class:`SizePass` factory under ``factory.name``
+    (usable as a decorator); returns the factory unchanged."""
+    name = getattr(factory, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ConfigError("a size pass must define a non-empty 'name'")
+    PASSES[name] = factory
+    return factory

@@ -26,10 +26,11 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field, replace as dc_replace
+from typing import TYPE_CHECKING
 
 from repro import observability as obs
 from repro.compiler.driver import Dex2OatResult, dex2oat
-from repro.core.candidates import CandidateSelection, select_candidates
+from repro.core.candidates import CandidateSelection
 from repro.core.errors import ConfigError
 from repro.core.hotfilter import HotFunctionFilter
 from repro.core.outline import (
@@ -38,19 +39,26 @@ from repro.core.outline import (
     DEFAULT_MIN_SAVED,
     OutlineStats,
 )
-from repro.core.parallel import ParallelOutlineResult, outline_partitioned
+from repro.core.parallel import ParallelOutlineResult
+from repro.core.passes import PASSES, PassContext, PassState, get_pass
 from repro.dex.method import DexFile
 from repro.oat.linker import link
 from repro.oat.oatfile import OatFile
 from repro.observability import Trace
 from repro.suffixtree import DEFAULT_ENGINE, ENGINES
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.merge import MergeResult
+
 __all__ = ["CalibroBuild", "CalibroConfig", "SUMMARY_KEYS", "SUMMARY_SCHEMA_VERSION", "build_app"]
 
 #: Version of the ``CalibroBuild.summary()`` / ``to_json()`` document.
 #: Bump on any key addition, removal or meaning change; consumers pin it.
-#: v2 added ``engine`` (the repeat-mining backend).
-SUMMARY_SCHEMA_VERSION = 2
+#: v2 added ``engine`` (the repeat-mining backend); v3 added the
+#: merging-pass fields (``merging``, ``functions_folded``,
+#: ``functions_merged``, ``merge_saved_bytes``) and the ``merge``
+#: timing bucket.
+SUMMARY_SCHEMA_VERSION = 3
 
 #: Every key ``summary()`` emits, in emission order.  ``docs/cli.md``
 #: documents each one and ``tests/test_cli_docs.py`` enforces that.
@@ -64,6 +72,10 @@ SUMMARY_KEYS = (
     "outlined_functions",
     "occurrences_replaced",
     "cached_groups",
+    "merging",
+    "functions_folded",
+    "functions_merged",
+    "merge_saved_bytes",
     "build_seconds",
     "timings",
 )
@@ -95,6 +107,14 @@ class CalibroConfig:
     #: identical output bytes — but not cache-compatible: the outline
     #: cache keys on the engine name.
     engine: str = DEFAULT_ENGINE
+    #: Run the post-outlining global function merging pass
+    #: (:mod:`repro.core.merge`).  Off by default, so the paper's
+    #: evaluation rows are unchanged.
+    merging: bool = False
+    #: Explicit ordered size-pass list (see :mod:`repro.core.passes`);
+    #: ``None`` derives the list from ``ltbo_enabled`` / ``merging``.
+    #: Unknown or repeated pass names raise :class:`ConfigError`.
+    size_passes: tuple[str, ...] | None = None
     name: str = "baseline"
 
     def __post_init__(self) -> None:
@@ -118,6 +138,37 @@ class CalibroConfig:
             )
         if self.min_saved < 0:
             raise ConfigError(f"min_saved must be >= 0, got {self.min_saved}")
+        if self.size_passes is not None:
+            if isinstance(self.size_passes, str) or not isinstance(
+                self.size_passes, (tuple, list)
+            ):
+                raise ConfigError("size_passes must be a sequence of pass names or null")
+            names = tuple(self.size_passes)
+            object.__setattr__(self, "size_passes", names)
+            for pass_name in names:
+                if pass_name not in PASSES:
+                    raise ConfigError(
+                        f"unknown size pass {pass_name!r}; expected one of: "
+                        f"{', '.join(sorted(PASSES))}"
+                    )
+            if len(set(names)) != len(names):
+                raise ConfigError("size_passes must not repeat a pass")
+
+    @property
+    def passes(self) -> tuple[str, ...]:
+        """The ordered size-reduction passes this config runs (read-only).
+
+        Derived from ``ltbo_enabled`` / ``merging`` unless
+        ``size_passes`` overrides the list explicitly.
+        """
+        if self.size_passes is not None:
+            return tuple(self.size_passes)
+        derived: list[str] = []
+        if self.ltbo_enabled:
+            derived.append("outline")
+        if self.merging:
+            derived.append("merge")
+        return tuple(derived)
 
     @classmethod
     def baseline(cls) -> "CalibroConfig":
@@ -161,6 +212,10 @@ class CalibroConfig:
     def with_hot_filter(self, hot_filter: HotFunctionFilter) -> "CalibroConfig":
         return dc_replace(self, hot_filter=hot_filter, name=self.name + "+HfOpti")
 
+    def with_merging(self) -> "CalibroConfig":
+        """This configuration plus the global function merging pass."""
+        return dc_replace(self, merging=True, name=self.name + "+Merge")
+
     # -- the shared dict format (CLI ⇄ service ⇄ files) --------------------
 
     def to_dict(self) -> dict[str, object]:
@@ -185,6 +240,8 @@ class CalibroConfig:
             "min_saved": self.min_saved,
             "partition_seed": self.partition_seed,
             "engine": self.engine,
+            "merging": self.merging,
+            "size_passes": list(self.size_passes) if self.size_passes is not None else None,
             "hot_filter": hot,
         }
 
@@ -216,7 +273,7 @@ class CalibroConfig:
         known = {
             "name", "cto_enabled", "ltbo_enabled", "inlining", "parallel_groups",
             "jobs", "min_length", "max_length", "min_saved", "partition_seed",
-            "engine",
+            "engine", "merging", "size_passes",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -234,6 +291,7 @@ class CalibroBuild:
     dex2oat: Dex2OatResult
     selection: CandidateSelection | None = None
     ltbo: ParallelOutlineResult | None = None
+    merge: "MergeResult | None" = None
     timings: dict[str, float] = field(default_factory=dict)
     #: Structured span trace of this build (phase tree + counter
     #: registry); ``None`` only when observability is globally disabled
@@ -266,6 +324,10 @@ class CalibroBuild:
             "outlined_functions": self.ltbo.total_outlined_functions if self.ltbo else 0,
             "occurrences_replaced": self.ltbo.total_occurrences if self.ltbo else 0,
             "cached_groups": self.ltbo.cached_groups if self.ltbo else 0,
+            "merging": "merge" in self.config.passes,
+            "functions_folded": self.merge.stats.functions_folded if self.merge else 0,
+            "functions_merged": self.merge.stats.functions_merged if self.merge else 0,
+            "merge_saved_bytes": self.merge.stats.saved_bytes if self.merge else 0,
             "build_seconds": round(self.build_seconds, 4),
             "timings": {k: round(v, 4) for k, v in self.timings.items()},
         }
@@ -321,6 +383,30 @@ def _phase(phase_hook, name: str) -> None:
         phase_hook(name)
 
 
+def _run_passes(
+    methods: list,
+    config: CalibroConfig,
+    dexfile: DexFile,
+    cache,
+    pool,
+    phase_hook,
+) -> tuple[PassState, dict[str, float]]:
+    """Run ``config.passes`` over the compiled methods, timing each
+    pass under its ``phase`` bucket (``"ltbo"``, ``"merge"``)."""
+    state = PassState(methods=methods)
+    context = PassContext(dexfile=dexfile, cache=cache, pool=pool)
+    pass_seconds: dict[str, float] = {}
+    for pass_name in config.passes:
+        size_pass = get_pass(pass_name)
+        _phase(phase_hook, size_pass.phase)
+        started = time.perf_counter()
+        size_pass.run(state, config, context)
+        pass_seconds[size_pass.phase] = (
+            pass_seconds.get(size_pass.phase, 0.0) + time.perf_counter() - started
+        )
+    return state, pass_seconds
+
+
 def _build_traced(
     dexfile: DexFile,
     config: CalibroConfig,
@@ -330,7 +416,6 @@ def _build_traced(
     pool=None,
     phase_hook=None,
 ) -> CalibroBuild:
-    ltbo_seconds = 0.0
     with tracer.span("build", config=config.name) as build_span:
         _phase(phase_hook, "dex2oat")
         with tracer.span(
@@ -340,53 +425,36 @@ def _build_traced(
                 dexfile, cto=config.cto_enabled, inline=config.inlining
             )
 
-        methods = list(compile_result.methods)
-        selection = None
-        ltbo_result = None
-        if config.ltbo_enabled:
-            _phase(phase_hook, "ltbo")
-            with tracer.span(
-                "build.ltbo", groups=config.parallel_groups, engine=config.engine
-            ) as ltbo_span:
-                with tracer.span("ltbo.select_candidates"):
-                    selection = select_candidates(methods)
-                hot_names = (
-                    config.hot_filter.hot_names
-                    if config.hot_filter is not None
-                    else frozenset()
-                )
-                ltbo_result = outline_partitioned(
-                    selection.candidates,
-                    groups=config.parallel_groups,
-                    hot_names=hot_names,
-                    min_length=config.min_length,
-                    max_length=config.max_length,
-                    min_saved=config.min_saved,
-                    engine=config.engine,
-                    jobs=config.jobs,
-                    seed=config.partition_seed,
-                    cache=cache,
-                    pool=pool,
-                )
-                with tracer.span("ltbo.apply"):
-                    for index, rewritten in ltbo_result.rewritten.items():
-                        methods[index] = rewritten
-                    methods.extend(ltbo_result.outlined)
-            ltbo_seconds = ltbo_span.duration
+        state, pass_seconds = _run_passes(
+            list(compile_result.methods), config, dexfile, cache, pool, phase_hook
+        )
 
         _phase(phase_hook, "link")
         with tracer.span("build.link") as link_span:
-            oat = link(methods, dexfile)
+            oat = link(state.methods, dexfile, aliases=state.aliases or None)
+
+    # The legacy timings dict and the structured trace must agree
+    # exactly, so the pass buckets come from the pass spans themselves
+    # (``build.ltbo``, ``build.merge``); the stopwatch in
+    # ``_run_passes`` only covers passes that open no span.
+    span_seconds: dict[str, float] = {}
+    for child in build_span.children:
+        phase = child.name.removeprefix("build.")
+        if phase in ("ltbo", "merge"):
+            span_seconds[phase] = span_seconds.get(phase, 0.0) + child.duration
+    pass_seconds.update(span_seconds)
 
     return CalibroBuild(
         oat=oat,
         config=config,
         dex2oat=compile_result,
-        selection=selection,
-        ltbo=ltbo_result,
+        selection=state.selection,
+        ltbo=state.ltbo,
+        merge=state.merge,
         timings={
             "compile": compile_span.duration,
-            "ltbo": ltbo_seconds,
+            "ltbo": pass_seconds.get("ltbo", 0.0),
+            "merge": pass_seconds.get("merge", 0.0),
             "link": link_span.duration,
             "total": build_span.duration,
         },
@@ -417,47 +485,27 @@ def _build_untraced(
     )
     t_compile = time.perf_counter()
 
-    methods = list(compile_result.methods)
-    selection = None
-    ltbo_result = None
-    if config.ltbo_enabled:
-        _phase(phase_hook, "ltbo")
-        selection = select_candidates(methods)
-        hot_names = (
-            config.hot_filter.hot_names if config.hot_filter is not None else frozenset()
-        )
-        ltbo_result = outline_partitioned(
-            selection.candidates,
-            groups=config.parallel_groups,
-            hot_names=hot_names,
-            min_length=config.min_length,
-            max_length=config.max_length,
-            min_saved=config.min_saved,
-            engine=config.engine,
-            jobs=config.jobs,
-            seed=config.partition_seed,
-            cache=cache,
-            pool=pool,
-        )
-        for index, rewritten in ltbo_result.rewritten.items():
-            methods[index] = rewritten
-        methods.extend(ltbo_result.outlined)
-    t_ltbo = time.perf_counter()
+    state, pass_seconds = _run_passes(
+        list(compile_result.methods), config, dexfile, cache, pool, phase_hook
+    )
 
     _phase(phase_hook, "link")
-    oat = link(methods, dexfile)
+    t_link_start = time.perf_counter()
+    oat = link(state.methods, dexfile, aliases=state.aliases or None)
     t_link = time.perf_counter()
 
     return CalibroBuild(
         oat=oat,
         config=config,
         dex2oat=compile_result,
-        selection=selection,
-        ltbo=ltbo_result,
+        selection=state.selection,
+        ltbo=state.ltbo,
+        merge=state.merge,
         timings={
             "compile": t_compile - t_start,
-            "ltbo": t_ltbo - t_compile,
-            "link": t_link - t_ltbo,
+            "ltbo": pass_seconds.get("ltbo", 0.0),
+            "merge": pass_seconds.get("merge", 0.0),
+            "link": t_link - t_link_start,
             "total": t_link - t_start,
         },
     )

@@ -36,8 +36,15 @@ def link(
     dexfile: DexFile | None = None,
     *,
     check_stackmaps: bool = True,
+    aliases: dict[str, str] | None = None,
 ) -> OatFile:
-    """Bind labels and produce a linked :class:`OatFile`."""
+    """Bind labels and produce a linked :class:`OatFile`.
+
+    ``aliases`` maps folded symbols to their canonical survivor (the
+    merge pass's stage-1 output): each alias gets a method record and
+    an ArtMethod entry bound to the canonical code, so callers — and
+    name-based entry lookup — keep working without the folded body.
+    """
     with obs.span("link.layout"):
         # --- text layout ---------------------------------------------------
         text = bytearray()
@@ -56,6 +63,22 @@ def link(
                 size=len(method.code),
                 frame_size=method.frame_size,
                 stackmaps=method.stackmaps,
+            )
+        # Folded symbols alias their canonical survivor's code: same
+        # offset, size, frame and stackmaps, no bytes of their own.
+        for alias, canonical in sorted((aliases or {}).items()):
+            if alias in method_offset:
+                raise LinkError(f"duplicate symbol {alias!r}")
+            target = records.get(canonical)
+            if target is None:
+                raise LinkError(f"alias {alias!r} to undefined symbol {canonical!r}")
+            method_offset[alias] = target.offset
+            records[alias] = OatMethodRecord(
+                name=alias,
+                offset=target.offset,
+                size=target.size,
+                frame_size=target.frame_size,
+                stackmaps=target.stackmaps,
             )
 
         # --- data layout ---------------------------------------------------
@@ -78,6 +101,16 @@ def link(
                 layout.ART_METHOD_ENTRY_OFFSET : layout.ART_METHOD_ENTRY_OFFSET + 8
             ] = entry.to_bytes(8, "little")
             data.extend(struct_bytes)
+        for alias, canonical in sorted((aliases or {}).items()):
+            base = _align(len(data), 8)
+            data.extend(b"\x00" * (base - len(data)))
+            data_symbols[f"artmethod:{alias}"] = layout.DATA_BASE + base
+            struct_bytes = bytearray(layout.ART_METHOD_SIZE)
+            entry = layout.TEXT_BASE + method_offset[canonical]
+            struct_bytes[
+                layout.ART_METHOD_ENTRY_OFFSET : layout.ART_METHOD_ENTRY_OFFSET + 8
+            ] = entry.to_bytes(8, "little")
+            data.extend(struct_bytes)
 
     # --- relocation -------------------------------------------------------------
     def symbol_address(symbol: str, addend: int) -> int:
@@ -95,7 +128,16 @@ def link(
             for reloc in method.relocations:
                 place = base + reloc.offset
                 address = layout.TEXT_BASE + place
-                if reloc.kind == RelocKind.CALL26:
+                if reloc.kind == RelocKind.JUMP26:
+                    target = symbol_address(reloc.symbol, reloc.addend)
+                    delta = target - address
+                    word = int.from_bytes(text[place : place + 4], "little")
+                    instr = decode(word)
+                    if not isinstance(instr, ins.B):
+                        raise LinkError(f"{method.name}+{reloc.offset:#x}: JUMP26 on non-b")
+                    patched = instr.with_target_offset(delta)
+                    text[place : place + 4] = patched.encode_bytes()
+                elif reloc.kind == RelocKind.CALL26:
                     target = symbol_address(reloc.symbol, reloc.addend)
                     delta = target - address
                     word = int.from_bytes(text[place : place + 4], "little")
@@ -142,6 +184,7 @@ def link(
             _check_stackmaps(oat)
     if obs.current_tracer() is not None:
         obs.counter_add("link.methods", len(methods))
+        obs.counter_add("link.aliases_bound", len(aliases or {}))
         obs.counter_add("link.relocations_patched", relocations_patched)
         obs.counter_add("link.text_bytes", len(text))
         obs.counter_add("link.data_bytes", len(data))

@@ -33,7 +33,7 @@ DEFAULT_MIN_SECONDS = 0.05
 _SIZE_UP_IS_BAD = ("link.text_bytes", "link.data_bytes")
 
 #: Counters where *shrinkage* beyond the threshold is a regression.
-_SIZE_DOWN_IS_BAD = ("ltbo.bytes_saved", "cto.bytes_saved")
+_SIZE_DOWN_IS_BAD = ("ltbo.bytes_saved", "cto.bytes_saved", "merge.saved_bytes")
 
 
 @dataclass(frozen=True)
@@ -224,6 +224,22 @@ def diff_entries(
                 and float(after.graph.get("seconds", 0.0))
                 - float(before.graph.get("seconds", 0.0))
                 >= min_seconds,
+            )
+        )
+    # Merging gating: when both entries carry merge accounting, the
+    # saved bytes shrinking beyond the threshold is a regression — a
+    # fold/similarity detector quietly losing groups shows up here
+    # before the total text size (which outlining dominates) moves.
+    if before.merge and after.merge:
+        saved_before = float(before.merge.get("saved_bytes", 0))
+        saved_after = float(after.merge.get("saved_bytes", 0))
+        report.sizes.append(
+            Delta(
+                "merge.saved_bytes",
+                saved_before,
+                saved_after,
+                saved_after < saved_before * (1.0 - threshold)
+                and saved_before > 0,
             )
         )
     return report

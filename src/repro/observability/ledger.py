@@ -45,7 +45,9 @@ __all__ = [
 #: removal or meaning change; readers accept records up to this version
 #: (missing = v1) and refuse newer ones with a clear error.
 #: v2 added the optional ``graph`` field (incremental delta accounting).
-LEDGER_SCHEMA_VERSION = 2
+#: v3 added the optional ``merge`` field (global function merging) and
+#: folds its saved bytes into ``text_size_before``.
+LEDGER_SCHEMA_VERSION = 3
 
 
 def trace_digest(trace: "Trace | None") -> str:
@@ -97,6 +99,11 @@ class LedgerEntry:
     #: reused/rebuilt, full-rebuild flag, delta seconds); empty for
     #: non-incremental builds.  ``calibro compare`` gates on it.
     graph: dict[str, Any] = field(default_factory=dict)
+    #: Global-function-merging accounting (``MergeStats.as_dict()`` —
+    #: functions folded/merged, groups, saved bytes); empty when the
+    #: merge pass did not run.  ``calibro compare`` gates on
+    #: ``merge.saved_bytes``.
+    merge: dict[str, Any] = field(default_factory=dict)
 
     @property
     def reduction(self) -> float:
@@ -124,6 +131,8 @@ class LedgerEntry:
             out["meta"] = self.meta
         if self.graph:
             out["graph"] = self.graph
+        if self.merge:
+            out["merge"] = self.merge
         return out
 
     @classmethod
@@ -156,6 +165,7 @@ class LedgerEntry:
             schema_version=version,
             meta=dict(data.get("meta", {})),
             graph=dict(data.get("graph", {})),
+            merge=dict(data.get("merge", {})),
         )
 
 
@@ -175,6 +185,8 @@ def entry_from_build(
     service callers pass their (cache-lookup-inclusive) wall time and,
     on incremental builds, the graph delta dict (``graph``)."""
     bytes_saved = sum(s.bytes_saved for s in build.outline_stats)
+    if build.merge is not None:
+        bytes_saved += build.merge.stats.saved_bytes
     return LedgerEntry(
         config=build.config.name,
         engine=build.config.engine,
@@ -188,6 +200,7 @@ def entry_from_build(
         timestamp=time.time() if timestamp is None else timestamp,
         meta=dict(meta or {}),
         graph=dict(graph or {}),
+        merge=build.merge.stats.as_dict() if build.merge is not None else {},
     )
 
 

@@ -53,7 +53,9 @@ __all__ = ["CacheStats", "OutlineCache", "fingerprint_methods"]
 #: Bump when the pickle payload or key derivation changes shape —
 #: entries from other versions are ignored (treated as misses).
 #: v2: the payload grew the repeat-mining engine name (key material).
-_FORMAT_VERSION = 2
+#: v3: the store also holds merge plans (:mod:`repro.core.merge`) and
+#: configs carry the merging-pass fields in their key material.
+_FORMAT_VERSION = 3
 
 #: Default disk budget: plenty for a CI fleet of generated apps while
 #: still exercising eviction in long batch runs.

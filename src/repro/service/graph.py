@@ -36,6 +36,12 @@ Node kinds and their keys:
   splices cached chunks).  Partitioning is positional: editing a
   method re-keys only its group, but adding or deleting a candidate
   reshuffles every partition — all group nodes rebuild.
+* **merge** — the global-function-merging decision record
+  (:class:`~repro.core.merge.MergePlan`), present only when the config
+  runs the ``merge`` pass.  Key: :func:`repro.core.merge.merge_node_key`
+  over the post-outlining method list plus thresholds; the plan splices
+  from the cache when unchanged, and applying a spliced plan reproduces
+  byte-identical output.
 * **link** — always re-executes (it is cheap and depends on every
   text/data byte).
 
@@ -91,7 +97,10 @@ __all__ = [
 #: Version of the persisted :class:`GraphState` document.  Bump on any
 #: key addition, removal or meaning change; loaders refuse newer
 #: versions (:class:`ServiceError`) and treat corrupt files as absent.
-GRAPH_SCHEMA_VERSION = 1
+#: v2 added ``merge_key`` (the global-function-merging node); v1 states
+#: still load — the key defaults to absent, so the merge node counts as
+#: added on the first merging build.
+GRAPH_SCHEMA_VERSION = 2
 
 #: Key-derivation version for method nodes — bump when codegen, the
 #: pass pipeline or the stored entry shape changes.
@@ -174,6 +183,9 @@ class GraphState:
     groups: list[str] = field(default_factory=list)
     #: Whole-dex compile node key (the ``config.inlining`` fallback).
     dex_key: str = ""
+    #: Merge node key (:func:`repro.core.merge.merge_node_key`); empty
+    #: when the config runs no merge pass.
+    merge_key: str = ""
     schema_version: int = GRAPH_SCHEMA_VERSION
 
     def to_dict(self) -> dict[str, Any]:
@@ -183,6 +195,7 @@ class GraphState:
             "methods": dict(self.methods),
             "groups": list(self.groups),
             "dex_key": self.dex_key,
+            "merge_key": self.merge_key,
         }
 
     @classmethod
@@ -213,6 +226,7 @@ class GraphState:
             methods={str(k): str(v) for k, v in methods.items()},
             groups=[str(g) for g in groups],
             dex_key=str(data.get("dex_key", "")),
+            merge_key=str(data.get("merge_key", "")),
             schema_version=version,
         )
 
@@ -240,6 +254,11 @@ class GraphDelta:
     #: Group nodes whose outlined chunk came from the cache.
     groups_reused: int = 0
     groups_rebuilt: int = 0
+    #: The merge node (0 or 1 — only merging configs have one).
+    merge_total: int = 0
+    #: 1 when the merge plan was spliced from the cache.
+    merge_reused: int = 0
+    merge_rebuilt: int = 0
     #: Node keys present now but absent from the prior state.
     nodes_added: int = 0
     #: Prior-state node keys no longer present.
@@ -249,17 +268,17 @@ class GraphDelta:
 
     @property
     def nodes_total(self) -> int:
-        """Method + group nodes (the always-rebuilt link node and the
-        dex input are excluded by convention)."""
-        return self.methods_total + self.groups_total
+        """Method + group + merge nodes (the always-rebuilt link node
+        and the dex input are excluded by convention)."""
+        return self.methods_total + self.groups_total + self.merge_total
 
     @property
     def nodes_reused(self) -> int:
-        return self.methods_reused + self.groups_reused
+        return self.methods_reused + self.groups_reused + self.merge_reused
 
     @property
     def nodes_rebuilt(self) -> int:
-        return self.methods_rebuilt + self.groups_rebuilt
+        return self.methods_rebuilt + self.groups_rebuilt + self.merge_rebuilt
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -276,6 +295,9 @@ class GraphDelta:
             "groups_total": self.groups_total,
             "groups_reused": self.groups_reused,
             "groups_rebuilt": self.groups_rebuilt,
+            "merge_total": self.merge_total,
+            "merge_reused": self.merge_reused,
+            "merge_rebuilt": self.merge_rebuilt,
             "seconds": round(self.seconds, 4),
         }
 
@@ -565,14 +587,24 @@ class BuildGraph:
                 delta.groups_reused = len(build.ltbo.cached_indices)
                 delta.groups_rebuilt = delta.groups_total - delta.groups_reused
 
+            merge_key = build.merge.node_key if build.merge is not None else ""
+            if build.merge is not None:
+                delta.merge_total = 1
+                delta.merge_reused = 1 if build.merge.spliced else 0
+                delta.merge_rebuilt = 1 - delta.merge_reused
+
             new_keys = set(method_keys.values()) | set(group_keys)
             if dex_key:
                 new_keys.add(dex_key)
+            if merge_key:
+                new_keys.add(merge_key)
             old_keys: set[str] = set()
             if previous is not None:
                 old_keys = set(previous.methods.values()) | set(previous.groups)
                 if previous.dex_key:
                     old_keys.add(previous.dex_key)
+                if previous.merge_key:
+                    old_keys.add(previous.merge_key)
             delta.nodes_added = len(new_keys - old_keys)
             delta.nodes_removed = len(old_keys - new_keys)
 
@@ -584,6 +616,7 @@ class BuildGraph:
                     methods=method_keys,
                     groups=group_keys,
                     dex_key=dex_key,
+                    merge_key=merge_key,
                 ),
             )
         delta.seconds = time.perf_counter() - start
@@ -608,4 +641,6 @@ class BuildGraph:
         obs.counter_add("service.graph.methods_rebuilt", delta.methods_rebuilt)
         obs.counter_add("service.graph.groups_reused", delta.groups_reused)
         obs.counter_add("service.graph.groups_rebuilt", delta.groups_rebuilt)
+        obs.counter_add("service.graph.merge_reused", delta.merge_reused)
+        obs.counter_add("service.graph.merge_rebuilt", delta.merge_rebuilt)
         obs.histogram_observe("service.graph.delta_seconds", delta.seconds)

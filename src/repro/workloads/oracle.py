@@ -56,6 +56,7 @@ def default_configs() -> list[CalibroConfig]:
         CalibroConfig.cto(),
         CalibroConfig.cto_ltbo(),
         CalibroConfig.cto_ltbo_plopti(4),
+        CalibroConfig.cto_ltbo_plopti(4).with_merging(),
     ]
 
 

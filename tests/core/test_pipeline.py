@@ -41,7 +41,7 @@ class TestBuildOrdering:
 
     def test_timings_and_summary(self, ltbo_build):
         t = ltbo_build.timings
-        assert set(t) == {"compile", "ltbo", "link", "total"}
+        assert set(t) == {"compile", "ltbo", "merge", "link", "total"}
         assert t["total"] >= t["compile"] + t["ltbo"]  # link adds a bit more
         s = ltbo_build.summary()
         assert s["outlined_functions"] > 0 and s["occurrences_replaced"] > 0

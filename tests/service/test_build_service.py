@@ -13,7 +13,7 @@ import pytest
 from repro.core import CalibroConfig, build_app
 from repro.core.errors import ServiceError
 from repro.core.hotfilter import HotFunctionFilter
-from repro.service import BuildRequest, BuildService
+from repro.service import BuildRequest, BuildService, ServiceConfig
 
 
 def _hot_filter(dexfile) -> HotFunctionFilter:
@@ -36,7 +36,7 @@ def test_cached_pooled_builds_are_bit_identical_to_serial(tmp_path, small_app):
     dexfile = small_app.dexfile
     for config in _configs(dexfile):
         reference = build_app(dexfile, config).oat
-        with BuildService(cache_dir=tmp_path / config.name, max_workers=2) as svc:
+        with BuildService(ServiceConfig(cache_dir=tmp_path / config.name, max_workers=2)) as svc:
             cold = svc.submit(dexfile, config, label="cold")
             warm = svc.submit(dexfile, config, label="warm")
         assert cold.build.oat.text == reference.text, config.name
@@ -47,7 +47,7 @@ def test_cached_pooled_builds_are_bit_identical_to_serial(tmp_path, small_app):
 
 def test_warm_rebuild_hits_every_cache(tmp_path, small_app):
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
-    with BuildService(cache_dir=tmp_path, max_workers=1) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, max_workers=1)) as svc:
         cold = svc.submit(small_app.dexfile, config)
         warm = svc.submit(small_app.dexfile, config)
     assert not cold.compile_cached and cold.cached_groups == 0
@@ -58,9 +58,9 @@ def test_warm_rebuild_hits_every_cache(tmp_path, small_app):
 
 def test_cache_persists_across_service_instances(tmp_path, small_app):
     config = CalibroConfig.cto_ltbo_plopti(groups=2)
-    with BuildService(cache_dir=tmp_path) as first:
+    with BuildService(ServiceConfig(cache_dir=tmp_path)) as first:
         first.submit(small_app.dexfile, config)
-    with BuildService(cache_dir=tmp_path) as second:
+    with BuildService(ServiceConfig(cache_dir=tmp_path)) as second:
         rebuilt = second.submit(small_app.dexfile, config)
     assert rebuilt.compile_cached
     assert rebuilt.cached_groups == rebuilt.total_groups == 2
@@ -83,7 +83,9 @@ def test_report_summary_extends_the_build_summary(small_app):
     with BuildService() as svc:
         report = svc.submit(small_app.dexfile, CalibroConfig.cto_ltbo(), label="x")
     summary = report.summary()
-    assert summary["schema_version"] == 2
+    from repro.core import SUMMARY_SCHEMA_VERSION
+
+    assert summary["schema_version"] == SUMMARY_SCHEMA_VERSION
     assert summary["engine"] == "suffixtree"
     assert summary["label"] == "x"
     assert summary["compile_cached"] is False

@@ -25,7 +25,7 @@ import pytest
 from repro import observability as obs
 from repro.core.errors import ServiceError
 from repro.core.pipeline import CalibroConfig, build_app
-from repro.service import BuildService, ShardExecutor, WorkerPool
+from repro.service import BuildService, ServiceConfig, ShardExecutor, WorkerPool
 from repro.service.faults import FaultPlan, armed, maybe_inject
 from repro.workloads import app_spec, generate_app
 
@@ -181,7 +181,7 @@ def test_build_bytes_survive_pool_crashes(dexfile):
     clean = build_app(dexfile, config).oat.to_bytes()
     plan = FaultPlan(seed=5, crash=1.0, match=("pool:1",))
     with armed(plan):
-        with BuildService(max_workers=2) as service:
+        with BuildService(ServiceConfig(max_workers=2)) as service:
             report = service.submit(dexfile, config)
     assert report.build.oat.to_bytes() == clean
     assert service.pool.stats.serial_fallbacks >= 1
@@ -192,7 +192,7 @@ def test_build_bytes_survive_shard_crashes(dexfile):
     clean = build_app(dexfile, config).oat.to_bytes()
     plan = FaultPlan(seed=5, crash=1.0, match=("shard:0",))
     with armed(plan):
-        with BuildService(shards=2) as service:
+        with BuildService(ServiceConfig(shards=2)) as service:
             report = service.submit(dexfile, config)
     assert report.build.oat.to_bytes() == clean
     assert service.shard_executor.stats.serial_fallbacks >= 1

@@ -1,7 +1,7 @@
 """Incremental delta builds: the byte-identity invariant and the
 rebuild model.
 
-The hard guarantee under test: ``BuildService(incremental=True)``
+The hard guarantee under test: ``BuildService(ServiceConfig(incremental=True))``
 produces an OAT image **bit-identical** to a from-scratch
 ``build_app`` after *any* sequence of method edits, additions and
 deletions — across the four paper configs, both mining engines, and
@@ -20,7 +20,7 @@ import pytest
 from repro.core import CalibroConfig, build_app
 from repro.core.errors import CalibroError, ServiceError
 from repro.dex.method import DexMethod
-from repro.service import BuildService, FaultPlan, armed
+from repro.service import BuildService, FaultPlan, ServiceConfig, armed
 from repro.service.graph import (
     GRAPH_SCHEMA_VERSION,
     GraphState,
@@ -33,6 +33,9 @@ CONFIGS = {
     "CTO": CalibroConfig.cto,
     "CTO+LTBO": CalibroConfig.cto_ltbo,
     "CTO+LTBO+PlOpti": lambda: CalibroConfig.cto_ltbo_plopti(groups=4),
+    "CTO+LTBO+PlOpti+Merge": lambda: CalibroConfig.cto_ltbo_plopti(
+        groups=4
+    ).with_merging(),
 }
 
 
@@ -54,7 +57,7 @@ def _assert_stream_identity(dexfile, config, service, *, steps=3, seed=11):
 @pytest.mark.parametrize("config_name", sorted(CONFIGS))
 def test_mutation_stream_byte_identity_all_configs(tmp_path, small_app, config_name):
     config = CONFIGS[config_name]()
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         _assert_stream_identity(small_app.dexfile, config, svc)
 
 
@@ -66,7 +69,7 @@ def test_mutation_stream_byte_identity_engines_and_shards(
     from dataclasses import replace as dc_replace
 
     config = dc_replace(CalibroConfig.cto_ltbo_plopti(groups=4), engine=engine)
-    with BuildService(cache_dir=tmp_path, incremental=True, shards=shards) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True, shards=shards)) as svc:
         _assert_stream_identity(small_app.dexfile, config, svc, steps=3)
 
 
@@ -77,7 +80,7 @@ def test_edit_invalidates_one_method_and_one_group(tmp_path, small_app):
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
     edited, _ = next(iter(diff_stream(small_app.dexfile, steps=1, seed=3,
                                       kinds=("edit",))))
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         first = svc.submit(small_app.dexfile, config, label="app")
         assert first.graph.full_rebuild
         assert first.graph.nodes_reused == 0
@@ -95,7 +98,7 @@ def test_add_and_delete_reshuffle_every_group(tmp_path, small_app):
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
     added, _ = next(iter(diff_stream(small_app.dexfile, steps=1, seed=5,
                                      kinds=("add",))))
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         svc.submit(small_app.dexfile, config, label="app")
         delta = svc.submit(added, config, label="app").graph
     assert delta.methods_rebuilt == 1  # only the new method compiles
@@ -105,7 +108,7 @@ def test_add_and_delete_reshuffle_every_group(tmp_path, small_app):
 
 def test_unchanged_resubmit_reuses_every_node(tmp_path, small_app):
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         svc.submit(small_app.dexfile, config, label="app")
         report = svc.submit(small_app.dexfile, config, label="app")
     delta = report.graph
@@ -123,7 +126,7 @@ def test_inlining_config_falls_back_to_whole_dex_node(tmp_path, small_app):
 
     config = dc_replace(CalibroConfig.cto_ltbo(), inlining=True)
     reference = build_app(small_app.dexfile, config)
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         cold = svc.submit(small_app.dexfile, config, label="app")
         warm = svc.submit(small_app.dexfile, config, label="app")
     assert cold.build.oat.to_bytes() == reference.oat.to_bytes()
@@ -132,13 +135,37 @@ def test_inlining_config_falls_back_to_whole_dex_node(tmp_path, small_app):
     assert warm.graph.methods_reused == warm.graph.methods_total
 
 
+def test_merge_node_splices_and_rebuilds(tmp_path, small_app):
+    """The merge node is one more graph node: a no-change resubmit
+    splices its cached plan, any byte movement downstream of outlining
+    re-runs discovery."""
+    config = CalibroConfig.cto_ltbo_plopti(groups=4).with_merging()
+    edited, _ = next(iter(diff_stream(small_app.dexfile, steps=1, seed=3,
+                                      kinds=("edit",))))
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
+        cold = svc.submit(small_app.dexfile, config, label="app")
+        warm = svc.submit(small_app.dexfile, config, label="app")
+        delta = svc.submit(edited, config, label="app")
+    assert cold.graph.merge_total == 1 and cold.graph.merge_rebuilt == 1
+    assert warm.graph.merge_total == 1 and warm.graph.merge_reused == 1
+    assert warm.graph.nodes_rebuilt == 0
+    assert delta.graph.merge_rebuilt == 1  # post-outlining bytes moved
+
+
+def test_non_merging_configs_have_no_merge_node(tmp_path, small_app):
+    config = CalibroConfig.cto_ltbo_plopti(groups=4)
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
+        report = svc.submit(small_app.dexfile, config, label="app")
+    assert report.graph.merge_total == 0
+
+
 def test_incremental_persists_across_service_instances(tmp_path, small_app):
     """Graph state and artifacts live next to the cache: a fresh
     service on the same directory delta-builds immediately."""
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
-    with BuildService(cache_dir=tmp_path, incremental=True) as first:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as first:
         first.submit(small_app.dexfile, config, label="app")
-    with BuildService(cache_dir=tmp_path, incremental=True) as second:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as second:
         report = second.submit(small_app.dexfile, config, label="app")
     assert not report.graph.full_rebuild
     assert report.graph.nodes_rebuilt == 0
@@ -147,7 +174,7 @@ def test_incremental_persists_across_service_instances(tmp_path, small_app):
 def test_memory_only_incremental_service_works(small_app):
     config = CalibroConfig.cto_ltbo()
     reference = build_app(small_app.dexfile, config)
-    with BuildService(incremental=True) as svc:  # no cache_dir
+    with BuildService(ServiceConfig(incremental=True)) as svc:  # no cache_dir
         cold = svc.submit(small_app.dexfile, config, label="app")
         warm = svc.submit(small_app.dexfile, config, label="app")
     assert cold.build.oat.to_bytes() == reference.oat.to_bytes()
@@ -164,7 +191,7 @@ def _state_files(cache_dir):
 
 def test_newer_graph_state_schema_raises_calibro_error(tmp_path, small_app):
     config = CalibroConfig.cto_ltbo()
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         svc.submit(small_app.dexfile, config, label="app")
         (path,) = _state_files(tmp_path)
         doc = json.loads(path.read_text(encoding="utf-8"))
@@ -180,7 +207,7 @@ def test_torn_graph_state_falls_back_to_full_rebuild(tmp_path, small_app):
     file."""
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
     reference = build_app(small_app.dexfile, config)
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         svc.submit(small_app.dexfile, config, label="app")
         (path,) = _state_files(tmp_path)
         path.write_text('{"schema_version": 1, "methods": [truncated', "utf-8")
@@ -190,12 +217,15 @@ def test_torn_graph_state_falls_back_to_full_rebuild(tmp_path, small_app):
     assert report.graph.full_rebuild
     # Healed: the new state parses again.
     (path,) = _state_files(tmp_path)
-    assert json.loads(path.read_text(encoding="utf-8"))["schema_version"] == 1
+    assert (
+        json.loads(path.read_text(encoding="utf-8"))["schema_version"]
+        == GRAPH_SCHEMA_VERSION
+    )
 
 
 def test_structurally_damaged_state_falls_back(tmp_path, small_app):
     config = CalibroConfig.cto_ltbo()
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         svc.submit(small_app.dexfile, config, label="app")
         (path,) = _state_files(tmp_path)
         path.write_text('{"schema_version": 1, "methods": "not-a-dict", "groups": []}',
@@ -209,7 +239,7 @@ def test_corrupted_cache_entries_rebuild_never_misbuild(tmp_path, small_app):
     recomputes — output bytes stay identical to scratch."""
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
     reference = build_app(small_app.dexfile, config)
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         svc.submit(small_app.dexfile, config, label="app")
     entries = sorted(tmp_path.glob("??/*.bin"))
     assert entries, "expected on-disk cache entries"
@@ -219,7 +249,7 @@ def test_corrupted_cache_entries_rebuild_never_misbuild(tmp_path, small_app):
         else:
             entry.write_bytes(entry.read_bytes()[: max(1, entry.stat().st_size // 3)])
     # Fresh service: the poisoned disk tier is the only source.
-    with BuildService(cache_dir=tmp_path, incremental=True) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True)) as svc:
         report = svc.submit(small_app.dexfile, config, label="app")
     assert report.build.oat.to_bytes() == reference.oat.to_bytes()
     assert report.graph.nodes_rebuilt > 0
@@ -232,7 +262,7 @@ def test_incremental_delta_survives_injected_pool_crash(tmp_path, small_app):
     edited, _ = next(iter(diff_stream(small_app.dexfile, steps=1, seed=9,
                                       kinds=("edit",))))
     reference = build_app(edited, config)
-    with BuildService(cache_dir=tmp_path, incremental=True, max_workers=2) as svc:
+    with BuildService(ServiceConfig(cache_dir=tmp_path, incremental=True, max_workers=2)) as svc:
         svc.submit(small_app.dexfile, config, label="app")
         with armed(FaultPlan(seed=1, crash=1.0)):
             report = svc.submit(edited, config, label="app")

@@ -88,6 +88,19 @@ def test_unknown_config_key_maps_to_exit_code_2(tmp_path, dex_json, capsys):
     assert "unknown config keys" in capsys.readouterr().err
 
 
+def test_serve_max_concurrent_defaults_to_bounded_executor_width():
+    # The front door's executor is bounded at min(4, cpus) by default —
+    # one core serializes, a many-core host still caps at 4 so a single
+    # serve process cannot monopolize the machine.
+    import os
+
+    from repro.cli import _build_parser
+
+    args = _build_parser().parse_args(["serve", "in.dex", "-o", "out"])
+    assert args.max_concurrent == min(4, os.cpu_count() or 1)
+    assert args.max_concurrent >= 1
+
+
 def test_link_error_maps_to_exit_code_4(tmp_path, capsys):
     bogus = tmp_path / "bogus.oat"
     bogus.write_bytes(b"\x00" * 64)

@@ -14,7 +14,7 @@ import pytest
 from repro import observability as obs
 from repro.core.errors import ConfigError, ServiceError
 from repro.core.pipeline import CalibroConfig, build_app
-from repro.service import BuildService, ShardExecutor
+from repro.service import BuildService, ServiceConfig, ShardExecutor
 from repro.suffixtree.parallel import round_robin_shards
 from repro.workloads import app_spec, generate_app
 
@@ -110,7 +110,7 @@ def test_shard_count_validation():
     # Service-level validation moved into ServiceConfig.__post_init__,
     # which speaks ConfigError like every other config surface.
     with pytest.raises(ConfigError):
-        BuildService(shards=0)
+        BuildService(ServiceConfig(shards=0))
 
 
 # -- byte identity across the four paper configs ------------------------------
@@ -119,9 +119,9 @@ def test_shard_count_validation():
 def test_sharded_builds_byte_identical_across_configs(dexfile):
     for config in _configs(dexfile):
         plain = build_app(dexfile, config).oat.to_bytes()
-        with BuildService(shards=2) as sharded:
+        with BuildService(ServiceConfig(shards=2)) as sharded:
             via_shards = sharded.submit(dexfile, config).build.oat.to_bytes()
-        with BuildService(max_workers=2) as pooled:
+        with BuildService(ServiceConfig(max_workers=2)) as pooled:
             via_pool = pooled.submit(dexfile, config).build.oat.to_bytes()
         assert via_shards == plain, f"shard mismatch under {config.name}"
         assert via_pool == plain, f"pool mismatch under {config.name}"
@@ -131,7 +131,7 @@ def test_shard_width_does_not_change_bytes(dexfile):
     config = CalibroConfig.cto_ltbo_plopti(groups=6)
     images = set()
     for shards in (2, 3, 5):
-        with BuildService(shards=shards) as service:
+        with BuildService(ServiceConfig(shards=shards)) as service:
             images.add(service.submit(dexfile, config).build.oat.to_bytes())
     assert len(images) == 1
 
@@ -142,7 +142,7 @@ def test_shard_width_does_not_change_bytes(dexfile):
 def test_shard_metrics_feed_the_build_trace(dexfile):
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
     with obs.tracing() as tracer:
-        with BuildService(shards=2) as service:
+        with BuildService(ServiceConfig(shards=2)) as service:
             service.submit(dexfile, config)
         trace = tracer.snapshot()
     assert trace.counters["service.shard.tasks"] == 4
@@ -163,7 +163,7 @@ def test_shard_metrics_feed_the_build_trace(dexfile):
 
 def test_service_stats_expose_shard_section(dexfile):
     config = CalibroConfig.cto_ltbo_plopti(groups=4)
-    with BuildService(shards=2) as service:
+    with BuildService(ServiceConfig(shards=2)) as service:
         service.submit(dexfile, config)
         stats = service.stats()
     assert stats["shard"]["shards"] == 2

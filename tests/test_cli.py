@@ -130,7 +130,9 @@ def test_build_engine_flag_reports_in_summary(workdir, dex_json, capsys):
     ])
     assert rc == 0
     summary = json.loads(capsys.readouterr().out)
-    assert summary["schema_version"] == 2
+    from repro.core import SUMMARY_SCHEMA_VERSION
+
+    assert summary["schema_version"] == SUMMARY_SCHEMA_VERSION
     assert summary["engine"] == "suffixarray"
 
     rc = main([

@@ -11,7 +11,7 @@ from repro.workloads import app_spec, generate_app, verify_app
 
 def test_all_default_configs_pass(small_app):
     results = verify_app(small_app, method_sample=10, seed=1)
-    assert len(results) == 4
+    assert len(results) == 5  # baseline, CTO, +LTBO, +PlOpti, +Merge
     for result in results:
         assert result.ok, result.mismatches[:3]
         assert result.calls_checked > 10
@@ -47,4 +47,4 @@ def test_cli_verify_passes(capsys):
     rc = main(["verify", "--workload", "Fanqie", "--scale", "0.08", "--samples", "5"])
     assert rc == 0
     out = capsys.readouterr().out
-    assert out.count("PASS") == 4 and "FAIL" not in out
+    assert out.count("PASS") == 5 and "FAIL" not in out
