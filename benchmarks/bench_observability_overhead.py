@@ -98,7 +98,26 @@ def test_observability_overhead(benchmark):
 
         with obs.tracing():
             enabled_span = _per_call_seconds(one_enabled_span, calls=_CALLS // 4)
+
+        # -- v3 distributed-trace surface ---------------------------------
+        # Span-id minting is folded into every enabled span (measured
+        # above); these price the per-request extras: minting a context
+        # + its env encoding, and exporting a real build's trace to
+        # Chrome trace-event JSON.
+        context_mint = _per_call_seconds(
+            lambda: obs.TraceContext.new().to_env(), calls=_CALLS // 10
+        )
+        from repro.observability import chrome_events
+
+        with obs.tracing() as export_tracer:
+            build_app(dexfile, config)
+            export_snapshot = export_tracer.snapshot()
+        chrome_export = _per_call_seconds(
+            lambda: chrome_events(export_snapshot), calls=200
+        )
         return {
+            "context_mint": context_mint,
+            "chrome_export": chrome_export,
             "disabled_span": disabled_span,
             "disabled_counter": disabled_counter,
             "disabled_hist": disabled_hist,
@@ -123,7 +142,9 @@ def test_observability_overhead(benchmark):
         ["span() — no tracer installed", f"{r['disabled_span'] * 1e9:.0f} ns"],
         ["counter_add() — no tracer installed", f"{r['disabled_counter'] * 1e9:.0f} ns"],
         ["histogram_observe() — no tracer installed", f"{r['disabled_hist'] * 1e9:.0f} ns"],
-        ["span() — tracer installed", f"{r['enabled_span'] * 1e9:.0f} ns"],
+        ["span() — tracer installed (mints span_id)", f"{r['enabled_span'] * 1e9:.0f} ns"],
+        ["TraceContext.new().to_env()", f"{r['context_mint'] * 1e9:.0f} ns"],
+        ["chrome_events(build trace)", f"{r['chrome_export'] * 1e6:.0f} µs"],
         ["counter_add() — tracer installed", f"{r['enabled_counter'] * 1e9:.0f} ns"],
         ["histogram_observe() — tracer installed", f"{r['enabled_hist'] * 1e9:.0f} ns"],
         ["build_app, instrumented (min of 7)", f"{r['traced']:.3f} s"],

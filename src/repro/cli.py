@@ -24,10 +24,16 @@ accept ``--trace OUT.json`` to capture an observability span trace;
 Cross-build metrics ride the same artifacts: ``build --ledger`` /
 ``serve --ledger`` append one durable record per build to a JSONL
 ledger, ``calibro history`` summarizes a ledger's per-config
-trajectory, ``calibro compare A B`` diffs two traces or two ledgers and
-exits ``1`` on a regression, and ``serve --metrics-file`` keeps a
-Prometheus exposition file fresh while the service runs.  Every
-command and flag is documented in ``docs/cli.md`` (kept in sync by
+trajectory (``--plot`` appends reduction sparklines), ``calibro
+compare A B`` diffs two traces or two ledgers and exits ``1`` on a
+regression, and ``serve --metrics-file`` keeps a Prometheus exposition
+file fresh while the service runs.  Distributed tracing rides the same
+flags: a traced ``calibro submit --trace`` merges the server's span
+tree into one client→server→shard trace, ``--trace-chrome`` (and
+``calibro trace --chrome``) export Chrome trace-event JSON for
+Perfetto, and ``calibro top SOCK`` renders a running front door's
+queue, tenants and live per-build span trees.  Every command and flag
+is documented in ``docs/cli.md`` (kept in sync by
 ``tests/test_cli_docs.py``).
 """
 
@@ -60,25 +66,38 @@ def _load_oat(path: str) -> OatFile:
 
 @contextlib.contextmanager
 def _maybe_trace(args):
-    """Honour ``--trace out.json``: run the command under a tracer and
-    persist the span trace + counter registry afterwards."""
+    """Honour ``--trace out.json`` / ``--trace-chrome out.json``: run
+    the command under a tracer and persist the span trace (native
+    JSON, Chrome trace-event JSON, or both) afterwards."""
     path = getattr(args, "trace", None)
-    if not path:
+    chrome_path = getattr(args, "trace_chrome", None)
+    if not path and not chrome_path:
         yield
         return
-    from repro.observability import JsonReporter
+    from repro.observability import JsonReporter, write_chrome
 
     # The trace is written *after* the work; surface a bad path before
     # spending a whole build on it.
-    try:
-        open(path, "a", encoding="utf-8").close()
-    except OSError as exc:
-        raise SystemExit(f"error: cannot write trace file: {exc}")
+    for out in (path, chrome_path):
+        if not out:
+            continue
+        try:
+            open(out, "a", encoding="utf-8").close()
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace file: {exc}")
 
     with obs.tracing() as tracer:
         yield
-    JsonReporter(path).emit(tracer.snapshot(command=args.command))
-    print(f"trace -> {path} (inspect with: calibro trace {path})")
+    snapshot = tracer.snapshot(command=args.command)
+    if path:
+        JsonReporter(path).emit(snapshot)
+        print(f"trace -> {path} (inspect with: calibro trace {path})")
+    if chrome_path:
+        write_chrome(snapshot, chrome_path)
+        print(
+            f"chrome trace -> {chrome_path} "
+            f"(load in Perfetto or chrome://tracing)"
+        )
 
 
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
@@ -86,6 +105,12 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
         "--trace",
         metavar="OUT.json",
         help="write a span trace (phase tree + counters) as JSON",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="OUT.json",
+        help="write the span trace in Chrome trace-event format "
+             "(load in Perfetto or chrome://tracing)",
     )
 
 
@@ -451,9 +476,26 @@ def _cmd_submit(args) -> int:
         if not args.json:
             print(f"  {phase}")
 
-    result = client.build(
-        dexfile, config, label=label, on_progress=on_progress
-    )
+    with _maybe_trace(args):
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            # Traced submit: open a client-side span, propagate its
+            # context to the server (client.build derives it), ask for
+            # the server's trace document back and graft it in — one
+            # distributed client→server→shard trace in the output.
+            from repro.observability import Trace
+
+            with obs.span("service.client.build", label=label):
+                result = client.build(
+                    dexfile, config, label=label, on_progress=on_progress,
+                    want_trace=True,
+                )
+                if result.trace is not None:
+                    tracer.adopt(Trace.from_dict(result.trace))
+        else:
+            result = client.build(
+                dexfile, config, label=label, on_progress=on_progress
+            )
     with open(args.output, "wb") as fh:
         fh.write(result.oat_bytes)
     if args.json:
@@ -467,6 +509,78 @@ def _cmd_submit(args) -> int:
             f"text {summary.get('text_size')}B in {summary.get('seconds')}s"
         )
     return 0
+
+
+def _render_top(socket_path: str, stats: dict) -> str:
+    """The ``calibro top`` screen: front-door occupancy plus one block
+    per in-flight build (phase, age, live span tree)."""
+    lines = [
+        f"calibro top — {socket_path} "
+        f"(protocol v{stats.get('protocol_version', '?')})",
+        f"queued {stats.get('queued', 0)}/{stats.get('queue_depth', '?')}  "
+        f"running {stats.get('active', 0)}/{stats.get('max_concurrent', '?')}  "
+        f"quota {stats.get('tenant_quota', '?')}/tenant",
+        f"accepted {stats.get('accepted', 0)}  "
+        f"results {stats.get('results', 0)}  "
+        f"rejected {stats.get('rejected', 0)}  "
+        f"cancelled {stats.get('cancelled', 0)}  "
+        f"errors {stats.get('errors', 0)}",
+    ]
+    tenants = stats.get("tenants") or {}
+    if tenants:
+        lines.append("tenants: " + "; ".join(
+            f"{name} {book.get('inflight', 0)} in-flight "
+            f"({book.get('accepted', 0)} accepted)"
+            for name, book in tenants.items()
+        ))
+    builds = stats.get("builds") or []
+    if not builds:
+        lines.append("no builds in flight")
+        return "\n".join(lines)
+    lines.append("")
+
+    def visit(node: dict, depth: int) -> None:
+        lines.append(
+            f"    {'  ' * depth}{node.get('name', '?')} "
+            f"{node.get('seconds', 0.0):.3f}s"
+        )
+        for child in node.get("children") or []:
+            visit(child, depth + 1)
+
+    for entry in builds:
+        trace_id = entry.get("trace_id", "")
+        note = f"  trace {trace_id}" if trace_id else ""
+        lines.append(
+            f"{entry.get('build', '?')}  {entry.get('tenant', '-')}  "
+            f"{entry.get('label') or '-'}  {entry.get('state', '?')}  "
+            f"phase={entry.get('phase') or '-'}  "
+            f"{entry.get('seconds', 0.0):.2f}s{note}"
+        )
+        for node in entry.get("spans") or []:
+            visit(node, 0)
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.service import CalibroClient
+
+    client = CalibroClient(args.socket, timeout=args.timeout)
+    try:
+        while True:
+            stats = client.status()
+            if args.json:
+                print(json.dumps(stats, indent=1))
+            else:
+                if args.watch and sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(_render_top(args.socket, stats))
+            if not args.watch:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_analyze(args) -> int:
@@ -596,6 +710,15 @@ def _cmd_trace(args) -> int:
     except (json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError) as exc:
         print(f"error: {args.input} is not a trace JSON: {exc}", file=sys.stderr)
         return 1
+    if args.chrome:
+        from repro.observability import write_chrome
+
+        write_chrome(trace, args.chrome)
+        print(
+            f"chrome trace -> {args.chrome} "
+            f"(load in Perfetto or chrome://tracing)"
+        )
+        return 0
     try:
         TextReporter(counters=not args.no_counters).emit(trace)
     except BrokenPipeError:
@@ -684,6 +807,18 @@ def _cmd_history(args) -> int:
          "drift", "wall"],
         rows,
     ))
+    if args.plot:
+        from repro.reporting import sparkline
+
+        print()
+        for (config, label), series in groups.items():
+            values = [entry.reduction for entry in series]
+            print(
+                f"{config} / {label or '-'}: "
+                f"{sparkline(values, width=60)}  "
+                f"reduction {pct(values[0])} -> {pct(values[-1])} "
+                f"over {len(values)} builds"
+            )
     return 0
 
 
@@ -858,7 +993,23 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="cooperatively cancel a queued build and exit")
     p.add_argument("--shutdown", action="store_true",
                    help="ask the server to drain and stop")
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "top", help="live view of a serve --listen front door: queue, "
+                    "tenants, per-build phase and span tree"
+    )
+    p.add_argument("socket", help="the --listen socket of a running calibro serve")
+    p.add_argument("--watch", action="store_true",
+                   help="refresh continuously until Ctrl-C")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="--watch refresh period in seconds")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="socket timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw status document as JSON")
+    p.set_defaults(fn=_cmd_top)
 
     p = sub.add_parser("analyze", help="§2.2 redundancy analysis of a package")
     p.add_argument("input")
@@ -899,6 +1050,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("--no-counters", action="store_true",
                    help="omit the counter/gauge registries")
+    p.add_argument("--chrome", metavar="OUT.json",
+                   help="convert to Chrome trace-event format instead of "
+                        "printing (load in Perfetto or chrome://tracing)")
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -916,6 +1070,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("history", help="per-config trajectory table of a build ledger")
     p.add_argument("input", help="JSONL build ledger (see build/serve --ledger)")
     p.add_argument("--config", help="restrict to one configuration name")
+    p.add_argument("--plot", action="store_true",
+                   help="append a reduction sparkline per (config, label) "
+                        "series")
     p.set_defaults(fn=_cmd_history)
 
     p = sub.add_parser("profile", help="simpleperf substitute: profile a workload run")

@@ -86,17 +86,23 @@ def dex2oat(
     compiled: list[CompiledMethod] = []
     before = after = 0
     native_stubs = 0
+    traced = obs.current_tracer() is not None
     with obs.span("dex2oat.codegen"):
         for method_id, method in enumerate(methods):
+            t0 = time.perf_counter() if traced else 0.0
             if method.is_native:
                 compiled.append(compile_jni_stub(method, method_id, cache))
                 native_stubs += 1
-                continue
-            graph = graphs[method.name]
-            stats = manager.run(graph)
-            before += stats.instructions_before
-            after += stats.instructions_after
-            compiled.append(compile_graph(graph, method, cache))
+            else:
+                graph = graphs[method.name]
+                stats = manager.run(graph)
+                before += stats.instructions_before
+                after += stats.instructions_after
+                compiled.append(compile_graph(graph, method, cache))
+            if traced:
+                obs.histogram_observe(
+                    "compile.method_seconds", time.perf_counter() - t0
+                )
     if cache is not None:
         with obs.span("dex2oat.thunks"):
             thunks = cache.compiled_thunks()

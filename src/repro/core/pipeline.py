@@ -24,6 +24,7 @@ and the build service (:mod:`repro.service`).
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import TYPE_CHECKING
@@ -463,7 +464,12 @@ def _build_traced(
             counters=dict(tracer.counters),
             gauges=dict(tracer.gauges),
             histograms=dict(tracer.histograms),
-            meta={"config": config.name},
+            meta={
+                "config": config.name,
+                "trace_id": tracer.trace_id,
+                "epoch_unix": tracer.epoch_unix,
+                "pid": os.getpid(),
+            },
         ),
     )
 

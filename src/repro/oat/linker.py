@@ -121,10 +121,15 @@ def link(
         raise LinkError(f"undefined symbol {symbol!r}")
 
     relocations_patched = 0
+    traced = obs.current_tracer() is not None
     with obs.span("link.relocate"):
         for method in methods:
             base = method_offset[method.name]
             relocations_patched += len(method.relocations)
+            if traced:
+                obs.histogram_observe(
+                    "link.relocations", float(len(method.relocations))
+                )
             for reloc in method.relocations:
                 place = base + reloc.offset
                 address = layout.TEXT_BASE + place

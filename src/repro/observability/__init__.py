@@ -25,6 +25,7 @@ and the scrape surface in :mod:`repro.observability.prom`
 (``calibro serve --metrics-file``).
 """
 
+from repro.observability.context import TRACE_CONTEXT_ENV, TraceContext
 from repro.observability.trace import (
     HISTOGRAM_BOUNDS,
     Histogram,
@@ -37,13 +38,16 @@ from repro.observability.trace import (
     enabled,
     gauge_max,
     gauge_set,
+    global_tracer,
     histogram_observe,
     install_tracer,
     set_disabled,
     span,
+    thread_tracing,
     tracing,
     uninstall_tracer,
 )
+from repro.observability.chrome import chrome_events, trace_to_chrome, write_chrome
 from repro.observability.report import (
     JsonReporter,
     Reporter,
@@ -81,10 +85,13 @@ __all__ = [
     "PromReporter",
     "Reporter",
     "Span",
+    "TRACE_CONTEXT_ENV",
     "TRACE_SCHEMA_VERSION",
     "TextReporter",
     "Trace",
+    "TraceContext",
     "Tracer",
+    "chrome_events",
     "counter_add",
     "current_tracer",
     "diff_entries",
@@ -93,6 +100,7 @@ __all__ = [
     "entry_from_build",
     "gauge_max",
     "gauge_set",
+    "global_tracer",
     "histogram_observe",
     "install_tracer",
     "load_trace",
@@ -101,8 +109,11 @@ __all__ = [
     "render_text",
     "set_disabled",
     "span",
-    "tracing",
+    "thread_tracing",
     "trace_digest",
+    "trace_to_chrome",
+    "tracing",
     "uninstall_tracer",
+    "write_chrome",
     "write_json",
 ]

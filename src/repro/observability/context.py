@@ -1,0 +1,152 @@
+"""Trace-context propagation across the service's process boundaries.
+
+One build request flows through four processes — client →
+:class:`~repro.service.server.AsyncBuildServer` →
+:class:`~repro.service.BuildService` → shard/pool workers — and each of
+them carries its own :class:`~repro.observability.Tracer`.  For the
+resulting spans to merge into *one* distributed trace, every process
+must agree on the trace identity and on who its causal parent is.
+:class:`TraceContext` is that agreement: a 16-byte ``trace_id`` shared
+by every span of the request, the ``span_id`` of the parent span in the
+upstream process, and a sampling flag.
+
+The context travels two ways, mirroring the fault-plan plumbing in
+:mod:`repro.service.faults`:
+
+* **over the wire** — as the optional ``trace`` field of a protocol
+  request (:meth:`to_dict` / :meth:`from_dict`); unknown fields pass
+  through v1 servers untouched, so the protocol stays v1-compatible;
+* **into subprocesses** — as the ``CALIBRO_TRACE_CONTEXT`` environment
+  variable (:meth:`to_env` / :meth:`from_env`), a W3C-``traceparent``
+  style one-liner, for workers that are spawned rather than called.
+
+A tracer constructed with a context mints spans whose ``trace_id`` and
+``parent_id`` chain back to the upstream span; the parent process then
+grafts the child's snapshot into its own trace with
+:meth:`~repro.observability.Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["TRACE_CONTEXT_ENV", "TraceContext"]
+
+#: Environment variable carrying a serialized context into subprocesses
+#: (the tracing analogue of ``CALIBRO_FAULTS``).
+TRACE_CONTEXT_ENV = "CALIBRO_TRACE_CONTEXT"
+
+#: ``span_id`` placeholder meaning "no upstream parent" in the env
+#: encoding (W3C traceparent uses the same all-zero convention).
+_NO_PARENT = "0" * 16
+
+
+def _require_hex(value: str, width: int, what: str) -> str:
+    from repro.core.errors import CalibroError
+
+    if (
+        not isinstance(value, str)
+        or len(value) != width
+        or any(c not in "0123456789abcdef" for c in value)
+    ):
+        raise CalibroError(
+            f"trace context {what} must be {width} lowercase hex chars, "
+            f"got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity one build request carries across process boundaries.
+
+    ``trace_id`` is 32 lowercase hex chars (16 random bytes) shared by
+    every span of the request.  ``span_id`` is the 16-hex id of the
+    parent span in the upstream process — empty for a root context,
+    where the request has no upstream parent.  ``sampled`` is carried
+    for forward compatibility (everything is currently sampled).
+    """
+
+    trace_id: str
+    span_id: str = ""
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        _require_hex(self.trace_id, 32, "trace_id")
+        if self.span_id:
+            _require_hex(self.span_id, 16, "span_id")
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """Mint a fresh root context (new trace, no upstream parent)."""
+        return cls(trace_id=os.urandom(16).hex())
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context a downstream process should inherit when its
+        work is caused by the span with ``span_id``."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=span_id, sampled=self.sampled
+        )
+
+    # -- wire format (protocol ``trace`` field) -----------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"trace_id": self.trace_id, "sampled": self.sampled}
+        if self.span_id:
+            out["span_id"] = self.span_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceContext":
+        from repro.core.errors import CalibroError
+
+        if not isinstance(data, Mapping):
+            raise CalibroError(
+                f"trace context must be a mapping, got {type(data).__name__}"
+            )
+        return cls(
+            trace_id=str(data.get("trace_id", "")),
+            span_id=str(data.get("span_id", "") or ""),
+            sampled=bool(data.get("sampled", True)),
+        )
+
+    # -- env format (subprocess plumbing) -----------------------------------
+
+    def to_env(self) -> str:
+        """One ``traceparent``-style line: ``<trace_id>-<span_id>-<flags>``
+        (span_id all-zero when there is no upstream parent)."""
+        flags = "01" if self.sampled else "00"
+        return f"{self.trace_id}-{self.span_id or _NO_PARENT}-{flags}"
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "TraceContext":
+        from repro.core.errors import CalibroError
+
+        parts = spec.strip().split("-")
+        if len(parts) != 3:
+            raise CalibroError(
+                f"bad trace context spec {spec!r} "
+                "(want <trace_id>-<span_id>-<flags>)"
+            )
+        trace_id, span_id, flags = parts
+        if flags not in ("00", "01"):
+            raise CalibroError(f"bad trace context flags {flags!r} in {spec!r}")
+        return cls(
+            trace_id=trace_id,
+            span_id="" if span_id == _NO_PARENT else span_id,
+            sampled=flags == "01",
+        )
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "TraceContext | None":
+        """The context inherited from a parent process, or ``None``.
+        Raises :class:`~repro.core.errors.CalibroError` on a malformed
+        value — a silently dropped context would orphan every span the
+        worker emits."""
+        env = os.environ if environ is None else environ
+        spec = env.get(TRACE_CONTEXT_ENV, "").strip()
+        if not spec:
+            return None
+        return cls.from_spec(spec)

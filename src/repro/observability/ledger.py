@@ -12,9 +12,12 @@ summarizes it and ``calibro compare`` diffs entries for regression
 gating (see :mod:`repro.observability.diff`).
 
 JSONL because appends are atomic-enough (one ``write`` per line, no
-read-modify-write races between concurrent builders) and a truncated
-final line — a crashed writer — damages only itself; :meth:`BuildLedger.
-entries` skips it with a warning entry rather than refusing the file.
+read-modify-write races between concurrent builders) and torn trailing
+lines — a crashed or ENOSPC-interrupted writer — damage only
+themselves; :meth:`BuildLedger.entries` skips and counts them
+(``BuildLedger.corrupt_lines``) rather than refusing the file.  The
+append path carries a ``CALIBRO_FAULTS`` site (``ledger``) so those
+failure modes stay rehearsed in tests.
 """
 
 from __future__ import annotations
@@ -47,7 +50,9 @@ __all__ = [
 #: v2 added the optional ``graph`` field (incremental delta accounting).
 #: v3 added the optional ``merge`` field (global function merging) and
 #: folds its saved bytes into ``text_size_before``.
-LEDGER_SCHEMA_VERSION = 3
+#: v4 added ``trace_id`` — the distributed-trace id of the build, so a
+#: ledger regression joins back to its full trace document.
+LEDGER_SCHEMA_VERSION = 4
 
 
 def trace_digest(trace: "Trace | None") -> str:
@@ -89,6 +94,10 @@ class LedgerEntry:
     #: SHA-256 of the build's trace document (see :func:`trace_digest`);
     #: empty when the build ran without observability.
     trace_digest: str = ""
+    #: Distributed-trace id (32 hex chars) of the build's trace —
+    #: ``calibro history``/``compare`` use it to join a regression to
+    #: the exported trace/Chrome documents; empty without a tracer.
+    trace_id: str = ""
     #: Unix seconds when the entry was recorded.
     timestamp: float = 0.0
     schema_version: int = LEDGER_SCHEMA_VERSION
@@ -125,6 +134,7 @@ class LedgerEntry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "trace_digest": self.trace_digest,
+            "trace_id": self.trace_id,
             "timestamp": round(self.timestamp, 3),
         }
         if self.meta:
@@ -161,6 +171,7 @@ class LedgerEntry:
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
             trace_digest=str(data.get("trace_digest", "")),
+            trace_id=str(data.get("trace_id", "")),
             timestamp=float(data.get("timestamp", 0.0)),
             schema_version=version,
             meta=dict(data.get("meta", {})),
@@ -197,6 +208,11 @@ def entry_from_build(
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         trace_digest=trace_digest(build.trace),
+        trace_id=(
+            str(build.trace.meta.get("trace_id", ""))
+            if build.trace is not None
+            else ""
+        ),
         timestamp=time.time() if timestamp is None else timestamp,
         meta=dict(meta or {}),
         graph=dict(graph or {}),
@@ -208,15 +224,31 @@ class BuildLedger:
     """Append-only JSONL store of :class:`LedgerEntry` records.
 
     The file (and parents) are created on first append.  Reading is
-    tolerant of a truncated final line — a crashed writer loses its own
-    record only — but any *parseable* record from a newer schema raises
-    :class:`~repro.core.errors.CalibroError`.
+    tolerant of corrupt *trailing* lines — a torn or ENOSPC-truncated
+    append damages only the records no complete record follows; those
+    lines are skipped and counted in :attr:`corrupt_lines` (plus the
+    ``ledger.corrupt_lines`` counter) instead of poisoning the whole
+    file.  A corrupt line *followed by* a parseable record still raises
+    :class:`~repro.core.errors.CalibroError` with its line number:
+    interior damage means something other than a crashed appender wrote
+    the file, and silently dropping a mid-history record would skew
+    every trajectory computed over it.  Any parseable record from a
+    newer schema also raises.
+
+    ``append`` carries a ``CALIBRO_FAULTS`` injection site
+    (``ledger:<label-or-config>``) so tests can rehearse exactly these
+    failure modes.
     """
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
+        #: Corrupt trailing lines skipped by the most recent read.
+        self.corrupt_lines = 0
 
     def append(self, entry: LedgerEntry) -> None:
+        from repro.service.faults import maybe_inject
+
+        maybe_inject("ledger", entry.label or entry.config)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(entry.to_dict(), sort_keys=True, separators=(",", ":"))
         with open(self.path, "a", encoding="utf-8") as fh:
@@ -227,18 +259,34 @@ class BuildLedger:
             return
         with open(self.path, encoding="utf-8") as fh:
             lines = fh.read().splitlines()
+        parsed: list[tuple[int, Any]] = []  # (line index, payload | None)
+        last_good = -1
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
                 data = json.loads(line)
             except json.JSONDecodeError:
-                if index == len(lines) - 1:
-                    continue  # truncated final line: a crashed append
-                raise CalibroError(
-                    f"{self.path}:{index + 1}: not a JSON ledger record"
-                ) from None
-            yield LedgerEntry.from_dict(data)
+                parsed.append((index, None))
+            else:
+                parsed.append((index, data))
+                last_good = index
+        skipped = 0
+        for index, data in parsed:
+            if data is None:
+                if index < last_good:
+                    raise CalibroError(
+                        f"{self.path}:{index + 1}: not a JSON ledger record"
+                    )
+                skipped += 1  # torn/truncated trailing write
+        self.corrupt_lines = skipped
+        if skipped:
+            from repro import observability as obs
+
+            obs.counter_add("ledger.corrupt_lines", skipped)
+        for _index, data in parsed:
+            if data is not None:
+                yield LedgerEntry.from_dict(data)
 
     def entries(self) -> list[LedgerEntry]:
         return list(self)

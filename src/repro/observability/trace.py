@@ -26,14 +26,20 @@ installed, so instrumented library code costs a few tens of nanoseconds
 per call site when nobody is measuring.  ``benchmarks/
 bench_observability_overhead.py`` verifies this stays true.
 
-Thread model: one tracer per process, one span stack — the pipeline is
-single-threaded and PlOpti parallelism is process-based, so worker
-processes simply see no active tracer (their numbers travel back in the
-stats objects).  The counter/gauge/histogram *registries* are
-nevertheless guarded by a lock: worker-pool completion callbacks and
-service threads may feed them concurrently, and a lost increment is a
-silent lie in a report (``tests/observability/test_thread_safety.py``
-holds this).  Spans keep the single-threaded contract.
+Thread model: one *process-wide* tracer (``_ACTIVE``) with one span
+stack, plus an optional *thread-local* overlay
+(:func:`thread_tracing`) for the serve front door, where several
+executor threads each run one build and must not interleave their
+span stacks.  :func:`current_tracer` and every module-level helper
+prefer the thread-local tracer when one is installed.  Worker
+processes see no active tracer unless handed a
+:class:`~repro.observability.context.TraceContext`, in which case they
+measure with their own tracer and the parent grafts the snapshot back
+with :meth:`Tracer.adopt`.  The counter/gauge/histogram *registries*
+are guarded by a lock: worker-pool completion callbacks and service
+threads may feed them concurrently, and a lost increment is a silent
+lie in a report (``tests/observability/test_thread_safety.py`` holds
+this).  Each span stack keeps the single-threaded contract.
 ``CALIBRO_OBS_OFF=1`` (or :func:`set_disabled`) disables installation
 entirely; :mod:`repro.core.pipeline` then falls back to plain stopwatch
 timings — that path is the control arm of the overhead micro-benchmark.
@@ -41,12 +47,15 @@ timings — that path is the control arm of the overhead micro-benchmark.
 
 from __future__ import annotations
 
+import itertools
 import math
 import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+from repro.observability.context import TraceContext
 
 __all__ = [
     "HISTOGRAM_BOUNDS",
@@ -60,18 +69,23 @@ __all__ = [
     "enabled",
     "gauge_max",
     "gauge_set",
+    "global_tracer",
     "histogram_observe",
     "install_tracer",
     "set_disabled",
     "span",
+    "thread_tracing",
     "tracing",
     "uninstall_tracer",
 ]
 
 #: Version of the serialized :class:`Trace` document.  v1: spans +
-#: counters + gauges.  v2: added ``histograms``.  Loaders accept any
-#: version up to this one (missing = v1) and refuse newer documents.
-TRACE_SCHEMA_VERSION = 2
+#: counters + gauges.  v2: added ``histograms``.  v3: spans carry
+#: ``span_id``/``parent_id``/``pid`` and ``meta`` carries
+#: ``trace_id``/``epoch_unix`` for cross-process merging.  Loaders
+#: accept any version up to this one (missing = v1; v2 spans simply
+#: have no ids) and refuse newer documents.
+TRACE_SCHEMA_VERSION = 3
 
 #: Log-scaled bucket upper bounds shared by every histogram: doubling
 #: from 1 µs to ~537 s (seconds-valued series) while still resolving
@@ -82,13 +96,25 @@ HISTOGRAM_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(30))
 
 @dataclass
 class Span:
-    """One timed region.  ``start`` is seconds since the trace epoch."""
+    """One timed region.  ``start`` is seconds since the trace epoch.
+
+    ``span_id``/``parent_id`` (16 hex chars, schema v3) give every span
+    a causal identity that survives process boundaries: a child
+    process's root span points at the parent process's span via
+    ``parent_id``, so merged distributed traces keep one coherent
+    parent chain.  ``pid`` records the emitting process (0 = unknown,
+    for pre-v3 documents).  Structural nesting (``children``) and the
+    id links agree by construction for spans minted by one tracer.
+    """
 
     name: str
     start: float = 0.0
     duration: float = 0.0
     attrs: dict[str, Any] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    span_id: str = ""
+    parent_id: str = ""
+    pid: int = 0
 
     @property
     def child_seconds(self) -> float:
@@ -117,6 +143,12 @@ class Span:
         }
         if self.attrs:
             out["attrs"] = self.attrs
+        if self.span_id:
+            out["span_id"] = self.span_id
+        if self.parent_id:
+            out["parent_id"] = self.parent_id
+        if self.pid:
+            out["pid"] = self.pid
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
@@ -129,7 +161,16 @@ class Span:
             duration=float(data.get("duration", 0.0)),
             attrs=dict(data.get("attrs", {})),
             children=[cls.from_dict(c) for c in data.get("children", [])],
+            span_id=str(data.get("span_id", "")),
+            parent_id=str(data.get("parent_id", "")),
+            pid=int(data.get("pid", 0)),
         )
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first traversal of this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
 
 
 class Histogram:
@@ -293,6 +334,11 @@ class Trace:
                 return found
         return None
 
+    def walk(self) -> Iterator[Span]:
+        """Depth-first traversal over every span in the forest."""
+        for root in self.spans:
+            yield from root.walk()
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "version": TRACE_SCHEMA_VERSION,
@@ -311,7 +357,8 @@ class Trace:
         """Rebuild a trace from ``to_dict``'s shape.
 
         Tolerant of *older* documents — a v1 trace (or one with no
-        ``version`` field at all) simply has no histograms.  A document
+        ``version`` field at all) simply has no histograms, and a v2
+        trace has no span ids.  A document
         from a *newer* format raises
         :class:`~repro.core.errors.CalibroError` (a clear refusal, not
         a ``KeyError`` halfway through a misread payload).
@@ -375,27 +422,62 @@ _NOOP = _NoopSpanContext()
 
 
 class Tracer:
-    """Collects spans and counters for one measurement session."""
+    """Collects spans and counters for one measurement session.
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    Every tracer belongs to exactly one distributed trace, identified
+    by ``context.trace_id`` — a fresh trace when constructed bare, or
+    an inherited one when handed a
+    :class:`~repro.observability.context.TraceContext` from an upstream
+    process.  Spans minted here get ids of the form ``<10-hex random
+    base><6-hex counter>``: the random base makes ids from different
+    processes collision-free without a per-span ``urandom`` call, and
+    the counter keeps minting at dict-append cost.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        *,
+        context: TraceContext | None = None,
+    ):
         self._clock = clock
         self.epoch = clock()
+        #: Wall-clock time at ``epoch`` — lets :meth:`adopt` rebase a
+        #: child process's perf-counter-relative starts onto this
+        #: tracer's timeline using true wall-clock timestamps.
+        self.epoch_unix = time.time()
+        self.context = context if context is not None else TraceContext.new()
+        self.trace_id = self.context.trace_id
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
         self.meta: dict[str, Any] = {}
+        self._id_base = os.urandom(5).hex()
+        self._id_counter = itertools.count(1)
         # Registry mutations may arrive from pool callbacks on other
         # threads; read-modify-write on the dicts is not atomic, so the
-        # registries share one lock (spans stay single-threaded).
+        # registries share one lock (each span stack stays
+        # single-threaded).
         self._lock = threading.Lock()
+
+    def _mint_span_id(self) -> str:
+        # next() on itertools.count is atomic under the GIL.
+        return f"{self._id_base}{next(self._id_counter) & 0xFFFFFF:06x}"
 
     # -- spans ------------------------------------------------------------
 
     def span(self, name: str, **attrs: Any) -> _SpanContext:
         """Open a nested span (use as a context manager)."""
-        node = Span(name=name, start=self._clock() - self.epoch, attrs=attrs)
+        parent_id = self._stack[-1].span_id if self._stack else self.context.span_id
+        node = Span(
+            name=name,
+            start=self._clock() - self.epoch,
+            attrs=attrs,
+            span_id=self._mint_span_id(),
+            parent_id=parent_id,
+        )
         (self._stack[-1].children if self._stack else self.roots).append(node)
         self._stack.append(node)
         return _SpanContext(self, node)
@@ -422,11 +504,19 @@ class Tracer:
     ) -> Span:
         """Attach a post-hoc span (work timed elsewhere, e.g. in a PlOpti
         worker process).  Parents under the current open span by default."""
+        if parent is not None:
+            parent_id = parent.span_id
+        elif self._stack:
+            parent_id = self._stack[-1].span_id
+        else:
+            parent_id = self.context.span_id
         node = Span(
             name=name,
             start=self._clock() - self.epoch if start is None else start,
             duration=duration,
             attrs=attrs,
+            span_id=self._mint_span_id(),
+            parent_id=parent_id,
         )
         if parent is not None:
             parent.children.append(node)
@@ -439,6 +529,49 @@ class Tracer:
     @property
     def current_span(self) -> Span | None:
         return self._stack[-1] if self._stack else None
+
+    def child_context(self) -> TraceContext:
+        """The context a subprocess spawned *now* should inherit: same
+        trace, parented under the currently open span (or under this
+        tracer's own upstream parent when no span is open)."""
+        if self._stack:
+            return self.context.child(self._stack[-1].span_id)
+        return self.context
+
+    def adopt(self, trace: Trace, *, parent: Span | None = None) -> list[Span]:
+        """Graft a child process's snapshot into this trace, losslessly.
+
+        Registries fold in exactly (:meth:`merge_registry`).  The
+        child's span forest is re-rooted under ``parent`` (default: the
+        currently open span), with starts rebased from the child's
+        timeline onto ours via the snapshots' wall-clock epochs
+        (``meta["epoch_unix"]``) — so a shard that started 80 ms into
+        the build shows up 80 ms into the build, not at t=0.  Spans
+        keep their child-minted ids; roots missing a ``parent_id``
+        (child ran without a propagated context) are linked to the
+        adoption point.  Returns the adopted roots.
+        """
+        self.merge_registry(trace)
+        anchor = parent if parent is not None else self.current_span
+        child_epoch = trace.meta.get("epoch_unix")
+        if isinstance(child_epoch, (int, float)):
+            offset = float(child_epoch) - self.epoch_unix
+        else:
+            offset = 0.0
+        pid = trace.meta.get("pid")
+        pid = int(pid) if isinstance(pid, int) else 0
+        for root in trace.spans:
+            for node in root.walk():
+                node.start += offset
+                if pid and not node.pid:
+                    node.pid = pid
+            if not root.parent_id and anchor is not None:
+                root.parent_id = anchor.span_id
+            if anchor is not None:
+                anchor.children.append(root)
+            else:
+                self.roots.append(root)
+        return list(trace.spans)
 
     # -- counters / gauges / histograms -------------------------------------
 
@@ -471,9 +604,9 @@ class Tracer:
         shard result and land here.  Counters add, histograms merge
         exactly (:meth:`Histogram.merge`), and gauges keep the maximum —
         the conservative reading for the peak-style gauges that cross
-        process boundaries.  Spans are *not* merged; per-group timings
-        already travel in ``OutlineStats`` and are reconstructed as
-        ``ltbo.group`` spans by the parent.
+        process boundaries.  Spans are *not* merged here; :meth:`adopt`
+        grafts a child's span forest (with wall-clock rebasing) and
+        calls this for the registries.
         """
         with self._lock:
             for name, value in other.counters.items():
@@ -489,24 +622,55 @@ class Tracer:
 
     # -- export ------------------------------------------------------------
 
+    def _copy_span(self, node: Span, now: float) -> Span:
+        # Open spans get their current partial duration *in the copy* —
+        # the live span is untouched, so a snapshot taken mid-build
+        # (the server's live ``status`` introspection) cannot freeze a
+        # wrong duration into the span ``_end`` will close later.
+        duration = node.duration
+        if duration == 0.0 and node in self._stack:
+            duration = now - node.start
+        return Span(
+            name=node.name,
+            start=node.start,
+            duration=duration,
+            attrs=dict(node.attrs),
+            children=[self._copy_span(c, now) for c in list(node.children)],
+            span_id=node.span_id,
+            parent_id=node.parent_id,
+            pid=node.pid,
+        )
+
     def snapshot(self, **meta: Any) -> Trace:
-        """Freeze the collected data into a :class:`Trace` (open spans are
-        included with their current partial durations)."""
+        """Freeze the collected data into a :class:`Trace`.
+
+        The returned span forest is a deep copy: open spans appear with
+        their current partial durations, live spans are never mutated,
+        and the caller can serialize the result while this tracer keeps
+        measuring (the live-introspection path snapshots another
+        thread's tracer).  ``meta`` always carries ``trace_id``,
+        ``epoch_unix`` and ``pid`` so a parent process can
+        :meth:`adopt` the snapshot losslessly.
+        """
         now = self._clock() - self.epoch
-        for node in self._stack:
-            if node.duration == 0.0:
-                node.duration = now - node.start
+        spans = [self._copy_span(root, now) for root in list(self.roots)]
         with self._lock:
             histograms = {
                 name: Histogram.from_dict(hist.to_dict())
                 for name, hist in self.histograms.items()
             }
             return Trace(
-                spans=list(self.roots),
+                spans=spans,
                 counters=dict(self.counters),
                 gauges=dict(self.gauges),
                 histograms=histograms,
-                meta={**self.meta, **meta},
+                meta={
+                    "trace_id": self.trace_id,
+                    "epoch_unix": self.epoch_unix,
+                    "pid": os.getpid(),
+                    **self.meta,
+                    **meta,
+                },
             )
 
 
@@ -514,6 +678,16 @@ class Tracer:
 
 _ACTIVE: Tracer | None = None
 _DISABLED = os.environ.get("CALIBRO_OBS_OFF", "") not in ("", "0")
+# Thread-local tracer overlay: the serve front door runs one build per
+# executor thread, each measuring into its own tracer via
+# thread_tracing().  Threads without an overlay fall through to the
+# process-wide _ACTIVE tracer.
+_TLS = threading.local()
+
+
+def _current() -> Tracer | None:
+    tracer = getattr(_TLS, "tracer", None)
+    return tracer if tracer is not None else _ACTIVE
 
 
 def enabled() -> bool:
@@ -532,6 +706,16 @@ def set_disabled(flag: bool) -> None:
 
 
 def current_tracer() -> Tracer | None:
+    """The tracer instrumentation feeds right now: this thread's
+    overlay tracer (:func:`thread_tracing`) if one is installed, else
+    the process-wide tracer."""
+    tracer = getattr(_TLS, "tracer", None)
+    return tracer if tracer is not None else _ACTIVE
+
+
+def global_tracer() -> Tracer | None:
+    """The process-wide tracer, ignoring any thread-local overlay —
+    the one whole-process exports (Prometheus exposition) should read."""
     return _ACTIVE
 
 
@@ -575,36 +759,65 @@ def tracing(tracer: Tracer | None = None) -> _TracingContext:
     return _TracingContext(tracer)
 
 
+class _ThreadTracingContext:
+    """``with thread_tracing(tracer):`` — overlay this thread only."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer | None):
+        self._tracer = tracer or Tracer()
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        if not _DISABLED:
+            self._previous = getattr(_TLS, "tracer", None)
+            _TLS.tracer = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not _DISABLED and getattr(_TLS, "tracer", None) is self._tracer:
+            _TLS.tracer = self._previous
+        return False
+
+
+def thread_tracing(tracer: Tracer | None = None) -> _ThreadTracingContext:
+    """Install a tracer for this *thread* only, shadowing the
+    process-wide tracer for the duration of the ``with`` block.  The
+    serve front door gives each concurrent build its own overlay so
+    executor threads cannot interleave span stacks."""
+    return _ThreadTracingContext(tracer)
+
+
 # -- module-level fast-path helpers ------------------------------------------
 
 
 def span(name: str, **attrs: Any):
     """Open a span on the active tracer, or do nothing (fast) without one."""
-    tracer = _ACTIVE
+    tracer = getattr(_TLS, "tracer", None) or _ACTIVE
     if tracer is None:
         return _NOOP
     return tracer.span(name, **attrs)
 
 
 def counter_add(name: str, amount: int = 1) -> None:
-    tracer = _ACTIVE
+    tracer = getattr(_TLS, "tracer", None) or _ACTIVE
     if tracer is not None:
         tracer.add(name, amount)
 
 
 def gauge_set(name: str, value: float) -> None:
-    tracer = _ACTIVE
+    tracer = getattr(_TLS, "tracer", None) or _ACTIVE
     if tracer is not None:
         tracer.gauge_set(name, value)
 
 
 def gauge_max(name: str, value: float) -> None:
-    tracer = _ACTIVE
+    tracer = getattr(_TLS, "tracer", None) or _ACTIVE
     if tracer is not None:
         tracer.gauge_max(name, value)
 
 
 def histogram_observe(name: str, value: float) -> None:
-    tracer = _ACTIVE
+    tracer = getattr(_TLS, "tracer", None) or _ACTIVE
     if tracer is not None:
         tracer.histogram_observe(name, value)

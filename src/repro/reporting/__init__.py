@@ -1,5 +1,19 @@
 """Table/figure rendering for the benchmark harness."""
 
-from repro.reporting.tables import ascii_bars, format_bytes, format_table, pct, ratio_row
+from repro.reporting.tables import (
+    ascii_bars,
+    format_bytes,
+    format_table,
+    pct,
+    ratio_row,
+    sparkline,
+)
 
-__all__ = ["ascii_bars", "format_bytes", "format_table", "pct", "ratio_row"]
+__all__ = [
+    "ascii_bars",
+    "format_bytes",
+    "format_table",
+    "pct",
+    "ratio_row",
+    "sparkline",
+]

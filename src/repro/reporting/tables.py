@@ -8,7 +8,17 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["ascii_bars", "format_bytes", "format_table", "pct", "ratio_row"]
+__all__ = [
+    "ascii_bars",
+    "format_bytes",
+    "format_table",
+    "pct",
+    "ratio_row",
+    "sparkline",
+]
+
+#: Eight-level block characters, lowest to highest.
+_SPARK_TICKS = "▁▂▃▄▅▆▇█"
 
 
 def pct(value: float, digits: int = 2) -> str:
@@ -55,6 +65,33 @@ def ratio_row(label: str, baseline: dict[str, float], values: dict[str, float]) 
         row.append(pct(r))
     row.append(pct(sum(ratios) / len(ratios)) if ratios else "-")
     return row
+
+
+def sparkline(values: Sequence[float], width: int = 0) -> str:
+    """One-line unicode sparkline of a numeric series.
+
+    Scales the series into eight block-character levels between its own
+    min and max (a flat series renders as a run of mid-level blocks).
+    ``width > 0`` downsamples longer series to that many cells by
+    averaging equal slices, so a thousand-build ledger still fits a
+    terminal row (``calibro history --plot``).
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if width and len(series) > width:
+        sampled = []
+        for cell in range(width):
+            lo = cell * len(series) // width
+            hi = max(lo + 1, (cell + 1) * len(series) // width)
+            chunk = series[lo:hi]
+            sampled.append(sum(chunk) / len(chunk))
+        series = sampled
+    low, high = min(series), max(series)
+    if high == low:
+        return _SPARK_TICKS[3] * len(series)
+    scale = (len(_SPARK_TICKS) - 1) / (high - low)
+    return "".join(_SPARK_TICKS[round((v - low) * scale)] for v in series)
 
 
 def ascii_bars(data: dict[object, int], width: int = 50, title: str = "") -> str:

@@ -256,10 +256,16 @@ class BuildService:
         ``metrics_path`` or an active tracer).  Runs after every build
         and at :meth:`close`; the async front door additionally calls it
         on a timer so a long-idle serve loop still exposes fresh
-        scrape data.  Returns whether a file was written."""
+        scrape data.  Returns whether a file was written.
+
+        The exposition renders the *process-wide* tracer when one is
+        installed: under the serve front door the calling thread may be
+        inside a per-build overlay (:func:`~repro.observability.
+        thread_tracing`), and scraping one build's registries as if
+        they were the server's would zero every accumulated series."""
         if self._metrics is None:
             return False
-        tracer = obs.current_tracer()
+        tracer = obs.global_tracer() or obs.current_tracer()
         if tracer is None:
             return False
         self._metrics.emit(tracer.snapshot())

@@ -25,6 +25,7 @@ import socket
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import observability as obs
 from repro.core.errors import ServiceError
 from repro.core.pipeline import CalibroConfig
 from repro.dex.method import DexFile
@@ -55,6 +56,11 @@ class BuildResult:
     oat_bytes: "bytes | None"
     #: Phase names streamed as ``progress`` events, in arrival order.
     phases: list[str] = field(default_factory=list)
+    #: The build's serialized trace document (schema v3), when the
+    #: request asked for it (``want_trace``); parse with
+    #: ``Trace.from_dict`` and graft into a client-side trace with
+    #: ``Tracer.adopt`` for one cross-process timeline.
+    trace: "dict[str, Any] | None" = None
 
 
 class _Connection:
@@ -132,6 +138,7 @@ class PendingBuild:
                             else None
                         ),
                         phases=self.phases,
+                        trace=data.get("trace"),
                     )
                     return self._result
                 if event == "error":
@@ -184,6 +191,8 @@ class CalibroClient:
         label: str = "",
         want_oat: bool = True,
         request_id: "Any | None" = None,
+        trace_context: "obs.TraceContext | None" = None,
+        want_trace: bool = False,
     ) -> PendingBuild:
         """Admit one build; returns once the server answers.
 
@@ -191,9 +200,20 @@ class CalibroClient:
         (a server-local file) must be given.  Raises
         :class:`OverloadedError` on refusal, :class:`BuildFailed` on a
         rejected request document.
+
+        ``trace_context`` propagates a distributed-trace identity into
+        the server's spans; when ``None`` and a tracer is active in
+        this process, a child context of the current span is derived
+        automatically (so a traced client gets one coherent
+        client→server trace for free).  ``want_trace`` asks the server
+        to return the build's full trace document in the result.
         """
         if (dexfile is None) == (dex_path is None):
             raise ServiceError("submit needs exactly one of dexfile or dex_path")
+        if trace_context is None:
+            tracer = obs.current_tracer()
+            if tracer is not None:
+                trace_context = tracer.child_context()
         request: dict[str, Any] = {
             "op": "build",
             "tenant": self.tenant,
@@ -202,6 +222,10 @@ class CalibroClient:
         }
         if request_id is not None:
             request["id"] = request_id
+        if trace_context is not None:
+            request["trace"] = trace_context.to_dict()
+        if want_trace:
+            request["want_trace"] = True
         if dexfile is not None:
             request["dex"] = dexfile_to_json(dexfile)
         else:
@@ -240,6 +264,8 @@ class CalibroClient:
         label: str = "",
         want_oat: bool = True,
         on_progress: "Callable[[str], None] | None" = None,
+        trace_context: "obs.TraceContext | None" = None,
+        want_trace: bool = False,
     ) -> BuildResult:
         """Submit and wait: the one-call path most callers want."""
         pending = self.submit(
@@ -248,6 +274,8 @@ class CalibroClient:
             dex_path=dex_path,
             label=label,
             want_oat=want_oat,
+            trace_context=trace_context,
+            want_trace=want_trace,
         )
         return pending.wait(on_progress=on_progress)
 

@@ -31,6 +31,15 @@ When the ``CALIBRO_FAULTS`` environment variable is set
 crash/hang/slow faults fire inside the worker children — the mechanism
 the fault-injection suite uses to drive this ladder.
 
+When a tracer is active in the supervising process, each submission
+also carries a :class:`~repro.observability.TraceContext`: the worker
+child runs the task under its own tracer (one real
+``service.pool.task`` span per task, true wall-clock timestamps) and
+the supervisor adopts the returned snapshot into the build's
+distributed trace (:meth:`~repro.observability.Tracer.adopt`).  With
+no tracer installed nothing is wrapped — the untraced path stays
+byte-for-byte what it was.
+
 ``max_workers=1`` (the default on a single-CPU host) short-circuits to
 plain serial execution — no processes, no pickling.
 """
@@ -46,6 +55,7 @@ from typing import Callable, Sequence, TypeVar
 
 from repro import observability as obs
 from repro.core.errors import ServiceError
+from repro.observability import Trace, TraceContext
 from repro.service import faults
 from repro.suffixtree.parallel import available_parallelism
 
@@ -53,6 +63,36 @@ __all__ = ["PoolStats", "WorkerPool"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+@dataclass
+class _TracedTaskResult:
+    """Envelope a traced child task sends back: the worker's result
+    plus the child tracer's snapshot for the supervisor to adopt."""
+
+    value: object
+    trace: Trace | None
+
+
+def _traced_task(worker, index: int, payload, ctx: TraceContext | None):
+    """Run one pool task in the worker child under its own tracer.
+
+    Module-level so the executor can pickle it.  The ``service.pool.
+    task`` span is minted inside the propagated trace context, so the
+    supervisor's adoption yields one coherent causal chain.  Faults
+    compose exactly as on the unwrapped path (same site, same key).
+    """
+    tracer = obs.Tracer(context=ctx) if ctx is not None else obs.Tracer()
+    # Both process-wide and thread-overlay: a fork-started worker
+    # inherits the forking thread's thread-local tracer (the serve
+    # executor thread's overlay), which would shadow this one.
+    with obs.tracing(tracer), obs.thread_tracing(tracer):
+        with obs.span("service.pool.task", task=index):
+            if faults.faults_armed():
+                value = faults.call_with_faults(worker, "pool", str(index), payload)
+            else:
+                value = worker(payload)
+        return _TracedTaskResult(value=value, trace=tracer.snapshot())
 
 
 @dataclass
@@ -163,28 +203,60 @@ class WorkerPool:
             results = []
             for index, payload in enumerate(payloads):
                 t0 = time.perf_counter()
-                if faults.faults_armed():
-                    results.append(
-                        faults.call_with_faults(worker, "pool", str(index), payload)
-                    )
-                else:
-                    results.append(worker(payload))
+                with obs.span("service.pool.task", task=index):
+                    if faults.faults_armed():
+                        results.append(
+                            faults.call_with_faults(worker, "pool", str(index), payload)
+                        )
+                    else:
+                        results.append(worker(payload))
                 obs.histogram_observe(
                     "service.pool.wait_seconds", time.perf_counter() - t0
                 )
             return results
-        futures = [self._submit(worker, i, p) for i, p in enumerate(payloads)]
+        futures: list[Future] = []
+        for index, payload in enumerate(payloads):
+            try:
+                futures.append(self._submit(worker, index, payload))
+            except BrokenProcessPool as exc:
+                # An earlier task's crash broke the executor while this
+                # submission was still landing, so submit() raised
+                # synchronously.  Hand the break to the collection
+                # ladder as a pre-failed future — it restarts the pool
+                # and walks the retry/serial path exactly as if the
+                # task had died in flight.
+                broken: Future = Future()
+                broken.set_exception(exc)
+                futures.append(broken)
         return [
-            self._collect(worker, index, payload, future)
+            self._absorb(self._collect(worker, index, payload, future))
             for index, (payload, future) in enumerate(zip(payloads, futures))
         ]
+
+    def _absorb(self, result: object) -> object:
+        """Unwrap a traced child result, adopting its span tree and
+        registries into the active trace; plain results pass through."""
+        if isinstance(result, _TracedTaskResult):
+            tracer = obs.current_tracer()
+            if tracer is not None and result.trace is not None:
+                if result.trace.spans:
+                    tracer.adopt(result.trace)
+                else:
+                    tracer.merge_registry(result.trace)
+            return result.value
+        return result
 
     def _submit(self, worker, index: int, payload) -> Future:
         """Submit one task, stamping its own submit time so the wait
         histogram records per-task submit→completion latency (the
         done-callback fires when the future settles, succeed or fail —
         not when the in-order collection loop gets to it)."""
-        if faults.faults_armed():
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            future = self._pool().submit(
+                _traced_task, worker, index, payload, tracer.child_context()
+            )
+        elif faults.faults_armed():
             future = self._pool().submit(
                 faults.call_with_faults, worker, "pool", str(index), payload
             )
@@ -241,4 +313,5 @@ class WorkerPool:
         # in children only, so the landing is guaranteed clean).
         self.stats.serial_fallbacks += 1
         obs.counter_add("service.pool.serial_fallbacks")
-        return worker(payload)
+        with obs.span("service.pool.task", task=index):
+            return worker(payload)

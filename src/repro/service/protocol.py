@@ -53,8 +53,15 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: Request operations.
 #:
 #: * ``build``  — admit one build (inline ``dex`` document or a
-#:   server-local ``dex_path``), stream progress, return the result;
-#: * ``status`` — service stats, queue/tenant occupancy, versions;
+#:   server-local ``dex_path``), stream progress, return the result.
+#:   Optional distributed-tracing fields, additive within v1 (older
+#:   peers ignore unknown fields by contract): ``trace`` — a
+#:   :class:`~repro.observability.TraceContext` document propagating
+#:   the client's trace identity into the server's spans — and
+#:   ``want_trace`` — ask for the build's full trace document (v3)
+#:   back in the ``result`` event's ``trace`` field;
+#: * ``status`` — service stats, queue/tenant occupancy, versions, and
+#:   live per-build introspection (phase + span tree) under ``builds``;
 #: * ``cancel`` — cooperatively cancel a *queued* build by ``build`` id;
 #: * ``shutdown`` — drain and stop the server.
 OPS = ("build", "status", "cancel", "shutdown")
@@ -159,6 +166,10 @@ def validate_request(data: dict[str, Any]) -> str:
         )
     if op == "build" and not (data.get("dex") or data.get("dex_path")):
         raise ProtocolError("build request needs 'dex' (inline) or 'dex_path'")
+    if op == "build" and data.get("trace") is not None and not isinstance(
+        data["trace"], dict
+    ):
+        raise ProtocolError("build request 'trace' must be a JSON object")
     if op == "cancel" and not data.get("build"):
         raise ProtocolError("cancel request needs the 'build' id")
     return op

@@ -100,6 +100,20 @@ class _Job:
     state: str = "queued"  # queued | running | done | error | cancelled
     cancel_requested: bool = False
     task: "asyncio.Task | None" = None
+    #: Distributed-trace context from the request's ``trace`` field
+    #: (``None`` mints a fresh trace for the build).
+    context: "obs.TraceContext | None" = None
+    #: Client asked for the build's trace document in the result event.
+    want_trace: bool = False
+    #: Last pipeline phase reported by the build's ``phase_hook``
+    #: (live introspection via the ``status`` op).
+    phase: str = ""
+    #: The per-build tracer while the build runs (executor thread);
+    #: the ``status`` op snapshots it for the live span tree.
+    tracer: "obs.Tracer | None" = None
+    #: The finished build's serialized trace (v3 document), kept for
+    #: the result event when ``want_trace`` is set.
+    trace_doc: "dict[str, Any] | None" = None
 
 
 @dataclass
@@ -164,6 +178,7 @@ class AsyncBuildServer:
         self._errors = 0
         self._results = 0
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._tracer: "obs.Tracer | None" = None
         self._slots: asyncio.Semaphore | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._shutdown = None  # asyncio.Event, created on serve()
@@ -196,6 +211,11 @@ class AsyncBuildServer:
         if obs.enabled() and obs.current_tracer() is None:
             own_tracer = obs.Tracer()
             obs.install_tracer(own_tracer)
+        # Pin the serve-lifetime tracer: request handlers adopt into
+        # *this* tracer, not whatever is globally installed when the
+        # request lands — an in-process client's temporary tracer (the
+        # test/bench shape) must not receive the server's span trees.
+        self._tracer = obs.current_tracer()
         # A stale socket from a killed server would fail the bind.
         with contextlib.suppress(OSError):
             os.unlink(self.socket_path)
@@ -233,6 +253,7 @@ class AsyncBuildServer:
             self.service.flush_metrics()
             if own_tracer is not None and obs.current_tracer() is own_tracer:
                 obs.uninstall_tracer(None)
+            self._tracer = None
             with contextlib.suppress(OSError):
                 os.unlink(self.socket_path)
             self._loop = None
@@ -289,6 +310,7 @@ class AsyncBuildServer:
                 if op == "build":
                     await self._admit_build(data, send)
                 elif op == "status":
+                    obs.counter_add("service.server.status")
                     await send({
                         "event": "status",
                         "id": request_id,
@@ -379,6 +401,11 @@ class AsyncBuildServer:
             else self.default_config
         )
         label = str(data.get("label") or "")
+        context = (
+            obs.TraceContext.from_dict(data["trace"])
+            if data.get("trace") is not None
+            else None
+        )
         return _Job(
             build_id=f"b{next(self._ids)}",
             request_id=data.get("id"),
@@ -389,6 +416,8 @@ class AsyncBuildServer:
             want_oat=bool(data.get("want_oat", True)),
             send=send,
             accepted_at=time.monotonic(),
+            context=context,
+            want_trace=bool(data.get("want_trace", False)),
         )
 
     async def _cancel(self, data: dict[str, Any], send) -> None:
@@ -453,6 +482,7 @@ class AsyncBuildServer:
 
         def phase_hook(phase: str) -> None:
             # Fires in the executor thread; hop onto the loop to write.
+            job.phase = phase  # live introspection (status op)
             loop.call_soon_threadsafe(
                 lambda: asyncio.ensure_future(job.send({
                     "event": "progress",
@@ -498,6 +528,8 @@ class AsyncBuildServer:
                 "build": job.build_id,
                 "summary": report.summary(),
             }
+            if job.want_trace and job.trace_doc is not None:
+                payload["trace"] = job.trace_doc
             if job.want_oat:
                 payload["oat_b64"] = base64.b64encode(
                     report.build.oat.to_bytes()
@@ -515,11 +547,49 @@ class AsyncBuildServer:
         """Runs in the bounded executor thread.  The ``serve:<label>``
         fault site lets ``CALIBRO_FAULTS`` (with ``in_parent=True`` and
         an ``error`` rate) fail a served build deterministically — the
-        caller turns that into a structured ``error`` response."""
+        caller turns that into a structured ``error`` response.
+
+        Every build measures into its own *thread-local* tracer rooted
+        at a ``service.server.request`` span — concurrent executor
+        threads cannot interleave span stacks — inside the distributed
+        trace the client propagated (``job.context``; a fresh trace
+        when the request carried none).  The finished span tree is
+        adopted into the server's long-lived tracer and, when the
+        client asked (``want_trace``), serialized into the result
+        event so the client can merge it under its own submit span.
+        """
         maybe_inject("serve", job.label or job.build_id)
-        return self.service.submit(
-            job.dexfile, job.config, label=job.label, phase_hook=phase_hook
-        )
+        parent = self._tracer
+        if parent is None:  # observability disabled — straight through
+            return self.service.submit(
+                job.dexfile, job.config, label=job.label, phase_hook=phase_hook
+            )
+        ctx = job.context if job.context is not None else obs.TraceContext.new()
+        tracer = obs.Tracer(context=ctx)
+        job.tracer = tracer
+        try:
+            with obs.thread_tracing(tracer):
+                with obs.span(
+                    "service.server.request",
+                    build=job.build_id,
+                    tenant=job.tenant,
+                    label=job.label,
+                ):
+                    report = self.service.submit(
+                        job.dexfile,
+                        job.config,
+                        label=job.label,
+                        phase_hook=phase_hook,
+                    )
+        finally:
+            # Merge the request's spans and registries into the
+            # long-lived server trace whether the build succeeded or
+            # not — failed requests are exactly the ones worth seeing.
+            job.tracer = None
+            job.trace_doc = tracer.snapshot().to_dict()
+            parent.adopt(tracer.snapshot())
+            self.service.flush_metrics()
+        return report
 
     async def _finish_cancelled(self, job: _Job) -> None:
         job.state = "cancelled"
@@ -552,9 +622,45 @@ class AsyncBuildServer:
 
     # -- introspection ------------------------------------------------------
 
+    @staticmethod
+    def _span_node(span: "obs.Span") -> dict[str, Any]:
+        """One node of the live span tree (compact: name, seconds so
+        far, children) for the ``status`` op."""
+        return {
+            "name": span.name,
+            "seconds": round(span.duration, 6),
+            "children": [AsyncBuildServer._span_node(c) for c in span.children],
+        }
+
+    def _job_status(self, job: _Job) -> dict[str, Any]:
+        """Live view of one in-flight build: phase, age and — while it
+        runs — the span tree snapshotted from its thread's tracer."""
+        entry: dict[str, Any] = {
+            "build": job.build_id,
+            "tenant": job.tenant,
+            "label": job.label,
+            "state": job.state,
+            "phase": job.phase,
+            "seconds": round(time.monotonic() - job.accepted_at, 6),
+        }
+        tracer = job.tracer
+        if tracer is not None:
+            # Snapshot of another thread's tracer: snapshot() copies,
+            # so the build keeps measuring undisturbed.  A torn read
+            # during a rare concurrent mutation degrades to "no spans".
+            try:
+                snap = tracer.snapshot()
+            except RuntimeError:  # pragma: no cover - list mutated mid-copy
+                snap = None
+            if snap is not None:
+                entry["trace_id"] = snap.meta.get("trace_id", "")
+                entry["spans"] = [self._span_node(s) for s in snap.spans]
+        return entry
+
     def stats(self) -> dict[str, Any]:
         """Front-door bookkeeping: the ``status`` op's ``stats`` field
-        (service stats nested under ``"service"``)."""
+        (service stats nested under ``"service"``, live per-build
+        introspection under ``"builds"``)."""
         return {
             "protocol_version": PROTOCOL_VERSION,
             "queue_depth": self.queue_depth,
@@ -567,6 +673,11 @@ class AsyncBuildServer:
             "results": self._results,
             "active": sum(1 for j in self._jobs.values() if j.state == "running"),
             "queued": sum(1 for j in self._jobs.values() if j.state == "queued"),
+            "builds": [
+                self._job_status(job)
+                for job in self._jobs.values()
+                if job.state in ("queued", "running")
+            ],
             "tenants": {
                 tenant: {
                     "inflight": book.inflight,

@@ -15,11 +15,15 @@ process that owns
 * its own **cache shard** — a content-addressed memo over the chunk, so
   identical group payloads inside a shard compute once
   (`service.shard.memo_hits`);
-* its own **tracer** — shard-local counters and histograms (mining
-  stats, fault injections, …) are snapshotted into the shard result and
-  merged *exactly* into the supervising build's registries
-  (:meth:`repro.observability.Tracer.merge_registry`), so a sharded
-  build's trace is a superset of what the in-process pool could see.
+* its own **tracer** — the supervisor hands each shard a
+  :class:`~repro.observability.TraceContext` (the distributed-trace id
+  plus the ``service.shard.map`` span to parent under), so the shard
+  emits a *real* ``service.shard.run`` span with true wall-clock
+  timestamps; the snapshot travels back in the shard result and is
+  grafted into the supervising build's trace losslessly
+  (:meth:`repro.observability.Tracer.adopt` — registries merge
+  exactly, spans keep their causal parent chain), so a sharded build's
+  trace is one coherent tree across all shard processes.
 
 Placement is deterministic round-robin
 (:func:`repro.suffixtree.parallel.round_robin_shards`) and results are
@@ -57,7 +61,7 @@ from typing import Callable, Sequence, TypeVar
 
 from repro import observability as obs
 from repro.core.errors import ServiceError
-from repro.observability import Trace
+from repro.observability import Trace, TraceContext
 from repro.service import faults
 from repro.suffixtree.parallel import round_robin_shards
 
@@ -106,48 +110,67 @@ class ShardResult:
     #: Results in chunk order (the supervisor re-places them by the
     #: global indices it assigned).
     results: list = field(default_factory=list)
-    #: Snapshot of the shard-local tracer (counters/histograms merged
-    #: into the supervising tracer; spans are reconstructed from the
-    #: per-group stats as usual).
+    #: Snapshot of the shard-local tracer — real ``service.shard.run``
+    #: spans (parented into the supervisor's trace via the propagated
+    #: context) plus the shard's counter/histogram registries, adopted
+    #: losslessly by the supervisor.
     trace: Trace | None = None
     #: Wall seconds inside the shard process.
     seconds: float = 0.0
     memo_hits: int = 0
 
 
-def _shard_worker(worker, shard_index: int, chunk: list) -> ShardResult:
+def _shard_worker(
+    worker,
+    shard_index: int,
+    chunk: list,
+    ctx: TraceContext | None = None,
+) -> ShardResult:
     """Run one shard's chunk inside the shard process.
 
     ``chunk`` is ``[(global_index, payload), ...]``.  Module-level so the
     executor can pickle it; ``worker`` must be module-level too (the
-    same contract ``map_over_groups`` documents).
+    same contract ``map_over_groups`` documents).  ``ctx`` is the
+    supervisor's propagated trace context (falls back to
+    ``CALIBRO_TRACE_CONTEXT`` for spawn-style plumbing); the shard's
+    tracer mints spans inside that distributed trace.
     """
     t0 = time.perf_counter()
     memo_hits = 0
-    with obs.tracing() as tracer:
-        faults.maybe_inject("shard", str(shard_index))
-        memo: dict[str, object] = {}
-        results = []
-        for global_index, payload in chunk:
-            faults.maybe_inject("group", str(global_index))
-            try:
-                digest = hashlib.sha256(
-                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-                ).hexdigest()
-            except Exception:
-                digest = None
-            if digest is not None and digest in memo:
-                # The worker is pure (that is what makes the outline
-                # cache sound), so an intra-shard duplicate payload can
-                # reuse the first computation byte-for-byte.
-                memo_hits += 1
-                obs.counter_add("service.shard.memo_hits")
-                results.append(memo[digest])
-                continue
-            result = worker(payload)
-            if digest is not None:
-                memo[digest] = result
-            results.append(result)
+    if ctx is None:
+        ctx = TraceContext.from_env()
+    tracer = obs.Tracer(context=ctx) if ctx is not None else obs.Tracer()
+    # Install process-wide AND as this thread's overlay: a fork-started
+    # worker inherits the forking thread's thread-local tracer (the
+    # serve executor thread's overlay), and that ghost would otherwise
+    # shadow this tracer in every obs helper.
+    with obs.tracing(tracer), obs.thread_tracing(tracer):
+        with obs.span(
+            "service.shard.run", shard=shard_index, groups=len(chunk)
+        ):
+            faults.maybe_inject("shard", str(shard_index))
+            memo: dict[str, object] = {}
+            results = []
+            for global_index, payload in chunk:
+                faults.maybe_inject("group", str(global_index))
+                try:
+                    digest = hashlib.sha256(
+                        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                    ).hexdigest()
+                except Exception:
+                    digest = None
+                if digest is not None and digest in memo:
+                    # The worker is pure (that is what makes the outline
+                    # cache sound), so an intra-shard duplicate payload can
+                    # reuse the first computation byte-for-byte.
+                    memo_hits += 1
+                    obs.counter_add("service.shard.memo_hits")
+                    results.append(memo[digest])
+                    continue
+                result = worker(payload)
+                if digest is not None:
+                    memo[digest] = result
+                results.append(result)
         snapshot = tracer.snapshot()
     return ShardResult(
         index=shard_index,
@@ -249,7 +272,9 @@ class ShardExecutor:
     def _dispatch(self, worker, shard_index: int, chunk: list) -> Future:
         self.stats.dispatches += 1
         obs.counter_add("service.shard.dispatches")
-        return self._pool().submit(_shard_worker, worker, shard_index, chunk)
+        tracer = obs.current_tracer()
+        ctx = tracer.child_context() if tracer is not None else None
+        return self._pool().submit(_shard_worker, worker, shard_index, chunk, ctx)
 
     def _collect(self, worker, shard_index: int, chunk: list, future: Future) -> list:
         """The shard supervision ladder: timeout/failure → terminating
@@ -305,13 +330,21 @@ class ShardExecutor:
 
     def _merge(self, shard_index: int, chunk: list, shard_result: ShardResult) -> None:
         """Feed one healthy shard's measurements into the build's
-        observability: a reconstructed span, the shard wall-time
-        histogram, and the shard-local registries (exact merge)."""
+        observability: the shard's real span tree (wall-clock rebased,
+        causally parented under ``service.shard.map``), the shard
+        wall-time histogram, and the shard-local registries (exact
+        merge) — all via :meth:`~repro.observability.Tracer.adopt`."""
         self.stats.memo_hits += shard_result.memo_hits
         obs.histogram_observe("service.shard.seconds", shard_result.seconds)
         tracer = obs.current_tracer()
         if tracer is None:
             return
+        if shard_result.trace is not None and shard_result.trace.spans:
+            tracer.adopt(shard_result.trace)
+            return
+        # Shard ran without observability (CALIBRO_OBS_OFF children):
+        # keep the pre-distributed-tracing reconstruction so the trace
+        # still accounts for the shard's wall time.
         tracer.record_span(
             "service.shard.run",
             shard_result.seconds,

@@ -1,0 +1,132 @@
+"""Chrome/Perfetto export: the invariants every viewer relies on."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability import Span, Trace, chrome_events, trace_to_chrome, write_chrome
+
+
+def _distributed_trace() -> Trace:
+    """Client (pid 100) -> server (pid 200) -> shard (pid 300), plus two
+    same-pid siblings sharing a start so the nudge path is exercised."""
+    shard = Span(
+        name="service.shard.run",
+        start=0.2,
+        duration=0.3,
+        span_id="c" * 16,
+        parent_id="b" * 16,
+        pid=300,
+        attrs={"shard": 0},
+    )
+    twin_a = Span(
+        name="ltbo.group", start=0.15, duration=0.1, span_id="d" * 16,
+        parent_id="b" * 16, pid=200,
+    )
+    twin_b = Span(
+        name="ltbo.group", start=0.15, duration=0.1, span_id="e" * 16,
+        parent_id="b" * 16, pid=200,
+    )
+    server = Span(
+        name="service.server.request",
+        start=0.1,
+        duration=0.8,
+        span_id="b" * 16,
+        parent_id="a" * 16,
+        pid=200,
+        children=[twin_a, twin_b, shard],
+    )
+    root = Span(
+        name="service.client.build",
+        start=0.05,
+        duration=1.0,
+        span_id="a" * 16,
+        pid=100,
+        children=[server],
+    )
+    return Trace(
+        spans=[root],
+        meta={"trace_id": "ab" * 16, "pid": 100, "config": "CTO+LTBO"},
+    )
+
+
+def _span_count(trace: Trace) -> int:
+    return sum(1 for root in trace.spans for _ in root.walk())
+
+
+def test_every_span_becomes_one_complete_event():
+    trace = _distributed_trace()
+    slices = [e for e in chrome_events(trace) if e["ph"] == "X"]
+    assert len(slices) == _span_count(trace)
+    for event in slices:
+        assert event["name"]
+        assert event["dur"] >= 0.0
+        assert event["ts"] >= 0.0
+        assert isinstance(event["pid"], int)
+
+
+def test_timestamps_are_zero_based_and_strictly_increasing_per_row():
+    events = chrome_events(_distributed_trace())
+    slices = [e for e in events if e["ph"] == "X"]
+    assert min(e["ts"] for e in slices) == 0.0
+    rows: dict[tuple[int, int], list[float]] = {}
+    for event in slices:
+        rows.setdefault((event["pid"], event["tid"]), []).append(event["ts"])
+    for ts_list in rows.values():
+        assert all(a < b for a, b in zip(ts_list, ts_list[1:])), ts_list
+
+
+def test_every_pid_gets_metadata_rows():
+    events = chrome_events(_distributed_trace())
+    pids = {e["pid"] for e in events if e["ph"] == "X"}
+    assert pids == {100, 200, 300}
+    named = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert set(named) == pids
+    assert named[100].startswith("calibro (")  # the trace's own process
+    assert named[300].startswith("calibro worker (")
+
+
+def test_flow_pairs_only_across_pid_boundaries():
+    events = chrome_events(_distributed_trace())
+    starts = [e for e in events if e["ph"] == "s"]
+    ends = [e for e in events if e["ph"] == "f"]
+    # Two pid crossings: client->server and server->shard.  The two
+    # same-pid twins must NOT get arrows.
+    assert len(starts) == len(ends) == 2
+    assert {e["id"] for e in starts} == {"b" * 16, "c" * 16}
+    by_id = {e["id"]: e for e in starts}
+    for end in ends:
+        assert end["bp"] == "e"
+        start = by_id[end["id"]]
+        assert start["pid"] != end["pid"]
+
+
+def test_trace_to_chrome_document_shape():
+    doc = trace_to_chrome(_distributed_trace())
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["trace_id"] == "ab" * 16
+    assert doc["otherData"]["config"] == "CTO+LTBO"
+    assert doc["traceEvents"]
+
+
+def test_write_chrome_emits_loadable_json(tmp_path):
+    path = write_chrome(_distributed_trace(), tmp_path / "trace.chrome.json")
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    assert {e["ph"] for e in doc["traceEvents"]} == {"M", "X", "s", "f"}
+
+
+def test_empty_trace_exports_no_events():
+    assert chrome_events(Trace()) == []
+
+
+def test_pidless_spans_inherit_the_trace_pid():
+    trace = Trace(
+        spans=[Span(name="build", start=0.0, duration=1.0)],
+        meta={"pid": 42},
+    )
+    (event,) = [e for e in chrome_events(trace) if e["ph"] == "X"]
+    assert event["pid"] == 42

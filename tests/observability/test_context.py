@@ -1,0 +1,105 @@
+"""TraceContext: the identity one request carries across processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CalibroError
+from repro.observability import TRACE_CONTEXT_ENV, TraceContext
+
+
+def test_new_mints_a_root_context():
+    ctx = TraceContext.new()
+    assert len(ctx.trace_id) == 32
+    assert set(ctx.trace_id) <= set("0123456789abcdef")
+    assert ctx.span_id == ""  # root: no upstream parent
+    assert ctx.sampled is True
+    assert TraceContext.new().trace_id != ctx.trace_id
+
+
+def test_child_keeps_the_trace_and_swaps_the_parent():
+    ctx = TraceContext.new()
+    child = ctx.child("00deadbeef00cafe")
+    assert child.trace_id == ctx.trace_id
+    assert child.span_id == "00deadbeef00cafe"
+    assert child.sampled == ctx.sampled
+
+
+@pytest.mark.parametrize("trace_id", [
+    "", "short", "X" * 32, "ABCDEF" + "0" * 26,  # uppercase refused
+    "0" * 31, "0" * 33,
+])
+def test_malformed_trace_id_is_refused(trace_id):
+    with pytest.raises(CalibroError, match="trace_id"):
+        TraceContext(trace_id=trace_id)
+
+
+def test_malformed_span_id_is_refused():
+    with pytest.raises(CalibroError, match="span_id"):
+        TraceContext(trace_id="ab" * 16, span_id="nope")
+
+
+def test_wire_round_trip():
+    ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, sampled=False)
+    back = TraceContext.from_dict(ctx.to_dict())
+    assert back == ctx
+    # A root context omits span_id from the wire document entirely.
+    root = TraceContext(trace_id="ef" * 16)
+    assert "span_id" not in root.to_dict()
+    assert TraceContext.from_dict(root.to_dict()) == root
+
+
+def test_from_dict_refuses_non_mapping():
+    with pytest.raises(CalibroError, match="mapping"):
+        TraceContext.from_dict(["not", "a", "dict"])
+
+
+def test_env_round_trip_with_and_without_parent():
+    parented = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    assert parented.to_env() == f"{'ab' * 16}-{'cd' * 8}-01"
+    assert TraceContext.from_spec(parented.to_env()) == parented
+
+    root = TraceContext(trace_id="ab" * 16, sampled=False)
+    assert root.to_env() == f"{'ab' * 16}-{'0' * 16}-00"
+    assert TraceContext.from_spec(root.to_env()) == root
+
+
+def test_from_env_reads_the_variable():
+    ctx = TraceContext(trace_id="12" * 16, span_id="34" * 8)
+    environ = {TRACE_CONTEXT_ENV: ctx.to_env()}
+    assert TraceContext.from_env(environ) == ctx
+    assert TraceContext.from_env({}) is None
+    assert TraceContext.from_env({TRACE_CONTEXT_ENV: "  "}) is None
+
+
+@pytest.mark.parametrize("spec", [
+    "not-a-context", "a-b", "x" * 32 + "-" + "0" * 16 + "-01",
+    "ab" * 16 + "-" + "0" * 16 + "-7f",
+])
+def test_malformed_env_value_raises(spec):
+    with pytest.raises(CalibroError):
+        TraceContext.from_env({TRACE_CONTEXT_ENV: spec})
+
+
+def test_tracer_inherits_the_context():
+    from repro.observability import Tracer
+
+    ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    tracer = Tracer(context=ctx)
+    assert tracer.trace_id == ctx.trace_id
+    with tracer.span("root") as root:
+        pass
+    # The first span parents under the upstream span id.
+    assert root.parent_id == ctx.span_id
+    assert tracer.snapshot().meta["trace_id"] == ctx.trace_id
+
+
+def test_child_context_points_at_the_open_span():
+    from repro.observability import Tracer
+
+    tracer = Tracer()
+    assert tracer.child_context() == tracer.context  # nothing open
+    with tracer.span("work") as span:
+        ctx = tracer.child_context()
+        assert ctx.trace_id == tracer.trace_id
+        assert ctx.span_id == span.span_id

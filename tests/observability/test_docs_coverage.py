@@ -56,6 +56,15 @@ def test_every_name_is_documented():
     )
 
 
+def test_trace_schema_fields_are_documented():
+    """v3 span identity (span_id/parent_id/pid), the trace meta keys
+    and the subprocess propagation variable are documented surface."""
+    doc = DOC.read_text(encoding="utf-8")
+    for name in ("span_id", "parent_id", "pid", "trace_id", "epoch_unix"):
+        assert f"`{name}`" in doc, f"docs/observability.md missing `{name}`"
+    assert "CALIBRO_TRACE_CONTEXT" in doc
+
+
 def test_every_ledger_field_is_documented():
     """The ledger record schema is part of the documented surface."""
     from repro.observability import LedgerEntry

@@ -113,6 +113,54 @@ def test_last_filters_by_config_and_label(tmp_path):
     assert ledger.configs() == ["A", "B"]
 
 
+# -- durability: torn writes and injected faults ----------------------------
+
+
+def test_trailing_corrupt_lines_are_counted_and_metered(tmp_path):
+    from repro import observability as obs
+
+    path = tmp_path / "ledger.jsonl"
+    ledger = BuildLedger(path)
+    ledger.append(_entry(label="ok"))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"config": "torn mid-wri\n')  # ENOSPC / crash leftovers
+        fh.write("{{{not json\n")
+    with obs.tracing() as tracer:
+        assert [e.label for e in ledger.entries()] == ["ok"]
+    assert ledger.corrupt_lines == 2
+    assert tracer.counters["ledger.corrupt_lines"] == 2
+    # A later clean append supersedes the damage assessment.
+    ledger.append(_entry(label="next"))
+    with pytest.raises(CalibroError):  # torn lines are now interior
+        ledger.entries()
+
+
+def test_append_fault_site_fires_in_parent(tmp_path):
+    from repro.core.errors import ServiceError
+    from repro.service.faults import FaultPlan, armed
+
+    ledger = BuildLedger(tmp_path / "ledger.jsonl")
+    plan = FaultPlan(seed=0, error=1.0, in_parent=True, match=("ledger:app",))
+    with armed(plan):
+        with pytest.raises(ServiceError, match="injected fault at ledger:app"):
+            ledger.append(_entry(label="app"))
+        # Non-matching key passes through untouched.
+        ledger.append(_entry(label="other"))
+    # The fault fired before any bytes landed: no torn half-record.
+    assert [e.label for e in ledger.entries()] == ["other"]
+    assert ledger.corrupt_lines == 0
+
+
+def test_ledger_fault_site_stays_quiet_outside_child_without_in_parent(tmp_path):
+    from repro.service.faults import FaultPlan, armed
+
+    ledger = BuildLedger(tmp_path / "ledger.jsonl")
+    plan = FaultPlan(seed=0, error=1.0, match=("ledger:app",))  # child-only
+    with armed(plan):
+        ledger.append(_entry(label="app"))
+    assert [e.label for e in ledger.entries()] == ["app"]
+
+
 # -- distilling builds ------------------------------------------------------
 
 
@@ -142,6 +190,28 @@ def test_entry_from_build_distills_a_real_build(small_app):
     assert entry.reduction > 0
     assert entry.wall_seconds == build.build_seconds
     assert entry.timestamp == 123.0
+
+
+def test_trace_id_round_trips_through_the_ledger(tmp_path):
+    """v4: the distributed-trace id joins a ledger row to its trace."""
+    ledger = BuildLedger(tmp_path / "ledger.jsonl")
+    ledger.append(_entry(label="traced", trace_id="ab" * 16))
+    ledger.append(_entry(label="dark"))  # built without a tracer
+    traced, dark = ledger.entries()
+    assert traced.trace_id == "ab" * 16
+    assert dark.trace_id == ""
+    assert _entry(trace_id="cd" * 16).to_dict()["trace_id"] == "cd" * 16
+
+
+def test_entry_from_build_records_the_trace_id(small_app):
+    from repro import observability as obs
+    from repro.core import CalibroConfig, build_app
+    from repro.observability import entry_from_build
+
+    with obs.tracing() as tracer:
+        build = build_app(small_app.dexfile, CalibroConfig.cto())
+    entry = entry_from_build(build, label="taobao")
+    assert entry.trace_id == tracer.trace_id
 
 
 def test_graph_field_round_trips_and_stays_optional():

@@ -179,11 +179,18 @@ def test_set_disabled_blocks_installation():
 
 
 def test_snapshot_closes_open_spans_with_partial_durations(tracer, clock):
-    tracer.span("open").__enter__()
+    handle = tracer.span("open")
+    handle.__enter__()
     clock.advance(2.0)
     trace = tracer.snapshot(config="test")
     assert trace.find("open").duration == pytest.approx(2.0)
-    assert trace.meta == {"config": "test"}
+    assert trace.meta["config"] == "test"
+    # The snapshot is a copy: the live span stays open (duration 0)
+    # so _end can close it with the real duration later.
+    assert tracer.roots[0].duration == 0.0
+    clock.advance(1.0)
+    handle.__exit__(None, None, None)
+    assert tracer.roots[0].duration == pytest.approx(3.0)
 
 
 def test_trace_find_and_total(tracer, clock):
@@ -211,10 +218,14 @@ def test_trace_dict_round_trip(tracer, clock):
     back = Trace.from_dict(trace.to_dict())
     assert back.counters == {"c": 7}
     assert back.gauges == {"g": 11.0}
-    assert back.meta == {"note": "round-trip"}
+    assert back.meta["note"] == "round-trip"
+    # Snapshots always stamp the distributed-trace identity (v3).
+    assert back.meta["trace_id"] == tracer.trace_id
+    assert back.meta["pid"]
     root = back.find("root")
     assert root.attrs == {"kind": "test"}
     assert root.duration == pytest.approx(1.75)
+    assert root.span_id and back.find("child").parent_id == root.span_id
     assert back.find("child").start == pytest.approx(1.25)
 
 

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-from repro.reporting import ascii_bars, format_bytes, format_table, pct, ratio_row
+from repro.reporting import (
+    ascii_bars,
+    format_bytes,
+    format_table,
+    pct,
+    ratio_row,
+    sparkline,
+)
 
 
 def test_pct():
@@ -39,6 +46,22 @@ def test_ratio_row_matches_paper_format():
 def test_ratio_row_handles_zero_baseline():
     row = ratio_row("x", {"A": 0.0}, {"A": 5.0})
     assert row[1] == "0.00%"
+
+
+def test_sparkline_scales_min_to_max():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert line == "▁▅█"
+    assert sparkline([]) == ""
+    # A flat series renders mid-height, not a crash on zero range.
+    assert sparkline([3.0, 3.0, 3.0]) == "▄▄▄"
+
+
+def test_sparkline_downsamples_to_width():
+    line = sparkline(list(range(100)), width=10)
+    assert len(line) == 10
+    assert line[0] == "▁" and line[-1] == "█"
+    # Width wider than the series leaves it untouched.
+    assert len(sparkline([1.0, 2.0], width=10)) == 2
 
 
 def test_ascii_bars():

@@ -104,3 +104,52 @@ def test_batch_mode_still_needs_inputs_and_outdir(tmp_path, dex_json, capsys):
     assert "batch mode" in capsys.readouterr().err
     assert main(["serve", str(dex_json)]) == 2
     assert "--outdir" in capsys.readouterr().err
+
+
+def test_top_one_shot_renders_the_front_door(listening, dex_json, tmp_path, capsys):
+    out = tmp_path / "app.oat"
+    assert main(["submit", listening, str(dex_json), "-o", str(out)]) == 0
+    capsys.readouterr()
+
+    assert main(["top", listening]) == 0
+    screen = capsys.readouterr().out
+    assert f"calibro top — {listening}" in screen
+    assert "queued 0/" in screen and "accepted 1" in screen
+    assert "no builds in flight" in screen  # the submit already finished
+
+    assert main(["top", listening, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["accepted"] == 1 and doc["active"] == 0
+    assert "builds" in doc
+
+
+def test_top_against_dead_socket_is_a_service_error(tmp_path, capsys):
+    gone = str(tmp_path / "nobody-home.sock")
+    assert main(["top", gone]) == 5
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_top_screen_renders_inflight_builds_with_span_trees():
+    from repro.cli import _render_top
+
+    stats = {
+        "protocol_version": 1, "queue_depth": 32, "max_concurrent": 2,
+        "tenant_quota": 2, "accepted": 3, "results": 2, "rejected": 0,
+        "cancelled": 0, "errors": 0, "active": 1, "queued": 0,
+        "tenants": {"alice": {"inflight": 1, "accepted": 3}},
+        "builds": [{
+            "build": "b3", "tenant": "alice", "label": "meituan",
+            "state": "running", "phase": "ltbo", "seconds": 1.25,
+            "trace_id": "ab" * 16,
+            "spans": [{
+                "name": "service.server.request", "seconds": 1.2,
+                "children": [{"name": "service.build", "seconds": 1.1,
+                              "children": []}],
+            }],
+        }],
+    }
+    screen = _render_top("/tmp/s", stats)
+    assert "alice 1 in-flight (3 accepted)" in screen
+    assert "b3  alice  meituan  running  phase=ltbo  1.25s  trace " + "ab" * 16 in screen
+    assert "    service.server.request 1.200s" in screen
+    assert "      service.build 1.100s" in screen  # nested one level deeper

@@ -122,3 +122,56 @@ def test_serve_writes_metrics_and_ledger(tmp_path, dex_json, capsys):
     assert entry["label"] == "wechat"
     assert entry["text_size_after"] > 0
     assert len(entry["trace_digest"]) == 64  # serve installed a tracer
+
+
+def test_history_plot_renders_a_sparkline(tmp_path, dex_json, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    _build(dex_json, tmp_path, "p1", "--ledger", str(ledger))
+    _build(dex_json, tmp_path, "p2", "--ledger", str(ledger))
+    _build(dex_json, tmp_path, "p3", "--ledger", str(ledger))
+    capsys.readouterr()
+
+    assert main(["history", str(ledger), "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "CTO+LTBO+PlOpti / wechat:" in out
+    assert any(tick in out for tick in "▁▂▃▄▅▆▇█")
+    assert "over 3 builds" in out
+
+    assert main(["history", str(ledger), "--plot", "--config", "nope"]) == 0
+    assert "no matching entries" in capsys.readouterr().out
+
+
+def test_trace_chrome_exports_the_saved_trace(tmp_path, dex_json, capsys):
+    trace = tmp_path / "build.trace.json"
+    chrome = tmp_path / "build.chrome.json"
+    _build(dex_json, tmp_path, "tc", "--trace", str(trace))
+    capsys.readouterr()
+
+    assert main(["trace", str(trace), "--chrome", str(chrome)]) == 0
+    assert f"chrome trace -> {chrome}" in capsys.readouterr().out
+    doc = json.loads(chrome.read_text(encoding="utf-8"))
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in slices}
+    assert {"build", "build.dex2oat", "build.link"} <= names
+    assert len(doc["otherData"]["trace_id"]) == 32
+
+
+def test_build_trace_chrome_writes_both_documents(tmp_path, dex_json, capsys):
+    trace = tmp_path / "b.trace.json"
+    chrome = tmp_path / "b.chrome.json"
+    _build(dex_json, tmp_path, "bc", "--trace", str(trace),
+           "--trace-chrome", str(chrome))
+    out = capsys.readouterr().out
+    assert f"chrome trace -> {chrome}" in out
+
+    saved = json.loads(trace.read_text(encoding="utf-8"))
+    doc = json.loads(chrome.read_text(encoding="utf-8"))
+    # Both exports describe the same trace.
+    assert doc["otherData"]["trace_id"] == saved["meta"]["trace_id"]
+    span_count = 0
+    stack = list(saved["spans"])
+    while stack:
+        node = stack.pop()
+        span_count += 1
+        stack.extend(node.get("children", []))
+    assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == span_count
