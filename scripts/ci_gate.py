@@ -22,7 +22,12 @@ compare`` (``--threshold``, ``--min-seconds``), so a noisy host needs a
 real wall-time jump — not jitter — to go red.  Entries that carry
 incremental (``graph``) or merging (``merge``) accounting are gated on
 those too: a grown rebuild set or shrunken ``merge.saved_bytes`` fails
-the run just like a text-size regression.
+the run just like a text-size regression.  Entries whose cache traffic
+is non-zero on both sides are additionally gated on the
+``service.cache.hit_rate`` derived from their ``cache_hits`` /
+``cache_misses`` fields — a warm build quietly going cold (a broken
+shared cache, a key-derivation drift, an over-eager eviction) fails
+the run before wall time moves on small apps.
 
     python scripts/ci_gate.py .ci/ledger.jsonl
     python scripts/ci_gate.py fresh.jsonl --baseline known-good.jsonl

@@ -320,6 +320,9 @@ def _cmd_serve(args) -> int:
         ledger=args.ledger,
         metrics_path=args.metrics_file,
         incremental=args.incremental,
+        # None resolves to "shared exactly when --cache-dir is set";
+        # the flag only ever opts out.
+        shared_cache=False if args.no_shared_cache else None,
     )
     if args.listen:
         if args.inputs:
@@ -957,6 +960,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="persistent cache directory (default: in-memory only)")
     p.add_argument("--cache-mb", type=int, default=64,
                    help="disk cache size bound in MiB")
+    p.add_argument("--no-shared-cache", action="store_true",
+                   help="keep shard/pool worker processes off the disk "
+                        "cache (with --cache-dir they read and write it "
+                        "directly by default)")
     p.add_argument("--incremental", action="store_true",
                    help="delta builds via the keyed dependency graph — "
                         "re-executes only nodes whose content hash moved")

@@ -65,8 +65,13 @@ class TraceContext:
     ``trace_id`` is 32 lowercase hex chars (16 random bytes) shared by
     every span of the request.  ``span_id`` is the 16-hex id of the
     parent span in the upstream process — empty for a root context,
-    where the request has no upstream parent.  ``sampled`` is carried
-    for forward compatibility (everything is currently sampled).
+    where the request has no upstream parent.  ``sampled=False``
+    downgrades span recording in every tracer the context reaches
+    (:meth:`~repro.observability.Tracer.snapshot` ships registries
+    only — counters/gauges/histograms still aggregate exactly, spans
+    are dropped at the export boundary); the flag propagates to child
+    contexts, so one unsampled request stays unsampled across the
+    server, the build service and every shard/pool worker it touches.
     """
 
     trace_id: str

@@ -226,6 +226,27 @@ def diff_entries(
                 >= min_seconds,
             )
         )
+    # Cache-efficiency gating: when both entries actually exercised the
+    # outline cache (lookups on both sides — a cold baseline with zero
+    # traffic gates nothing), the hit rate shrinking beyond the
+    # threshold is a regression: a key-derivation change, a broken
+    # shared-cache handle or an over-eager eviction quietly turns warm
+    # rebuilds back into cold ones long before wall time moves on small
+    # apps.  `service.cache.hit_rate` is a derived ratio in [0, 1], not
+    # an emitted counter.
+    lookups_before = before.cache_hits + before.cache_misses
+    lookups_after = after.cache_hits + after.cache_misses
+    if lookups_before > 0 and lookups_after > 0:
+        rate_before = before.cache_hits / lookups_before
+        rate_after = after.cache_hits / lookups_after
+        report.sizes.append(
+            Delta(
+                "service.cache.hit_rate",
+                rate_before,
+                rate_after,
+                rate_after < rate_before * (1.0 - threshold) and rate_before > 0,
+            )
+        )
     # Merging gating: when both entries carry merge accounting, the
     # saved bytes shrinking beyond the threshold is a regression — a
     # fold/similarity detector quietly losing groups shows up here

@@ -653,7 +653,17 @@ class Tracer:
         :meth:`adopt` the snapshot losslessly.
         """
         now = self._clock() - self.epoch
-        spans = [self._copy_span(root, now) for root in list(self.roots)]
+        # An unsampled context (TraceContext.sampled=False, carried on
+        # the wire or via CALIBRO_TRACE_CONTEXT) downgrades span
+        # recording: the snapshot ships registries only — counters,
+        # gauges and histograms still aggregate exactly, but no span
+        # forest travels back to (or out of) this process.  Span
+        # *collection* stays live so in-process callers can keep using
+        # span objects; the downgrade happens at the export boundary.
+        if self.context.sampled:
+            spans = [self._copy_span(root, now) for root in list(self.roots)]
+        else:
+            spans = []
         with self._lock:
             histograms = {
                 name: Histogram.from_dict(hist.to_dict())
@@ -668,6 +678,9 @@ class Tracer:
                     "trace_id": self.trace_id,
                     "epoch_unix": self.epoch_unix,
                     "pid": os.getpid(),
+                    # Only flagged when downgraded — sampled traces keep
+                    # the pre-existing meta shape byte-for-byte.
+                    **({} if self.context.sampled else {"sampled": False}),
                     **self.meta,
                     **meta,
                 },

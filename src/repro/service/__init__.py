@@ -26,6 +26,8 @@ from repro.service.cache import (
     DEFAULT_MAX_BYTES,
     CacheStats,
     OutlineCache,
+    SharedCacheSpec,
+    SharedCacheWorker,
     fingerprint_methods,
 )
 from repro.service.client import BuildResult, CalibroClient, PendingBuild
@@ -72,6 +74,8 @@ __all__ = [
     "ServiceConfig",
     "ShardExecutor",
     "ShardStats",
+    "SharedCacheSpec",
+    "SharedCacheWorker",
     "WorkerPool",
     "armed",
     "build_info_labels",

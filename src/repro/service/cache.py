@@ -27,16 +27,34 @@ Key properties:
   it fits.
 * **Crash safety.**  A corrupt or truncated entry is treated as a miss
   and deleted; the cache never fails a build.
+* **Multi-process safety.**  Any number of processes may read, write
+  and evict one directory concurrently: writers stage entries under
+  per-writer temp names (pid + sequence) and publish with an atomic
+  ``os.replace``; a reader racing an eviction sees a plain miss (the
+  post-read ``os.utime`` recency refresh tolerates the file vanishing);
+  eviction scans tolerate entries deleted underneath them and sweep
+  temp files abandoned by crashed writers.  :class:`SharedCacheSpec` is
+  the picklable recipe shard and pool worker processes use to open
+  their own handle on the supervisor's directory — the read-through /
+  write-back layer behind ``ServiceConfig(shared_cache=...)``.
 
 Counters (`service.cache.*`) feed the observability registry whenever a
-tracer is active; ``docs/service.md`` documents the semantics.
+tracer is active — split by tier (``disk_hits`` vs ``memory_hits``) and
+by process role (``supervisor``/``shard``/``worker``); ``docs/service.md``
+documents the semantics.  The disk tier exposes deterministic
+``CALIBRO_FAULTS`` sites (``cache.read`` / ``cache.write`` /
+``cache.evict``) that always degrade to a miss or a skipped write,
+never a failed build.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import os
 import pickle
+import threading
 import time
 import weakref
 from collections import OrderedDict
@@ -47,8 +65,16 @@ from repro import observability as obs
 from repro.compiler.compiled import CompiledMethod
 from repro.core.errors import ServiceError
 from repro.core.outline import GroupOutlineResult
+from repro.service import faults
 
-__all__ = ["CacheStats", "OutlineCache", "fingerprint_methods"]
+__all__ = [
+    "CacheStats",
+    "OutlineCache",
+    "SharedCacheSpec",
+    "SharedCacheWorker",
+    "fingerprint_methods",
+    "outline_payload_key",
+]
 
 #: Bump when the pickle payload or key derivation changes shape —
 #: entries from other versions are ignored (treated as misses).
@@ -60,6 +86,20 @@ _FORMAT_VERSION = 3
 #: Default disk budget: plenty for a CI fleet of generated apps while
 #: still exercising eviction in long batch runs.
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Which process opened this handle — key material for the per-role
+#: counter split (`service.cache.supervisor_hits` & co.).
+CACHE_ROLES = ("supervisor", "shard", "worker")
+
+#: A ``*.tmp`` staging file older than this is an orphan from a crashed
+#: writer and is swept during eviction scans; younger temp files may be
+#: a live writer's in-flight entry and are left alone.
+_TMP_MAX_AGE_SECONDS = 300.0
+
+#: Per-process sequence for temp-file names: two threads of one process
+#: (the async front door runs builds on executor threads) must not
+#: share a staging path any more than two processes may.
+_TMP_SEQ = itertools.count()
 
 
 def _hash_int(h, value: int) -> None:
@@ -289,16 +329,25 @@ class OutlineCache:
         *,
         max_bytes: int = DEFAULT_MAX_BYTES,
         memory_entries: int = 256,
+        role: str = "supervisor",
     ) -> None:
         if max_bytes < 1:
             raise ServiceError("cache max_bytes must be >= 1")
         if memory_entries < 1:
             raise ServiceError("cache memory_entries must be >= 1")
+        if role not in CACHE_ROLES:
+            raise ServiceError(
+                f"cache role must be one of {CACHE_ROLES}, got {role!r}"
+            )
         self.directory = Path(directory) if directory is not None else None
         self.max_bytes = max_bytes
         self.memory_entries = memory_entries
+        self.role = role
         self.stats = CacheStats()
         self._memory: OrderedDict[str, object] = OrderedDict()
+        # The async front door runs builds on executor threads sharing
+        # one service cache; OrderedDict reorder-on-hit is not atomic.
+        self._lock = threading.RLock()
         if self.directory is not None:
             try:
                 self.directory.mkdir(parents=True, exist_ok=True)
@@ -387,21 +436,26 @@ class OutlineCache:
     def _get(self, key: str):
         t0 = time.perf_counter()
         try:
-            if key in self._memory:
-                self._memory.move_to_end(key)
-                self.stats.hits += 1
-                obs.counter_add("service.cache.hits")
-                return self._memory[key]
+            with self._lock:
+                if key in self._memory:
+                    self._memory.move_to_end(key)
+                    self.stats.hits += 1
+                    obs.counter_add("service.cache.hits")
+                    obs.counter_add("service.cache.memory_hits")
+                    self._count_role_hit()
+                    return self._memory[key]
             value = self._disk_read(key)
             if value is not None:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 obs.counter_add("service.cache.hits")
                 obs.counter_add("service.cache.disk_hits")
+                self._count_role_hit()
                 self._memory_put(key, value)
                 return value
             self.stats.misses += 1
             obs.counter_add("service.cache.misses")
+            self._count_role_miss()
             return None
         finally:
             obs.histogram_observe(
@@ -411,20 +465,78 @@ class OutlineCache:
     def _put(self, key: str, value) -> None:
         self.stats.stores += 1
         obs.counter_add("service.cache.stores")
+        self._count_role_store()
         self._memory_put(key, value)
         self._disk_write(key, value)
 
+    # Per-role counter split (`docs/observability.md`).  One static
+    # string literal per branch — the docs-coverage test reads names
+    # out of the source, so they must never be assembled dynamically.
+
+    def _count_role_hit(self) -> None:
+        if self.role == "shard":
+            obs.counter_add("service.cache.shard_hits")
+        elif self.role == "worker":
+            obs.counter_add("service.cache.worker_hits")
+        else:
+            obs.counter_add("service.cache.supervisor_hits")
+
+    def _count_role_miss(self) -> None:
+        if self.role == "shard":
+            obs.counter_add("service.cache.shard_misses")
+        elif self.role == "worker":
+            obs.counter_add("service.cache.worker_misses")
+        else:
+            obs.counter_add("service.cache.supervisor_misses")
+
+    def _count_role_store(self) -> None:
+        if self.role == "shard":
+            obs.counter_add("service.cache.shard_stores")
+        elif self.role == "worker":
+            obs.counter_add("service.cache.worker_stores")
+        else:
+            obs.counter_add("service.cache.supervisor_stores")
+
     def _memory_put(self, key: str, value) -> None:
-        self._memory[key] = value
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.memory_entries:
-            self._memory.popitem(last=False)
+        with self._lock:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop both tiers (a fresh-start knob for tests and tooling)."""
-        self._memory.clear()
+        """Drop both tiers (a fresh-start knob for tests and tooling).
+
+        Resets :attr:`stats` and re-emits the ``service.cache.bytes``
+        gauge as 0 — a cleared cache must not keep reporting the old
+        tier size (or the old hit rate) as live state.
+        """
+        with self._lock:
+            self._memory.clear()
         for path in self._entry_files():
-            path.unlink(missing_ok=True)
+            with contextlib.suppress(OSError):
+                path.unlink(missing_ok=True)
+        if self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("??/*.tmp"):
+                with contextlib.suppress(OSError):
+                    path.unlink(missing_ok=True)
+        self.stats = CacheStats()
+        obs.gauge_set("service.cache.bytes", 0)
+
+    def shared_spec(self) -> "SharedCacheSpec | None":
+        """The picklable recipe a child process needs to open its own
+        handle on this cache's directory (``None`` for a memory-only
+        cache — there is nothing cross-process to share)."""
+        if self.directory is None:
+            return None
+        return SharedCacheSpec(
+            directory=str(self.directory),
+            max_bytes=self.max_bytes,
+            # Children keep a small memory tier: the disk directory is
+            # the shared source of truth, the per-process LRU only
+            # shields a chunk's own re-lookups.
+            memory_entries=min(self.memory_entries, 64),
+        )
 
     # -- the disk tier ------------------------------------------------------
 
@@ -438,12 +550,23 @@ class OutlineCache:
         return [p for p in self.directory.glob("??/*.bin") if p.is_file()]
 
     def disk_bytes(self) -> int:
-        """Current size of the on-disk tier."""
-        return sum(p.stat().st_size for p in self._entry_files())
+        """Current size of the on-disk tier (entries deleted underneath
+        the scan by a concurrent evictor simply don't count)."""
+        total = 0
+        for p in self._entry_files():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def _disk_read(self, key: str):
         if self.directory is None:
             return None
+        try:
+            faults.maybe_inject("cache.read", key[:12])
+        except ServiceError:
+            return None  # an injected read fault is a plain miss
         path = self._entry_path(key)
         try:
             with open(path, "rb") as fh:
@@ -454,26 +577,80 @@ class OutlineCache:
             return None
         except Exception:
             # Corrupt/truncated/stale entry: self-heal by dropping it.
-            path.unlink(missing_ok=True)
+            with contextlib.suppress(OSError):
+                path.unlink(missing_ok=True)
             return None
-        os.utime(path)  # refresh LRU recency for the eviction scan
+        try:
+            os.utime(path)  # refresh LRU recency for the eviction scan
+        except OSError:
+            # A concurrent evictor deleted the entry between the read
+            # and the touch; the value is already in hand, so the lost
+            # recency refresh is a no-op, not a failed lookup.
+            pass
         return payload["value"]
+
+    def _tmp_path(self, key: str) -> Path:
+        """A staging path unique to this writer: two processes (or two
+        front-door threads) racing to publish the same key must never
+        interleave bytes into one temp file."""
+        return self._entry_path(key).parent / (
+            f"{key}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+        )
 
     def _disk_write(self, key: str, value) -> None:
         if self.directory is None:
             return
+        try:
+            faults.maybe_inject("cache.write", key[:12])
+        except ServiceError:
+            return  # an injected write fault skips the store
         path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as fh:
-            pickle.dump({"version": _FORMAT_VERSION, "value": value}, fh)
-        os.replace(tmp, path)
-        self._evict()
+        tmp = self._tmp_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump({"version": _FORMAT_VERSION, "value": value}, fh)
+            os.replace(tmp, path)
+        except OSError:
+            # Disk full / permissions / directory torn down underneath
+            # us: the entry is simply not cached.  Drop the stage file
+            # so a failed write cannot strand a growing orphan.
+            with contextlib.suppress(OSError):
+                tmp.unlink(missing_ok=True)
+            return
+        self._evict(key)
 
-    def _evict(self) -> None:
+    def _sweep_orphan_tmps(self) -> None:
+        """Delete staging files abandoned by crashed writers.  Only
+        stale ones go — a live writer's in-flight temp file is seconds
+        old, an orphan is minutes old."""
+        if self.directory is None or not self.directory.exists():
+            return
+        cutoff = time.time() - _TMP_MAX_AGE_SECONDS
+        for path in self.directory.glob("??/*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                continue  # a concurrent sweeper (or the writer) got it
+
+    def _evict(self, key: str = "") -> None:
         """Delete least-recently-used entries until the disk tier fits
-        ``max_bytes`` again."""
-        entries = [(p.stat().st_mtime, p.stat().st_size, p) for p in self._entry_files()]
+        ``max_bytes`` again.  Concurrent evictors are tolerated: an
+        entry deleted underneath the scan still counts toward the bytes
+        freed, it just isn't double-counted as *our* eviction."""
+        try:
+            faults.maybe_inject("cache.evict", key[:12])
+        except ServiceError:
+            return  # an injected evict fault skips this pass
+        self._sweep_orphan_tmps()
+        entries = []
+        for p in self._entry_files():
+            try:
+                st = p.stat()
+            except OSError:
+                continue  # deleted mid-scan by a concurrent evictor
+            entries.append((st.st_mtime, st.st_size, p))
         total = sum(size for _, size, _ in entries)
         if total <= self.max_bytes:
             obs.gauge_set("service.cache.bytes", total)
@@ -482,8 +659,120 @@ class OutlineCache:
         for _, size, path in entries:
             if total <= self.max_bytes:
                 break
-            path.unlink(missing_ok=True)
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                total -= size  # a concurrent evictor freed it first
+                continue
+            except OSError:
+                continue
             total -= size
             self.stats.evictions += 1
             obs.counter_add("service.cache.evictions")
         obs.gauge_set("service.cache.bytes", total)
+
+
+# -- cross-process sharing ---------------------------------------------------
+
+#: Handles opened from a :class:`SharedCacheSpec`, one per
+#: ``(directory, role)`` per process.  Keyed with the opening pid so a
+#: fork-started child never reuses the handle object (and its lock /
+#: stats) it inherited from the parent's module state.
+_SHARED_HANDLES: dict[tuple[str, str], tuple[int, "OutlineCache"]] = {}
+
+
+@dataclass(frozen=True)
+class SharedCacheSpec:
+    """The picklable recipe for opening the shared disk cache from any
+    process.
+
+    A live :class:`OutlineCache` cannot cross a process boundary (it
+    owns a lock, live stats, an open directory handle); this spec can.
+    The supervisor derives one from its cache
+    (:meth:`OutlineCache.shared_spec`), ships it to shard and pool
+    worker children inside the task payload, and each child opens — and
+    process-caches — its own handle on the same directory.  Disk-tier
+    atomicity (per-writer temp names + ``os.replace``) is what makes
+    the concurrent handles sound.
+    """
+
+    directory: str
+    max_bytes: int = DEFAULT_MAX_BYTES
+    memory_entries: int = 64
+
+    def open(self, role: str = "worker") -> OutlineCache:
+        """This process's handle for ``role`` (opened once, then
+        reused — a shard serves its whole chunk through one handle)."""
+        pid = os.getpid()
+        key = (self.directory, role)
+        cached = _SHARED_HANDLES.get(key)
+        if cached is not None and cached[0] == pid:
+            return cached[1]
+        handle = OutlineCache(
+            self.directory,
+            max_bytes=self.max_bytes,
+            memory_entries=self.memory_entries,
+            role=role,
+        )
+        _SHARED_HANDLES[key] = (pid, handle)
+        return handle
+
+
+def outline_payload_key(payload) -> tuple[str | None, str | None]:
+    """``(group key, symbol prefix)`` of an outline payload, or
+    ``(None, None)`` when the payload is not outline-shaped.
+
+    ``map_groups`` is generic (tests drive it with plain ints), so the
+    shared-cache layer duck-checks the
+    :data:`~repro.core.parallel.OutlinePayload` shape before keying:
+    a 7-tuple with integer thresholds, a string engine and a string
+    symbol prefix.  Anything else passes through uncached.
+    """
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 7
+        and isinstance(payload[5], str)
+        and isinstance(payload[6], str)
+        and all(isinstance(payload[i], int) for i in (2, 3, 4))
+    ):
+        try:
+            return OutlineCache.group_key(payload), payload[6]
+        except Exception:
+            return None, None
+    return None, None
+
+
+class SharedCacheWorker:
+    """Read-through / write-back wrapper around a ``map_groups`` worker.
+
+    Picklable (the worker and the spec both are); the child-side handle
+    is opened lazily on first call, so the wrapper costs nothing until
+    it actually runs inside the child process.  A group mined by any
+    process of any tenant is a disk hit here; non-outline payloads fall
+    straight through to the wrapped worker.
+    """
+
+    __slots__ = ("worker", "spec", "role")
+
+    def __init__(self, worker, spec: SharedCacheSpec, role: str = "worker") -> None:
+        self.worker = worker
+        self.spec = spec
+        self.role = role
+
+    def __getstate__(self):
+        return (self.worker, self.spec, self.role)
+
+    def __setstate__(self, state) -> None:
+        self.worker, self.spec, self.role = state
+
+    def __call__(self, payload):
+        key, prefix = outline_payload_key(payload)
+        if key is None:
+            return self.worker(payload)
+        cache = self.spec.open(self.role)
+        hit = cache.lookup_chunk(key, prefix)
+        if hit is not None:
+            return hit
+        result = self.worker(payload)
+        cache.store_chunk(key, prefix, result)
+        return result

@@ -57,6 +57,7 @@ from repro import observability as obs
 from repro.core.errors import ServiceError
 from repro.observability import Trace, TraceContext
 from repro.service import faults
+from repro.service.cache import SharedCacheSpec, SharedCacheWorker
 from repro.suffixtree.parallel import available_parallelism
 
 __all__ = ["PoolStats", "WorkerPool"]
@@ -125,16 +126,29 @@ class WorkerPool:
     per-group seconds (``None`` disables).  The pool is created lazily
     on first parallel use and survives until :meth:`close` (the service
     calls it; the class is also a context manager).
+
+    ``cache`` (a :class:`~repro.service.cache.SharedCacheSpec`) wraps
+    every *child* submission in a
+    :class:`~repro.service.cache.SharedCacheWorker` (role ``"worker"``):
+    outline payloads are served read-through/write-back from the shared
+    disk cache inside the worker process.  In-parent execution (the
+    serial short-circuit and the fallback ladder) stays unwrapped — the
+    supervisor's own cache already fronts those paths.
     """
 
     def __init__(
-        self, *, max_workers: int | None = None, timeout: float | None = None
+        self,
+        *,
+        max_workers: int | None = None,
+        timeout: float | None = None,
+        cache: SharedCacheSpec | None = None,
     ) -> None:
         resolved = max_workers if max_workers is not None else available_parallelism()
         if resolved < 1:
             raise ServiceError("max_workers must be >= 1")
         self.max_workers = resolved
         self.timeout = timeout
+        self.cache_spec = cache
         self.stats = PoolStats()
         self._executor: ProcessPoolExecutor | None = None
         self._closed = False
@@ -251,6 +265,8 @@ class WorkerPool:
         histogram records per-task submit→completion latency (the
         done-callback fires when the future settles, succeed or fail —
         not when the in-order collection loop gets to it)."""
+        if self.cache_spec is not None:
+            worker = SharedCacheWorker(worker, self.cache_spec, "worker")
         tracer = obs.current_tracer()
         if tracer is not None:
             future = self._pool().submit(

@@ -63,6 +63,7 @@ from repro import observability as obs
 from repro.core.errors import ServiceError
 from repro.observability import Trace, TraceContext
 from repro.service import faults
+from repro.service.cache import SharedCacheSpec, outline_payload_key
 from repro.suffixtree.parallel import round_robin_shards
 
 __all__ = ["ShardExecutor", "ShardResult", "ShardStats"]
@@ -87,6 +88,12 @@ class ShardStats:
     serial_fallbacks: int = 0
     #: Groups served from a shard's content memo instead of recomputed.
     memo_hits: int = 0
+    #: Groups served from the *shared* disk cache inside shard
+    #: processes (``ShardExecutor(cache=...)``), and the lookups behind
+    #: them — the cross-process/cross-tenant reuse the shard-local memo
+    #: cannot see.
+    shared_hits: int = 0
+    shared_lookups: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -99,6 +106,8 @@ class ShardStats:
             "restarts": self.restarts,
             "serial_fallbacks": self.serial_fallbacks,
             "memo_hits": self.memo_hits,
+            "shared_hits": self.shared_hits,
+            "shared_lookups": self.shared_lookups,
         }
 
 
@@ -118,6 +127,10 @@ class ShardResult:
     #: Wall seconds inside the shard process.
     seconds: float = 0.0
     memo_hits: int = 0
+    #: Groups this shard served from the shared disk cache, and the
+    #: shared-cache lookups it issued (0/0 without a cache spec).
+    shared_hits: int = 0
+    shared_lookups: int = 0
 
 
 def _shard_worker(
@@ -125,6 +138,7 @@ def _shard_worker(
     shard_index: int,
     chunk: list,
     ctx: TraceContext | None = None,
+    cache_spec: SharedCacheSpec | None = None,
 ) -> ShardResult:
     """Run one shard's chunk inside the shard process.
 
@@ -134,12 +148,21 @@ def _shard_worker(
     supervisor's propagated trace context (falls back to
     ``CALIBRO_TRACE_CONTEXT`` for spawn-style plumbing); the shard's
     tracer mints spans inside that distributed trace.
+
+    With a ``cache_spec``, outline-shaped payloads are served
+    read-through/write-back from the shared disk cache (one handle per
+    shard process, role ``"shard"``): a group mined by any shard of any
+    tenant is a disk hit here.  Non-outline payloads — and everything
+    when no spec is passed — fall back to the shard-local content memo.
     """
     t0 = time.perf_counter()
     memo_hits = 0
+    shared_hits = 0
+    shared_lookups = 0
     if ctx is None:
         ctx = TraceContext.from_env()
     tracer = obs.Tracer(context=ctx) if ctx is not None else obs.Tracer()
+    cache = cache_spec.open("shard") if cache_spec is not None else None
     # Install process-wide AND as this thread's overlay: a fork-started
     # worker inherits the forking thread's thread-local tracer (the
     # serve executor thread's overlay), and that ghost would otherwise
@@ -153,6 +176,20 @@ def _shard_worker(
             results = []
             for global_index, payload in chunk:
                 faults.maybe_inject("group", str(global_index))
+                if cache is not None:
+                    key, prefix = outline_payload_key(payload)
+                    if key is not None:
+                        shared_lookups += 1
+                        hit = cache.lookup_chunk(key, prefix)
+                        if hit is not None:
+                            shared_hits += 1
+                            obs.counter_add("service.shard.shared_hits")
+                            results.append(hit)
+                            continue
+                        result = worker(payload)
+                        cache.store_chunk(key, prefix, result)
+                        results.append(result)
+                        continue
                 try:
                     digest = hashlib.sha256(
                         pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -178,6 +215,8 @@ def _shard_worker(
         trace=snapshot,
         seconds=time.perf_counter() - t0,
         memo_hits=memo_hits,
+        shared_hits=shared_hits,
+        shared_lookups=shared_lookups,
     )
 
 
@@ -191,13 +230,28 @@ class ShardExecutor:
     shard owns many groups, so callers typically scale it up from their
     per-group budget.  ``shards=1`` (or a single payload) runs the chunk
     in-process: no processes, no pickling, same bytes.
+
+    ``cache`` (a :class:`~repro.service.cache.SharedCacheSpec`) gives
+    every shard process a read-through/write-back handle on the shared
+    disk cache instead of only its chunk-local memo — the
+    ``ServiceConfig(shared_cache=...)`` plumbing.  Results stay
+    byte-identical either way (cached chunks are re-branded to the
+    requesting payload's symbol prefix, exactly like the supervisor's
+    own cache path).
     """
 
-    def __init__(self, *, shards: int, timeout: float | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        shards: int,
+        timeout: float | None = None,
+        cache: SharedCacheSpec | None = None,
+    ) -> None:
         if shards < 1:
             raise ServiceError("shards must be >= 1")
         self.shards = shards
         self.timeout = timeout
+        self.cache_spec = cache
         self.stats = ShardStats(shards=shards)
         self._executor: ProcessPoolExecutor | None = None
         self._closed = False
@@ -274,7 +328,9 @@ class ShardExecutor:
         obs.counter_add("service.shard.dispatches")
         tracer = obs.current_tracer()
         ctx = tracer.child_context() if tracer is not None else None
-        return self._pool().submit(_shard_worker, worker, shard_index, chunk, ctx)
+        return self._pool().submit(
+            _shard_worker, worker, shard_index, chunk, ctx, self.cache_spec
+        )
 
     def _collect(self, worker, shard_index: int, chunk: list, future: Future) -> list:
         """The shard supervision ladder: timeout/failure → terminating
@@ -335,6 +391,8 @@ class ShardExecutor:
         wall-time histogram, and the shard-local registries (exact
         merge) — all via :meth:`~repro.observability.Tracer.adopt`."""
         self.stats.memo_hits += shard_result.memo_hits
+        self.stats.shared_hits += shard_result.shared_hits
+        self.stats.shared_lookups += shard_result.shared_lookups
         obs.histogram_observe("service.shard.seconds", shard_result.seconds)
         tracer = obs.current_tracer()
         if tracer is None:

@@ -103,3 +103,65 @@ def test_child_context_points_at_the_open_span():
         ctx = tracer.child_context()
         assert ctx.trace_id == tracer.trace_id
         assert ctx.span_id == span.span_id
+
+
+# -- sampled=False downgrades span recording ----------------------------------
+
+
+def test_unsampled_context_drops_spans_at_export():
+    """``sampled=False`` must downgrade span recording: callers still
+    get live span objects to time against, registries still aggregate
+    exactly, but the snapshot ships no span tree and flags itself."""
+    from repro import observability as obs
+    from repro.observability import Tracer
+
+    ctx = TraceContext(trace_id="ab" * 16, sampled=False)
+    tracer = Tracer(context=ctx)
+    with obs.tracing(tracer):
+        with obs.span("service.build", label="x") as span:
+            obs.counter_add("service.builds")
+            obs.gauge_set("service.shard.count", 2)
+            obs.histogram_observe("service.cache.lookup_seconds", 0.01)
+        assert span.name == "service.build"  # collection stayed live
+    snapshot = tracer.snapshot()
+    assert snapshot.spans == []
+    assert snapshot.meta["sampled"] is False
+    assert snapshot.meta["trace_id"] == ctx.trace_id
+    assert snapshot.counters["service.builds"] == 1
+    assert snapshot.gauges["service.shard.count"] == 2
+    assert snapshot.histograms["service.cache.lookup_seconds"].count == 1
+
+
+def test_sampled_snapshot_shape_is_unchanged():
+    from repro import observability as obs
+    from repro.observability import Tracer
+
+    tracer = Tracer()  # default root context: sampled
+    with obs.tracing(tracer):
+        with obs.span("service.build"):
+            pass
+    snapshot = tracer.snapshot()
+    assert len(snapshot.spans) == 1
+    assert "sampled" not in snapshot.meta  # no new key on the hot path
+
+
+def test_unsampled_request_stays_unsampled_across_shards():
+    """One unsampled request through the shard executor: the children's
+    counters still merge into the supervising registries, but neither
+    the children nor the supervisor export any spans."""
+    from repro import observability as obs
+    from repro.observability import Tracer
+    from repro.service import ShardExecutor
+    from tests.service.test_shard import _double
+
+    ctx = TraceContext(trace_id="cd" * 16, sampled=False)
+    tracer = Tracer(context=ctx)
+    with obs.tracing(tracer):
+        with ShardExecutor(shards=2) as executor:
+            assert executor.map_groups(_double, [7, 7, 7, 7]) == [14] * 4
+    snapshot = tracer.snapshot()
+    assert snapshot.spans == []
+    assert snapshot.meta["sampled"] is False
+    # The shard children inherited the unsampled flag via child_context
+    # yet their registries merged back exactly.
+    assert snapshot.counters.get("service.shard.memo_hits") == 2

@@ -161,3 +161,29 @@ def test_graph_deltas_are_gated_when_both_sides_carry_them():
     # One side without accounting -> no graph deltas at all.
     one_sided = diff_entries(lean, fat_graph)
     assert not any(d.name.startswith("graph.") for d in one_sided.phases + one_sided.sizes)
+
+
+def test_cache_hit_rate_is_gated_when_both_sides_have_traffic():
+    """A warm build quietly going cold (broken shared cache, key drift,
+    over-eager eviction) regresses the derived hit-rate ratio; a cold
+    baseline with zero traffic gates nothing."""
+    def traffic(hits, misses):
+        return LedgerEntry(
+            config="c", engine="e", text_size_before=10000,
+            text_size_after=8000, wall_seconds=1.0,
+            cache_hits=hits, cache_misses=misses,
+        )
+
+    went_cold = diff_entries(traffic(9, 1), traffic(1, 9))
+    assert "service.cache.hit_rate" in [d.name for d in went_cold.regression_list()]
+    # Warming up is an improvement, not a regression.
+    warmed = diff_entries(traffic(1, 9), traffic(9, 1))
+    assert not warmed.has_regressions
+    # Jitter inside the threshold passes.
+    steady = diff_entries(traffic(90, 10), traffic(89, 11))
+    assert not steady.has_regressions
+    # Zero traffic on either side: the ratio is not even reported.
+    untraded = diff_entries(_entry(), traffic(1, 9))
+    assert "service.cache.hit_rate" not in [
+        d.name for d in untraded.phases + untraded.sizes
+    ]

@@ -147,3 +147,22 @@ def test_service_ledger_flows_through_the_gate(gate, tmp_path):
     # min-seconds shields the (cached, fast) second build from wall
     # jitter; sizes are deterministic and identical.
     assert gate.main([str(path)]) == 0
+
+
+def test_warm_build_going_cold_fails_the_gate(gate, tmp_path, capsys):
+    """The ``service.cache.hit_rate`` rule: same sizes, same wall time,
+    but the fresh entry's cache traffic went from warm to cold — the
+    gate reds before wall time would move on a small app."""
+    def traffic(hits, misses):
+        return LedgerEntry(
+            config="CTO+LTBO", engine="suffix-tree", label="app",
+            text_size_before=1200, text_size_after=1000, wall_seconds=1.0,
+            cache_hits=hits, cache_misses=misses, timestamp=1.0,
+        )
+
+    path = _write(tmp_path / "ledger.jsonl", [traffic(9, 1), traffic(1, 9)])
+    assert gate.main([path]) == 1
+    assert "service.cache.hit_rate" in capsys.readouterr().out
+    # Steady warm traffic passes.
+    steady = _write(tmp_path / "steady.jsonl", [traffic(9, 1), traffic(9, 1)])
+    assert gate.main([steady]) == 0
